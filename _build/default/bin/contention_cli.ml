@@ -1,0 +1,394 @@
+(* `contention` — command-line front end to the library.
+
+   Subcommands:
+     generate    random SDFG workloads (SDF3 substitute); DOT export, --save
+     analyze     estimate use-case periods with a chosen estimator
+     simulate    discrete-event simulation of a use-case
+     experiment  reproduce the paper's Figure 5, Table 1, Figure 6 and timing
+     export      the same evaluation data as CSV files
+     inspect     periods, latency, buffer bounds and text export of one graph
+     report      estimated vs simulated periods + processor utilisation
+     sensitivity leave-one-out interference ranking *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+
+let seed_arg =
+  let doc = "Random seed for the workload generator." in
+  Arg.(value & opt int 2007 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let num_apps_arg =
+  let doc = "Number of applications to generate." in
+  Arg.(value & opt int 10 & info [ "apps" ] ~docv:"N" ~doc)
+
+let procs_arg =
+  let doc = "Number of processors." in
+  Arg.(value & opt int 10 & info [ "procs" ] ~docv:"P" ~doc)
+
+let horizon_arg =
+  let doc = "Simulation horizon in time units (the paper used 500000)." in
+  Arg.(value & opt float 500_000. & info [ "horizon" ] ~docv:"T" ~doc)
+
+let usecase_arg =
+  let doc =
+    "Use-case: comma-separated application letters (e.g. A,C,D). Defaults to \
+     all applications."
+  in
+  Arg.(value & opt (some string) None & info [ "usecase" ] ~docv:"APPS" ~doc)
+
+let estimator_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "worst-case" | "wc" -> Ok Contention.Analysis.Worst_case
+    | "second-order" | "o2" -> Ok (Contention.Analysis.Order 2)
+    | "fourth-order" | "o4" -> Ok (Contention.Analysis.Order 4)
+    | "composability" | "comp" -> Ok Contention.Analysis.Composability
+    | "exact" -> Ok Contention.Analysis.Exact
+    | s -> (
+        match int_of_string_opt s with
+        | Some m when m >= 2 -> Ok (Contention.Analysis.Order m)
+        | _ -> Error (`Msg (Printf.sprintf "unknown estimator %S" s)))
+  in
+  let print ppf e = Format.pp_print_string ppf (Contention.Analysis.estimator_name e) in
+  Arg.conv (parse, print)
+
+let estimator_arg =
+  let doc =
+    "Estimator: worst-case (wc), second-order (o2), fourth-order (o4), \
+     composability (comp), exact, or a numeric order m >= 2."
+  in
+  Arg.(
+    value
+    & opt estimator_conv (Contention.Analysis.Order 2)
+    & info [ "method" ] ~docv:"METHOD" ~doc)
+
+let load_arg =
+  let doc = "Load the workload from a file written by $(b,generate --save)." in
+  Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE" ~doc)
+
+let workload ?load seed num_apps procs =
+  match load with
+  | Some (Some path) -> (
+      match Exp.Workload.load path with
+      | Ok w -> w
+      | Error msg ->
+          Printf.eprintf "cannot load %s: %s\n" path msg;
+          exit 2)
+  | Some None | None -> Exp.Workload.make ~seed ~num_apps ~procs ()
+
+let parse_usecase w = function
+  | None -> Ok (Contention.Usecase.full ~napps:(Exp.Workload.num_apps w))
+  | Some spec ->
+      let parts = String.split_on_char ',' (String.trim spec) in
+      let lookup acc part =
+        match acc with
+        | Error _ as e -> e
+        | Ok mask -> (
+            match Exp.Workload.app_index w (String.trim part) with
+            | i -> Ok (Contention.Usecase.add i mask)
+            | exception Not_found ->
+                Error (Printf.sprintf "unknown application %S" part))
+      in
+      List.fold_left lookup (Ok 0) parts
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+
+let generate_cmd =
+  let dot_dir =
+    let doc = "Write each graph as DOT into $(docv)." in
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"DIR" ~doc)
+  in
+  let save_file =
+    let doc = "Save the workload (reloadable with --load) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+  in
+  let run seed num_apps procs dot_dir save_file =
+    let w = workload seed num_apps procs in
+    (match save_file with
+    | None -> ()
+    | Some path ->
+        Exp.Workload.save w path;
+        Printf.printf "saved workload to %s\n" path);
+    let names = Exp.Workload.names w in
+    let periods = Exp.Workload.isolation_periods w in
+    Array.iteri
+      (fun i (a : Contention.Analysis.app) ->
+        let q = a.repetition in
+        Printf.printf "%s: %d actors, %d channels, q = [%s], Per = %.1f\n" names.(i)
+          (Sdf.Graph.num_actors a.graph)
+          (Sdf.Graph.num_channels a.graph)
+          (String.concat ";" (Array.to_list (Array.map string_of_int q)))
+          periods.(i);
+        match dot_dir with
+        | None -> ()
+        | Some dir ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            let path = Filename.concat dir (names.(i) ^ ".dot") in
+            Sdf.Dot.write_file path a.graph;
+            Printf.printf "  wrote %s\n" path)
+      w.apps
+  in
+  let term =
+    Term.(const run $ seed_arg $ num_apps_arg $ procs_arg $ dot_dir $ save_file)
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a random SDFG workload") term
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+
+let analyze_cmd =
+  let iterations =
+    let doc = "Fixed-point refinement passes (1 = the paper's single pass)." in
+    Arg.(value & opt int 1 & info [ "iterations" ] ~docv:"K" ~doc)
+  in
+  let run seed num_apps procs usecase estimator iterations =
+    let w = workload seed num_apps procs in
+    match parse_usecase w usecase with
+    | Error msg ->
+        prerr_endline msg;
+        exit 2
+    | Ok uc ->
+        let apps = Exp.Workload.analysis_apps w uc in
+        let results = Contention.Analysis.estimate ~iterations estimator apps in
+        Printf.printf "Use-case %s, estimator %s:\n"
+          (Format.asprintf "%a" (Contention.Usecase.pp ~napps:(Exp.Workload.num_apps w)) uc)
+          (Contention.Analysis.estimator_name estimator);
+        List.iter
+          (fun (r : Contention.Analysis.estimate) ->
+            Printf.printf
+              "  %s: period %.1f (isolation %.1f, +%.1f%%), throughput %.6f\n"
+              r.for_app.graph.Sdf.Graph.name r.period r.for_app.isolation_period
+              (100. *. (r.period /. r.for_app.isolation_period -. 1.))
+              (Contention.Analysis.throughput r))
+          results
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ num_apps_arg $ procs_arg $ usecase_arg $ estimator_arg
+      $ iterations)
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Probabilistic period estimation for a use-case") term
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+
+let simulate_cmd =
+  let run seed num_apps procs usecase horizon =
+    let w = workload seed num_apps procs in
+    match parse_usecase w usecase with
+    | Error msg ->
+        prerr_endline msg;
+        exit 2
+    | Ok uc ->
+        let results, stats =
+          Desim.Engine.run ~horizon ~procs (Exp.Workload.sim_apps w uc)
+        in
+        Printf.printf "Simulated use-case %s for %.0f time units:\n"
+          (Format.asprintf "%a" (Contention.Usecase.pp ~napps:(Exp.Workload.num_apps w)) uc)
+          horizon;
+        Array.iter
+          (fun (r : Desim.Engine.result) ->
+            Printf.printf "  %s: avg period %.1f, worst %.1f, %d iterations\n"
+              r.app_name r.avg_period r.max_period r.iterations)
+          results;
+        let util = Desim.Engine.utilisation stats in
+        Printf.printf "  processor utilisation: %s\n"
+          (String.concat " "
+             (Array.to_list (Array.map (Printf.sprintf "%.2f") util)))
+  in
+  let term =
+    Term.(const run $ seed_arg $ num_apps_arg $ procs_arg $ usecase_arg $ horizon_arg)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Discrete-event simulation of a use-case") term
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+
+let experiment_cmd =
+  let sections =
+    let doc =
+      "Sections to run: fig5, table1, fig6, timing, or all (default)."
+    in
+    Arg.(value & pos_all string [ "all" ] & info [] ~docv:"SECTION" ~doc)
+  in
+  let run seed num_apps procs horizon sections =
+    let wants s = List.mem "all" sections || List.mem s sections in
+    let w = workload seed num_apps procs in
+    if wants "fig5" then
+      print_string (Exp.Figures.render_fig5 (Exp.Figures.fig5 ~horizon w));
+    if wants "table1" || wants "fig6" || wants "timing" then begin
+      let last = ref 0 in
+      let progress done_ total =
+        let pct = 100 * done_ / total in
+        if pct >= !last + 10 then begin
+          last := pct;
+          Printf.eprintf "  sweep: %d%% (%d/%d use-cases)\n%!" pct done_ total
+        end
+      in
+      let sweep = Exp.Sweep.run ~horizon ~progress w in
+      if wants "table1" then
+        print_string (Exp.Figures.render_table1 (Exp.Figures.table1 sweep));
+      if wants "fig6" then print_string (Exp.Figures.render_fig6 (Exp.Figures.fig6 sweep));
+      if wants "timing" then print_string (Exp.Figures.render_timing sweep)
+    end
+  in
+  let term =
+    Term.(const run $ seed_arg $ num_apps_arg $ procs_arg $ horizon_arg $ sections)
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Reproduce the paper's evaluation (Figure 5, Table 1, Figure 6, timing)")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* report                                                              *)
+
+let report_cmd =
+  let run seed num_apps procs usecase horizon load =
+    let w = workload ~load seed num_apps procs in
+    match parse_usecase w usecase with
+    | Error msg ->
+        prerr_endline msg;
+        exit 2
+    | Ok uc ->
+        let report = Exp.Report.build ~horizon w uc in
+        print_string (Exp.Report.render ~napps:(Exp.Workload.num_apps w) report)
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ num_apps_arg $ procs_arg $ usecase_arg $ horizon_arg
+      $ load_arg)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Estimated vs simulated periods and processor utilisation for a use-case")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* sensitivity                                                         *)
+
+let sensitivity_cmd =
+  let victim =
+    let doc = "Rank interferers of this application only." in
+    Arg.(value & opt (some string) None & info [ "victim" ] ~docv:"APP" ~doc)
+  in
+  let run seed num_apps procs usecase estimator victim load =
+    let w = workload ~load seed num_apps procs in
+    match parse_usecase w usecase with
+    | Error msg ->
+        prerr_endline msg;
+        exit 2
+    | Ok uc -> (
+        let apps = Exp.Workload.analysis_apps w uc in
+        match victim with
+        | None ->
+            print_string
+              (Contention.Sensitivity.render
+                 (Contention.Sensitivity.leave_one_out ~estimator apps))
+        | Some name -> (
+            match Contention.Sensitivity.rank_for ~estimator ~victim:name apps with
+            | ranked -> print_string (Contention.Sensitivity.render ranked)
+            | exception Not_found ->
+                Printf.eprintf "application %S is not in the use-case\n" name;
+                exit 2))
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ num_apps_arg $ procs_arg $ usecase_arg $ estimator_arg
+      $ victim $ load_arg)
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Leave-one-out impact of each application on the others' periods")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* inspect                                                             *)
+
+let inspect_cmd =
+  let app_name =
+    let doc = "Application to inspect (a letter, e.g. C)." in
+    Arg.(value & opt string "A" & info [ "app" ] ~docv:"APP" ~doc)
+  in
+  let save =
+    let doc = "Also save the graph in the text format to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+  in
+  let run seed num_apps procs app_name save =
+    let w = workload seed num_apps procs in
+    match Exp.Workload.app_index w app_name with
+    | exception Not_found ->
+        Printf.eprintf "unknown application %S\n" app_name;
+        exit 2
+    | i ->
+        let a = w.apps.(i) in
+        let g = a.Contention.Analysis.graph in
+        Format.printf "%a@." Sdf.Graph.pp g;
+        Printf.printf "repetition vector: [%s]\n"
+          (String.concat "; " (Array.to_list (Array.map string_of_int a.repetition)));
+        Printf.printf "period: %.2f (statespace) / %.2f (HSDF+MCM)\n"
+          (Sdf.Statespace.period_exn g) (Sdf.Hsdf.period g);
+        (match Sdf.Metrics.analyse g with
+        | None -> print_endline "metrics: graph deadlocks"
+        | Some m ->
+            Printf.printf "latency: %.2f, makespan (3 iterations): %.2f\n" m.latency
+              m.makespan;
+            Printf.printf "buffer peaks: [%s] (total %d)\n"
+              (String.concat "; "
+                 (Array.to_list (Array.map string_of_int m.buffer_peaks)))
+              (Sdf.Metrics.buffer_bound_total m));
+        let caps = Sdf.Capacity.sufficient_capacities g in
+        Printf.printf "schedule-preserving capacities: [%s]\n"
+          (String.concat "; " (Array.to_list (Array.map string_of_int caps)));
+        (match save with
+        | None -> ()
+        | Some path ->
+            Sdf.Text.write_file path g;
+            Printf.printf "saved to %s\n" path)
+  in
+  let term = Term.(const run $ seed_arg $ num_apps_arg $ procs_arg $ app_name $ save) in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Periods, latency, buffer bounds and export of one graph")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* export                                                              *)
+
+let export_cmd =
+  let out_dir =
+    let doc = "Directory for the CSV files (created if missing)." in
+    Arg.(value & opt string "results" & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let run seed num_apps procs horizon out_dir =
+    let w = workload seed num_apps procs in
+    if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+    let save name contents =
+      let path = Filename.concat out_dir name in
+      Exp.Export.write ~path contents;
+      Printf.printf "wrote %s\n%!" path
+    in
+    save "fig5.csv" (Exp.Export.fig5_csv (Exp.Figures.fig5 ~horizon w));
+    Printf.printf "sweeping all use-cases...\n%!";
+    let sweep = Exp.Sweep.run ~horizon w in
+    save "table1.csv" (Exp.Export.table1_csv (Exp.Figures.table1 sweep));
+    save "fig6.csv" (Exp.Export.fig6_csv (Exp.Figures.fig6 sweep));
+    save "observations.csv" (Exp.Export.observations_csv sweep)
+  in
+  let term =
+    Term.(const run $ seed_arg $ num_apps_arg $ procs_arg $ horizon_arg $ out_dir)
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export the evaluation data (Fig. 5/6, Table 1, raw sweep) as CSV")
+    term
+
+let () =
+  let doc = "Probabilistic resource-contention performance estimation (DAC 2007)" in
+  let info = Cmd.info "contention" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; analyze_cmd; simulate_cmd; experiment_cmd; export_cmd;
+            inspect_cmd; report_cmd; sensitivity_cmd ]))

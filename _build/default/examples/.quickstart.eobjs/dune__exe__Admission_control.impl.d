@@ -1,0 +1,1 @@
+examples/admission_control.ml: Array Contention List Printf Sdf String

@@ -1,0 +1,1 @@
+examples/buffer_sizing.ml: Array Contention Desim List Printf Sdf String

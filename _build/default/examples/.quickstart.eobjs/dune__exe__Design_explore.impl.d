@@ -1,0 +1,1 @@
+examples/design_explore.ml: Array Contention Desim List Printf Repro_stats Sdf Sdfgen

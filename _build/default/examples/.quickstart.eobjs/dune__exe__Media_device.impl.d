@@ -1,0 +1,1 @@
+examples/media_device.ml: Array Contention Desim Float Format List Printf Repro_stats Sdf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Contention Desim List Printf Sdf String

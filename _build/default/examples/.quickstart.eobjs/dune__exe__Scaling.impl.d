@@ -1,0 +1,1 @@
+examples/scaling.ml: Array Contention Desim Float List Printf Repro_stats Sdfgen

@@ -1,0 +1,1 @@
+examples/variable_times.ml: Array Contention Desim List Printf Repro_stats Sdf Sdfgen

@@ -1,0 +1,94 @@
+(* Run-time admission control (the paper's Section 6).
+
+   A resource manager keeps one composed load aggregate per processor.
+   Applications arrive with throughput requirements; each is admitted only if
+   its own requirement and everyone else's still hold under the composed
+   contention estimate.  Withdrawal uses the inverse operators, so the
+   manager never re-analyses the admitted population.
+
+   Run with: dune exec examples/admission_control.exe *)
+
+let procs = 4
+
+let make_app name ~exec_scale =
+  (* A family of 6-actor ring applications of varying weight. *)
+  let actors =
+    Array.init 6 (fun i ->
+        (Printf.sprintf "%s%d" (String.lowercase_ascii name) i,
+         exec_scale *. float_of_int (10 + (7 * i mod 23))))
+  in
+  let channels =
+    Array.init 6 (fun i -> (i, (i + 1) mod 6, 1, 1, if i = 5 then 2 else 0))
+  in
+  let g = Sdf.Graph.create ~name ~actors ~channels in
+  Contention.Analysis.app ~procs g ~mapping:(Contention.Mapping.modulo ~procs g)
+
+let describe_verdict = function
+  | Contention.Admission.Admitted -> "admitted"
+  | Contention.Admission.Rejected_candidate { estimated; required } ->
+      Printf.sprintf "rejected: its own throughput %.5f < required %.5f" estimated
+        required
+  | Contention.Admission.Rejected_victim { app; estimated; required } ->
+      Printf.sprintf "rejected: would push %s to %.5f < required %.5f" app estimated
+        required
+
+let () =
+  let ctl = Contention.Admission.create ~procs in
+  let report () =
+    List.iter
+      (fun (name, (_ : Contention.Analysis.app), (req : Contention.Admission.requirement)) ->
+        Printf.printf "    %-8s estimated throughput %.5f (requires %.5f)\n" name
+          (Contention.Admission.estimated_throughput ctl name)
+          req.min_throughput)
+      (List.rev (Contention.Admission.admitted ctl))
+  in
+  (* A video player needs at least 80% of its isolation throughput. *)
+  let video = make_app "Video" ~exec_scale:1.0 in
+  let video_req =
+    { Contention.Admission.min_throughput = 0.8 /. video.isolation_period }
+  in
+  Printf.printf "1. Video arrives (isolation period %.0f): %s\n" video.isolation_period
+    (describe_verdict (Contention.Admission.try_admit ctl video video_req));
+  report ();
+
+  (* A lightweight audio decoder, best effort. *)
+  let audio = make_app "Audio" ~exec_scale:0.4 in
+  Printf.printf "\n2. Audio arrives (best effort): %s\n"
+    (describe_verdict (Contention.Admission.try_admit ctl audio Contention.Admission.best_effort));
+  report ();
+
+  (* A heavyweight game would break the video requirement. *)
+  let game = make_app "Game" ~exec_scale:2.5 in
+  Printf.printf "\n3. Game arrives (best effort): %s\n"
+    (describe_verdict (Contention.Admission.try_admit ctl game Contention.Admission.best_effort));
+  report ();
+
+  (* The user stops the video; now the game fits. *)
+  Contention.Admission.withdraw ctl "Video";
+  Printf.printf "\n4. Video withdrawn. Game retries: %s\n"
+    (describe_verdict (Contention.Admission.try_admit ctl game Contention.Admission.best_effort));
+  report ();
+
+  (* Video tries to come back but the game is in the way. *)
+  Printf.printf "\n5. Video retries with its old requirement: %s\n"
+    (describe_verdict (Contention.Admission.try_admit ctl video video_req));
+  report ();
+
+  (* Section 6 feedback: the game is observed running slower than estimated
+     (so it blocks its processors less often than the isolation model says).
+     The calibrated mix is friendlier, but not enough for full quality. *)
+  let game_estimate = Contention.Admission.estimated_period ctl "Game" in
+  Contention.Admission.observe ctl "Game" ~measured_period:(3. *. game_estimate);
+  Printf.printf
+    "\n6. Runtime reports Game actually runs at period %.0f (estimate was %.0f);\n\
+    \   after calibration Video retries at full quality: %s\n"
+    (3. *. game_estimate) game_estimate
+    (describe_verdict (Contention.Admission.try_admit ctl video video_req));
+  report ();
+
+  (* The player accepts a reduced quality preset: 60% of the isolation
+     throughput is enough for the small picture-in-picture window. *)
+  let reduced = { Contention.Admission.min_throughput = 0.6 /. video.isolation_period } in
+  Printf.printf "\n7. Video retries at reduced quality (60%%): %s\n"
+    (describe_verdict (Contention.Admission.try_admit ctl video reduced));
+  report ()

@@ -1,0 +1,58 @@
+(* Buffer sizing under a throughput constraint.
+
+   Channels in silicon are finite FIFOs; a full buffer back-pressures its
+   producer. The classic design question (the paper's references [16]/[20])
+   is the smallest total buffering that still meets a throughput target.
+   This example sizes a four-stage video pipeline:
+
+   - sweeps a uniform capacity to show the throughput/buffer trade-off,
+   - asks for the minimal per-channel capacities at several targets,
+   - cross-checks the bounded graphs by simulation.
+
+   Run with: dune exec examples/buffer_sizing.exe *)
+
+let pipeline =
+  Sdf.Graph.create ~name:"video-pipe"
+    ~actors:[| ("capture", 20.); ("denoise", 35.); ("encode", 25.); ("emit", 30.) |]
+    ~channels:
+      [| (0, 1, 1, 1, 0); (1, 2, 1, 1, 0); (2, 3, 1, 1, 0); (3, 0, 1, 1, 4) |]
+
+let () =
+  let unbounded = Sdf.Statespace.period_exn pipeline in
+  Printf.printf "Unbounded pipeline period: %.1f (bottleneck 'denoise' at 35)\n\n" unbounded;
+
+  print_endline "Throughput / buffer trade-off (uniform capacity on every FIFO):";
+  List.iter
+    (fun (k, period) ->
+      Printf.printf "  capacity %d: %s\n" k
+        (match period with
+        | None -> "deadlock"
+        | Some p -> Printf.sprintf "period %.1f" p))
+    (Sdf.Capacity.sweep_uniform pipeline ~max_capacity:5);
+
+  print_endline "\nMinimal per-channel capacities for decreasing period targets:";
+  List.iter
+    (fun target ->
+      match Sdf.Capacity.minimise pipeline ~max_period:target with
+      | None -> Printf.printf "  period <= %.0f: unreachable\n" target
+      | Some caps ->
+          Printf.printf "  period <= %.0f: capacities [%s], total %d tokens\n" target
+            (String.concat "; " (Array.to_list (Array.map string_of_int caps)))
+            (Array.fold_left ( + ) 0 caps))
+    [ 60.; 40.; 35. ];
+
+  (* Verify the tightest sizing by simulating the bounded graph. *)
+  match Sdf.Capacity.minimise pipeline ~max_period:35. with
+  | None -> print_endline "\n35 is unreachable (unexpected)"
+  | Some caps ->
+      let bounded = Sdf.Capacity.bounded pipeline ~capacities:caps in
+      let results, _ =
+        Desim.Engine.run ~horizon:50_000. ~procs:4
+          [| { Desim.Engine.graph = bounded; mapping = Contention.Mapping.modulo ~procs:4 bounded } |]
+      in
+      Printf.printf
+        "\nSimulation of the minimal 35-period sizing: measured period %.1f\n"
+        results.(0).Desim.Engine.avg_period;
+      print_endline
+        "The minimal sizing keeps the pipeline at full (bottleneck-limited)\n\
+         throughput with the smallest FIFOs that still allow the overlap."

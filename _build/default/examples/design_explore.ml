@@ -1,0 +1,67 @@
+(* Design-space exploration with the probabilistic estimator in the loop.
+
+   Because one analysis costs milliseconds, a mapping optimiser can afford
+   thousands of candidate evaluations — the design-time workflow the paper's
+   introduction motivates. This example maps four random applications onto
+   four processors, first naively (modulo), then with steepest-descent
+   single-actor moves scored by the second-order estimator, and verifies the
+   improvement by simulation.
+
+   Run with: dune exec examples/design_explore.exe *)
+
+let procs = 4
+
+let () =
+  let params =
+    {
+      Sdfgen.Generator.default_params with
+      actors_min = 4;
+      actors_max = 6;
+      exec_min = 5;
+      exec_max = 50;
+    }
+  in
+  let graphs = Array.to_list (Sdfgen.Generator.generate_many ~params ~seed:11 4) in
+  (* A naive first-draft mapping: every application squeezed onto the first
+     two processors, as a porting engineer might start. *)
+  let start =
+    List.map
+      (fun g ->
+        (g, Array.init (Sdf.Graph.num_actors g) (fun j -> j mod 2)))
+      graphs
+  in
+  let outcome = Contention.Explore.improve ~max_moves:24 ~procs start in
+  Printf.printf
+    "Steepest descent over single-actor moves (score = mean period inflation):\n";
+  Printf.printf "  initial score: %.3f (everything on two processors)\n"
+    outcome.initial_score;
+  Printf.printf "  final score:   %.3f after %d moves, %d estimator calls\n\n"
+    outcome.final_score outcome.moves outcome.evaluations;
+
+  let simulate assignment label =
+    let apps =
+      Array.of_list
+        (List.map (fun (g, m) -> { Desim.Engine.graph = g; mapping = m }) assignment)
+    in
+    let results, _ = Desim.Engine.run ~horizon:300_000. ~procs apps in
+    Printf.printf "  %s:\n" label;
+    Array.iter
+      (fun (r : Desim.Engine.result) ->
+        let iso = Sdf.Statespace.period_exn
+            (List.assoc r.app_name
+               (List.map (fun (g, _) -> (g.Sdf.Graph.name, g)) assignment))
+        in
+        Printf.printf "    %s: simulated period %.1f (%.2fx isolation)\n" r.app_name
+          r.avg_period (r.avg_period /. iso))
+      results;
+    Repro_stats.Stats.mean_arr
+      (Array.map (fun (r : Desim.Engine.result) -> r.avg_period) results)
+  in
+  print_endline "Verification by simulation:";
+  let before = simulate start "two-processor packing" in
+  let after = simulate outcome.assignment "optimised mapping" in
+  Printf.printf
+    "\nMean simulated period: %.1f -> %.1f (%.1f%% better), found without\n\
+     running a single simulation during the search.\n"
+    before after
+    (100. *. (before -. after) /. before)

@@ -1,0 +1,74 @@
+(* Quickstart: the paper's Section 3 worked example, end to end.
+
+   Two SDF applications A and B share three processors (actor i of each on
+   Proc_i). We compute isolation periods, blocking probabilities, estimated
+   waiting times and the contended period with every estimator, then compare
+   against discrete-event simulation.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* Graph A of the paper's Figure 2: three actors in a ring. *)
+  let graph_a =
+    Sdf.Graph.create ~name:"A"
+      ~actors:[| ("a0", 100.); ("a1", 50.); ("a2", 100.) |]
+      ~channels:[| (0, 1, 2, 1, 0); (1, 2, 1, 2, 0); (2, 0, 1, 1, 1) |]
+  in
+  let graph_b =
+    Sdf.Graph.create ~name:"B"
+      ~actors:[| ("b0", 50.); ("b1", 100.); ("b2", 100.) |]
+      ~channels:[| (0, 1, 1, 2, 0); (1, 2, 2, 2, 0); (2, 0, 2, 1, 2) |]
+  in
+  (* Step 1: isolation throughput (SDF analysis, no contention). *)
+  Printf.printf "Isolation periods: Per(A) = %g, Per(B) = %g\n"
+    (Sdf.Statespace.period_exn graph_a)
+    (Sdf.Statespace.period_exn graph_b);
+
+  (* Step 2: wrap each graph with its mapping; actor i -> processor i. *)
+  let a = Contention.Analysis.app graph_a ~mapping:[| 0; 1; 2 |] in
+  let b = Contention.Analysis.app graph_b ~mapping:[| 0; 1; 2 |] in
+
+  (* Step 3: the actor loads the analysis derives (Definitions 4 and 5). *)
+  print_endline "\nActor loads (blocking probability, average blocking time):";
+  List.iter
+    (fun (app : Contention.Analysis.app) ->
+      Array.iteri
+        (fun i (l : Contention.Prob.t) ->
+          Printf.printf "  %s: P = %.3f, mu = %.1f\n"
+            (Sdf.Graph.actor app.graph i).name l.p l.mu)
+        (Contention.Analysis.loads app))
+    [ a; b ];
+
+  (* Step 4: estimate contended periods with each method. *)
+  print_endline "\nEstimated period under contention:";
+  List.iter
+    (fun est ->
+      let results = Contention.Analysis.estimate est [ a; b ] in
+      let periods =
+        List.map
+          (fun (r : Contention.Analysis.estimate) ->
+            Printf.sprintf "%s = %.1f" r.for_app.graph.Sdf.Graph.name r.period)
+          results
+      in
+      Printf.printf "  %-13s %s\n" (Contention.Analysis.estimator_name est)
+        (String.concat ", " periods))
+    (Contention.Analysis.all_paper_estimators @ [ Contention.Analysis.Exact ]);
+
+  (* Step 5: compare with simulation (the paper's reference). *)
+  let results, _ =
+    Desim.Engine.run ~procs:3
+      [|
+        { Desim.Engine.graph = graph_a; mapping = [| 0; 1; 2 |] };
+        { Desim.Engine.graph = graph_b; mapping = [| 0; 1; 2 |] };
+      |]
+  in
+  print_endline "\nSimulated (500k cycles):";
+  Array.iter
+    (fun (r : Desim.Engine.result) ->
+      Printf.printf "  %s: avg period = %.1f (worst observed %.1f over %d iterations)\n"
+        r.app_name r.avg_period r.max_period r.iterations)
+    results;
+  print_endline
+    "\nNote: the probabilistic estimate (358.3; the paper rounds to 359) is\n\
+     conservative here — the simulated period stays at 300 because the two\n\
+     graphs interleave perfectly, exactly as discussed in Section 3.1."

@@ -1,0 +1,81 @@
+(* Variable execution times — the paper's Section 6 extension.
+
+   Data-dependent decoding makes firing durations random. The analysis only
+   needs two moments: the mean (for blocking probability) and the mean
+   residual life E[X^2] / 2E[X] (replacing tau/2 as the average blocking
+   time). We sweep the spread of the execution times at a fixed mean and
+   compare the estimate against stochastic simulation.
+
+   Run with: dune exec examples/variable_times.exe *)
+
+let procs = 3
+
+let ring name taus =
+  let actors = Array.mapi (fun i tau -> (Printf.sprintf "%s%d" name i, tau)) taus in
+  let n = Array.length taus in
+  let channels = Array.init n (fun i -> (i, (i + 1) mod n, 1, 1, if i = n - 1 then 1 else 0)) in
+  Sdf.Graph.create ~name ~actors ~channels
+
+let () =
+  let g1 = ring "u" [| 40.; 30.; 20. |] in
+  let g2 = ring "v" [| 25.; 35.; 30. |] in
+  Printf.printf "Isolation periods: %g and %g\n\n"
+    (Sdf.Statespace.period_exn g1) (Sdf.Statespace.period_exn g2);
+  let header = [ "Spread"; "mu(u0)"; "Estimated"; "Simulated"; "Err %" ] in
+  let rows = ref [] in
+  List.iter
+    (fun spread ->
+      let dists_of g =
+        Array.map
+          (fun (a : Sdf.Graph.actor) ->
+            if spread = 0. then Contention.Dist.Constant a.exec_time
+            else
+              Contention.Dist.Uniform
+                {
+                  lo = a.exec_time *. (1. -. spread);
+                  hi = a.exec_time *. (1. +. spread);
+                })
+          g.Sdf.Graph.actors
+      in
+      let d1 = dists_of g1 and d2 = dists_of g2 in
+      let a1 = Contention.Analysis.app ~procs g1 ~mapping:[| 0; 1; 2 |] ~distributions:d1 in
+      let a2 = Contention.Analysis.app ~procs g2 ~mapping:[| 0; 1; 2 |] ~distributions:d2 in
+      let estimated =
+        match Contention.Analysis.estimate Contention.Analysis.Exact [ a1; a2 ] with
+        | r :: _ -> r.Contention.Analysis.period
+        | [] -> assert false
+      in
+      let mu0 = (Contention.Analysis.loads a1).(0).Contention.Prob.mu in
+      (* Stochastic simulation with the same distributions. *)
+      let rng = Sdfgen.Rng.create 2024 in
+      let dists = [| d1; d2 |] in
+      let hook ~app ~actor =
+        Contention.Dist.sample dists.(app).(actor) ~u:(Sdfgen.Rng.float rng 1.)
+      in
+      let results, _ =
+        Desim.Engine.run ~horizon:400_000. ~firing_time:hook ~procs
+          [|
+            { Desim.Engine.graph = g1; mapping = [| 0; 1; 2 |] };
+            { Desim.Engine.graph = g2; mapping = [| 0; 1; 2 |] };
+          |]
+      in
+      let simulated = results.(0).Desim.Engine.avg_period in
+      rows :=
+        [
+          Printf.sprintf "+/-%.0f%%" (100. *. spread);
+          Repro_stats.Table.float_cell ~decimals:2 mu0;
+          Repro_stats.Table.float_cell ~decimals:2 estimated;
+          Repro_stats.Table.float_cell ~decimals:2 simulated;
+          Repro_stats.Table.float_cell ~decimals:1
+            (Repro_stats.Stats.abs_pct_error ~reference:simulated estimated);
+        ]
+        :: !rows)
+    [ 0.; 0.25; 0.5; 0.75; 0.95 ];
+  Printf.printf
+    "Application u sharing all three processors with application v,\n\
+     uniform execution times with increasing spread at a fixed mean:\n\n";
+  print_string (Repro_stats.Table.render ~header (List.rev !rows));
+  print_endline
+    "\nThe residual mu grows with the variance (inspection paradox), so the\n\
+     estimate correctly tracks the simulated degradation as spread rises,\n\
+     while a constant-time model would be oblivious to it."

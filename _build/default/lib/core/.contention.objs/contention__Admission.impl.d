@@ -1,0 +1,1 @@
+lib/core/admission.ml: Analysis Array Compose List Printf Prob Sdf

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Approx Array Compose Dist Exact Hashtbl List Mapping Option Printf Prob Sdf Wcrt

@@ -1,0 +1,1 @@
+lib/core/approx.ml: Array Exact Int List Prob Sympoly

@@ -1,0 +1,1 @@
+lib/core/dist.ml: Format List Printf String

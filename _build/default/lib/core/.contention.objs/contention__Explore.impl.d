@@ -1,0 +1,1 @@
+lib/core/explore.ml: Analysis Array Fun List Mapping Sdf

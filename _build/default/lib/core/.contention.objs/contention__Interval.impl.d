@@ -1,0 +1,1 @@
+lib/core/interval.ml: Analysis Array Float List Prob Sdf

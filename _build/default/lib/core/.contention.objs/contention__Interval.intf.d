@@ -1,0 +1,1 @@
+lib/core/interval.mli: Analysis Prob

@@ -1,0 +1,1 @@
+lib/core/mapping.ml: Array Float Fun List Printf Sdf

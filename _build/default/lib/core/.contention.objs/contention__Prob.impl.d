@@ -1,0 +1,1 @@
+lib/core/prob.ml: Dist Float Format Printf

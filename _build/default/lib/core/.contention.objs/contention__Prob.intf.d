@@ -1,0 +1,1 @@
+lib/core/prob.mli: Dist Format

@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Analysis Float List Repro_stats Sdf

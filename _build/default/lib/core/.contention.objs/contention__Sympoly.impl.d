@@ -1,0 +1,1 @@
+lib/core/sympoly.ml: Array Int

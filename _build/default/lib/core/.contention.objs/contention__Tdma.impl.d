@@ -1,0 +1,1 @@
+lib/core/tdma.ml: Analysis Array Float Hashtbl Option Sdf

@@ -1,0 +1,1 @@
+lib/core/usecase.ml: Char Format Fun List Printf String

@@ -1,0 +1,1 @@
+lib/core/usecase.mli: Format

@@ -1,0 +1,1 @@
+lib/core/wcrt.ml: List Prob

@@ -1,0 +1,165 @@
+type requirement = { min_throughput : float }
+
+let best_effort = { min_throughput = 0. }
+
+type verdict =
+  | Admitted
+  | Rejected_candidate of { estimated : float; required : float }
+  | Rejected_victim of { app : string; estimated : float; required : float }
+
+type entry = {
+  app : Analysis.app;
+  req : requirement;
+  mutable loads : Prob.t array;
+  mutable measured : float option;
+}
+
+type t = {
+  nprocs : int;
+  aggregates : Compose.t array;  (* one per processor, all admitted actors *)
+  mutable entries : (string * entry) list;
+}
+
+let create ~procs =
+  if procs < 1 then invalid_arg "Contention.Admission.create: procs < 1";
+  { nprocs = procs; aggregates = Array.make procs Compose.empty; entries = [] }
+
+let procs t = t.nprocs
+
+let admitted t = List.map (fun (name, e) -> (name, e.app, e.req)) t.entries
+
+(* Period estimate of [entry] when the per-processor aggregates are
+   [aggregates] and the admitted population is [entries]; each actor's
+   waiting time is the aggregate minus its own contribution (the
+   O(1)-per-actor inverse path, Eq. 8-9).  The inverse is undefined for a
+   saturated actor (P = 1, noted in the paper); those fall back to folding
+   the other co-mapped actors directly. *)
+let period_under entries aggregates (e : entry) =
+  let g = e.app.Analysis.graph in
+  let fold_others proc actor =
+    let contribution acc (name, other) =
+      Array.fold_left
+        (fun (acc, idx) load ->
+          let same = name = g.Sdf.Graph.name && idx = actor in
+          let acc =
+            if (not same) && other.app.Analysis.mapping.(idx) = proc then
+              Compose.combine acc (Compose.of_load load)
+            else acc
+          in
+          (acc, idx + 1))
+        (acc, 0) other.loads
+      |> fst
+    in
+    List.fold_left contribution Compose.empty entries
+  in
+  let response =
+    Array.init (Sdf.Graph.num_actors g) (fun actor ->
+        let proc = e.app.Analysis.mapping.(actor) in
+        let own = Compose.of_load e.loads.(actor) in
+        let rest =
+          if own.Compose.p < 1. then Compose.remove ~total:aggregates.(proc) own
+          else fold_others proc actor
+        in
+        (Sdf.Graph.actor g actor).exec_time +. rest.Compose.w)
+  in
+  Sdf.Hsdf.period (Sdf.Graph.with_exec_times g response)
+
+let add_loads aggregates (e : entry) =
+  let updated = Array.copy aggregates in
+  Array.iteri
+    (fun actor load ->
+      let proc = e.app.Analysis.mapping.(actor) in
+      updated.(proc) <- Compose.combine updated.(proc) (Compose.of_load load))
+    e.loads;
+  updated
+
+(* ⊗ is only second-order associative, so the inverse is exact only when
+   undone LIFO: remove the actors in the reverse of insertion order.  For the
+   most recently admitted application the round-trip is then exact; for older
+   ones it is exact in p and second-order accurate in w. *)
+let remove_loads aggregates (e : entry) =
+  let updated = Array.copy aggregates in
+  for actor = Array.length e.loads - 1 downto 0 do
+    let proc = e.app.Analysis.mapping.(actor) in
+    updated.(proc) <- Compose.remove ~total:updated.(proc) (Compose.of_load e.loads.(actor))
+  done;
+  updated
+
+let entry_of app req =
+  ( app.Analysis.graph.Sdf.Graph.name,
+    { app; req; loads = Analysis.loads app; measured = None } )
+
+let try_admit t app req =
+  let name, candidate = entry_of app req in
+  if List.mem_assoc name t.entries then
+    invalid_arg (Printf.sprintf "Contention.Admission: %S already admitted" name);
+  Array.iter
+    (fun proc ->
+      if proc < 0 || proc >= t.nprocs then
+        invalid_arg
+          (Printf.sprintf "Contention.Admission: %S maps to processor %d" name proc))
+    app.Analysis.mapping;
+  let tentative = add_loads t.aggregates candidate in
+  let population = (name, candidate) :: t.entries in
+  let candidate_period = period_under population tentative candidate in
+  let candidate_tp = 1. /. candidate_period in
+  if candidate_tp < req.min_throughput then
+    Rejected_candidate { estimated = candidate_tp; required = req.min_throughput }
+  else
+    let victim =
+      List.find_map
+        (fun (vname, e) ->
+          let tp = 1. /. period_under population tentative e in
+          if tp < e.req.min_throughput then
+            Some (Rejected_victim
+                    { app = vname; estimated = tp; required = e.req.min_throughput })
+          else None)
+        t.entries
+    in
+    match victim with
+    | Some verdict -> verdict
+    | None ->
+        Array.blit tentative 0 t.aggregates 0 t.nprocs;
+        t.entries <- (name, candidate) :: t.entries;
+        Admitted
+
+let find t name =
+  match List.assoc_opt name t.entries with
+  | Some e -> e
+  | None -> raise Not_found
+
+let rebuild_aggregates t =
+  Array.fill t.aggregates 0 t.nprocs Compose.empty;
+  List.iter
+    (fun (_, e) ->
+      let updated = add_loads t.aggregates e in
+      Array.blit updated 0 t.aggregates 0 t.nprocs)
+    (List.rev t.entries)
+
+let withdraw t name =
+  let e = find t name in
+  t.entries <- List.remove_assoc name t.entries;
+  let invertible = Array.for_all (fun (l : Prob.t) -> l.p < 1.) e.loads in
+  if invertible then begin
+    let updated = remove_loads t.aggregates e in
+    Array.blit updated 0 t.aggregates 0 t.nprocs
+  end
+  else
+    (* A saturated actor has no inverse (Eq. 8 needs P <> 1); rebuild the
+       aggregates from the remaining population instead. *)
+    rebuild_aggregates t
+
+let observe t name ~measured_period =
+  if measured_period <= 0. then
+    invalid_arg "Contention.Admission.observe: non-positive period";
+  let e = find t name in
+  e.measured <- Some measured_period;
+  e.loads <- Analysis.loads_at_period e.app ~period:measured_period;
+  (* Loads changed: the incremental inverses no longer know the old
+     contributions, so rebuild the aggregates from the population. *)
+  rebuild_aggregates t
+
+let observed_period t name = (find t name).measured
+
+let estimated_period t name = period_under t.entries t.aggregates (find t name)
+let estimated_throughput t name = 1. /. estimated_period t name

@@ -1,0 +1,64 @@
+(** Run-time admission control (the paper's Section 6).
+
+    Because the composability operators are associative and invertible, a
+    resource manager can keep one aggregate {!Compose.t} per processor and
+    add or subtract a whole application in O(actors) work — no re-analysis of
+    the other applications.  An incoming application is admitted only if its
+    own estimated throughput meets its requirement {e and} no already
+    admitted application is pushed below its own requirement. *)
+
+type requirement = {
+  min_throughput : float;
+      (** Iterations per time unit the application must sustain; [0.] means
+          best-effort (always satisfiable). *)
+}
+
+val best_effort : requirement
+
+type verdict =
+  | Admitted
+  | Rejected_candidate of { estimated : float; required : float }
+      (** The candidate itself would miss its requirement. *)
+  | Rejected_victim of { app : string; estimated : float; required : float }
+      (** Admitting would push an existing application below its
+          requirement. *)
+
+type t
+(** Mutable controller state: admitted applications plus one load aggregate
+    per processor. *)
+
+val create : procs:int -> t
+(** @raise Invalid_argument if [procs < 1]. *)
+
+val procs : t -> int
+val admitted : t -> (string * Analysis.app * requirement) list
+
+val try_admit : t -> Analysis.app -> requirement -> verdict
+(** Evaluates the candidate against the current aggregates; commits the
+    admission on success.  @raise Invalid_argument if an application with the
+    same graph name is already admitted or the mapping targets an unknown
+    processor. *)
+
+val withdraw : t -> string -> unit
+(** Remove an admitted application by graph name, subtracting its actors from
+    the aggregates with the inverse operators (Eq. 8–9).
+    @raise Not_found if no such application is admitted. *)
+
+val observe : t -> string -> measured_period:float -> unit
+(** Run-time calibration (the paper's Section 6): record the period the
+    application is {e measured} to achieve.  Its blocking probabilities are
+    re-derived from the measurement (longer observed periods mean the
+    application blocks its nodes less often), and the per-processor
+    aggregates are rebuilt, so subsequent admission decisions are scored
+    against the system as it actually behaves.
+    @raise Not_found if the application is not admitted.
+    @raise Invalid_argument on a non-positive period. *)
+
+val observed_period : t -> string -> float option
+(** The last recorded measurement, if any.  @raise Not_found as {!observe}. *)
+
+val estimated_period : t -> string -> float
+(** Current period estimate of an admitted application under the present mix.
+    @raise Not_found if not admitted. *)
+
+val estimated_throughput : t -> string -> float

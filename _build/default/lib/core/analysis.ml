@@ -1,0 +1,167 @@
+type estimator = Worst_case | Order of int | Composability | Exact
+
+let estimator_name = function
+  | Worst_case -> "worst-case"
+  | Order 2 -> "second-order"
+  | Order 4 -> "fourth-order"
+  | Order m -> Printf.sprintf "order-%d" m
+  | Composability -> "composability"
+  | Exact -> "exact"
+
+let all_paper_estimators = [ Worst_case; Order 4; Order 2; Composability ]
+
+type period_engine = Mcm | Statespace
+
+type app = {
+  graph : Sdf.Graph.t;
+  mapping : Mapping.t;
+  repetition : int array;
+  isolation_period : float;
+  distributions : Dist.t array option;
+}
+
+let app ?period ?procs ?distributions graph ~mapping =
+  (match procs with
+  | Some procs -> Mapping.validate ~procs graph mapping
+  | None ->
+      if Array.length mapping <> Sdf.Graph.num_actors graph then
+        invalid_arg "Contention.Analysis.app: mapping length mismatch");
+  let graph =
+    match distributions with
+    | None -> graph
+    | Some dists ->
+        if Array.length dists <> Sdf.Graph.num_actors graph then
+          invalid_arg "Contention.Analysis.app: distributions length mismatch";
+        Array.iter Dist.validate dists;
+        (* Throughput computations run on the mean execution times. *)
+        Sdf.Graph.with_exec_times graph (Array.map Dist.mean dists)
+  in
+  let repetition = Sdf.Repetition.compute_exn graph in
+  let isolation_period =
+    match period with Some p -> p | None -> Sdf.Statespace.period_exn graph
+  in
+  if isolation_period <= 0. then
+    invalid_arg "Contention.Analysis.app: non-positive period";
+  { graph; mapping; repetition; isolation_period; distributions }
+
+let loads_with_period a period =
+  Array.init (Sdf.Graph.num_actors a.graph) (fun i ->
+      match a.distributions with
+      | Some dists ->
+          Prob.of_distribution ~dist:dists.(i) ~repetitions:a.repetition.(i) ~period
+      | None ->
+          Prob.of_actor
+            ~exec_time:(Sdf.Graph.actor a.graph i).exec_time
+            ~repetitions:a.repetition.(i) ~period)
+
+let loads a = loads_with_period a a.isolation_period
+
+let loads_at_period a ~period =
+  if period <= 0. then invalid_arg "Contention.Analysis.loads_at_period: period <= 0";
+  loads_with_period a period
+
+type estimate = {
+  for_app : app;
+  waiting_times : float array;
+  response_times : float array;
+  period : float;
+}
+
+let throughput e = 1. /. e.period
+
+let adjusted_graph e = Sdf.Graph.with_exec_times e.for_app.graph e.response_times
+
+let contended_metrics e = Sdf.Metrics.analyse (adjusted_graph e)
+
+let waiting_time_for est others =
+  match est with
+  | Worst_case -> Wcrt.waiting_time others
+  | Order m -> Approx.waiting_time ~order:m others
+  | Composability -> Compose.waiting_time others
+  | Exact -> Exact.waiting_time others
+
+let compute_period engine graph =
+  match engine with
+  | Mcm -> Sdf.Hsdf.period graph
+  | Statespace -> Sdf.Statespace.period_exn graph
+
+(* One pass of the Figure 4 algorithm given per-app loads. *)
+let one_pass engine est (apps : app array) (app_loads : Prob.t array array) =
+  (* Node occupancy: which (app, actor) pairs share each processor. *)
+  let by_node = Hashtbl.create 16 in
+  Array.iteri
+    (fun ai a ->
+      Array.iteri
+        (fun actor proc ->
+          let existing = Option.value ~default:[] (Hashtbl.find_opt by_node proc) in
+          Hashtbl.replace by_node proc ((ai, actor) :: existing))
+        a.mapping)
+    apps;
+  let estimate_one ai a =
+    let n = Sdf.Graph.num_actors a.graph in
+    let waiting_times =
+      Array.init n (fun actor ->
+          let proc = a.mapping.(actor) in
+          let on_node = Option.value ~default:[] (Hashtbl.find_opt by_node proc) in
+          let others =
+            List.filter_map
+              (fun (aj, actor_j) ->
+                if aj = ai && actor_j = actor then None
+                else Some app_loads.(aj).(actor_j))
+              on_node
+          in
+          waiting_time_for est others)
+    in
+    let response_times =
+      Array.init n (fun actor ->
+          (Sdf.Graph.actor a.graph actor).exec_time +. waiting_times.(actor))
+    in
+    let adjusted = Sdf.Graph.with_exec_times a.graph response_times in
+    let period = compute_period engine adjusted in
+    { for_app = a; waiting_times; response_times; period }
+  in
+  Array.mapi estimate_one apps
+
+let estimate ?(engine = Mcm) ?(iterations = 1) est apps =
+  if iterations < 1 then invalid_arg "Contention.Analysis.estimate: iterations < 1";
+  match apps with
+  | [] -> []
+  | apps ->
+      let apps = Array.of_list apps in
+      let rec refine pass loads_now =
+        let results = one_pass engine est apps loads_now in
+        if pass >= iterations then results
+        else
+          (* Fixed-point refinement: blocking probabilities from the newly
+             estimated periods (execution times stay the original tau). *)
+          let next =
+            Array.mapi (fun ai a -> loads_with_period a results.(ai).period) apps
+          in
+          refine (pass + 1) next
+      in
+      Array.to_list (refine 1 (Array.map loads apps))
+
+let estimate_with_loads ?(engine = Mcm) est pairs =
+  match pairs with
+  | [] -> []
+  | pairs ->
+      let apps = Array.of_list (List.map fst pairs) in
+      let loads =
+        Array.of_list
+          (List.map
+             (fun ((a : app), loads) ->
+               if Array.length loads <> Sdf.Graph.num_actors a.graph then
+                 invalid_arg "Contention.Analysis.estimate_with_loads: length mismatch";
+               loads)
+             pairs)
+      in
+      Array.to_list (one_pass engine est apps loads)
+
+let estimate_calibrated ?engine est measured =
+  estimate_with_loads ?engine est
+    (List.map
+       (fun (a, period) ->
+         if period <= 0. then
+           invalid_arg "Contention.Analysis.estimate_calibrated: period <= 0";
+         (a, loads_with_period a period))
+       measured)

@@ -1,0 +1,127 @@
+(** Period estimation under resource contention — the paper's Figure 4
+    algorithm with pluggable waiting-time estimators.
+
+    For every application in a use-case:
+    + derive each actor's blocking probability and average blocking time from
+      its {e isolation} period (Definitions 4–5);
+    + group actors by the processor they are mapped on — across {e all}
+      applications of the use-case;
+    + estimate each actor's expected waiting time from the co-mapped actors'
+      loads, add it to the execution time (response time);
+    + recompute the application period by throughput analysis of the graph
+      with response times as execution times. *)
+
+type estimator =
+  | Worst_case  (** Baseline: sum of others' execution times ({!Wcrt}). *)
+  | Order of int  (** m-th order truncation of Eq. 4 ({!Approx}). *)
+  | Composability  (** ⊕/⊗ aggregation with inverses ({!Compose}). *)
+  | Exact  (** Full Eq. 4 ({!Exact}). *)
+
+val estimator_name : estimator -> string
+val all_paper_estimators : estimator list
+(** [[Worst_case; Order 4; Order 2; Composability]] — the four methods of the
+    paper's evaluation, in its Figure 5 legend order. *)
+
+type period_engine =
+  | Mcm  (** HSDF expansion + maximum cycle ratio ({!Sdf.Hsdf}); default. *)
+  | Statespace  (** Self-timed execution ({!Sdf.Statespace}). *)
+
+type app = private {
+  graph : Sdf.Graph.t;
+  mapping : Mapping.t;
+  repetition : int array;
+  isolation_period : float;
+  distributions : Dist.t array option;
+      (** Per-actor execution-time distributions when the application uses
+          the variable-execution-time extension; [None] for the paper's
+          constant-time base model. *)
+}
+
+val app :
+  ?period:float ->
+  ?procs:int ->
+  ?distributions:Dist.t array ->
+  Sdf.Graph.t ->
+  mapping:Mapping.t ->
+  app
+(** Wrap a graph and its mapping.  The isolation period is computed with
+    {!Sdf.Statespace} unless [period] is given.  When [procs] is given the
+    mapping is validated against it.
+
+    With [distributions] (one per actor), the graph's execution times are
+    replaced by the distribution means for all throughput computations and
+    the loads use mean residual lives as blocking times (Section 6 of the
+    paper); the per-firing durations themselves are only drawn when
+    simulating ({!Desim.Engine.run}'s [firing_time] hook).
+    @raise Invalid_argument on a deadlocking graph, invalid mapping, or a
+    distribution array of the wrong length. *)
+
+val loads : app -> Prob.t array
+(** Per-actor load descriptors from the isolation period. *)
+
+val loads_at_period : app -> period:float -> Prob.t array
+(** Load descriptors re-based on another period — e.g. a measured one (the
+    Section 6 calibration).  @raise Invalid_argument if it is not positive. *)
+
+type estimate = {
+  for_app : app;
+  waiting_times : float array;  (** Estimated waiting time per actor. *)
+  response_times : float array;  (** [exec_time + waiting_time] per actor. *)
+  period : float;  (** Estimated application period in the use-case. *)
+}
+
+val throughput : estimate -> float
+(** [1 / period]. *)
+
+val adjusted_graph : estimate -> Sdf.Graph.t
+(** The application graph with response times as execution times — the
+    object the new period was computed on, also usable for latency and
+    buffer analysis under contention ({!Sdf.Metrics}). *)
+
+val contended_metrics : estimate -> Sdf.Metrics.t option
+(** {!Sdf.Metrics.analyse} of {!adjusted_graph}: estimated latency, makespan
+    and buffer peaks of the application {e while sharing} its processors. *)
+
+val estimate :
+  ?engine:period_engine ->
+  ?iterations:int ->
+  estimator ->
+  app list ->
+  estimate list
+(** [estimate est apps] runs the Figure 4 algorithm for the use-case
+    consisting of exactly [apps] (order preserved in the result).
+
+    [iterations] (default [1], the paper's single pass) re-derives blocking
+    probabilities from the estimated periods and repeats the analysis — a
+    fixed-point refinement evaluated as an ablation.
+
+    Waiting times are estimated from {e every} co-mapped actor, including
+    actors of the same application sharing a node (the Figure 4 algorithm
+    makes no distinction); a lone application whose actors all have dedicated
+    processors therefore keeps its isolation period exactly. *)
+
+val waiting_time_for : estimator -> Prob.t list -> float
+(** The raw per-actor waiting-time kernel used by {!estimate}: expected wait
+    inflicted by the given co-mapped loads. *)
+
+val estimate_with_loads :
+  ?engine:period_engine ->
+  estimator ->
+  (app * Prob.t array) list ->
+  estimate list
+(** One Figure-4 pass with caller-supplied per-actor loads — the building
+    block behind {!estimate_calibrated} and {!Interval.period_interval}.
+    @raise Invalid_argument on a loads array of the wrong length. *)
+
+val estimate_calibrated :
+  ?engine:period_engine ->
+  estimator ->
+  (app * float) list ->
+  estimate list
+(** Run-time calibration (the paper's Section 6: "the approach can benefit
+    even more by using the run-time throughput of the applications"):
+    blocking probabilities are derived from each application's {e measured}
+    period instead of its isolation period, and one estimation pass is run
+    on top.  Since contention stretches periods, measured-period loads are
+    smaller and the estimate tightens towards the observed system.
+    @raise Invalid_argument on a non-positive measured period. *)

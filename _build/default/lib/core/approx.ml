@@ -1,0 +1,33 @@
+let waiting_time ~order loads =
+  if order < 2 then invalid_arg "Contention.Approx.waiting_time: order < 2";
+  match loads with
+  | [] -> 0.
+  | loads ->
+      let ps = Array.of_list (List.map (fun (l : Prob.t) -> l.p) loads) in
+      let n = Array.length ps in
+      let max_degree = Int.min (order - 1) (n - 1) in
+      let es = Sympoly.up_to (max_degree + 1) ps in
+      List.fold_left
+        (fun acc (l : Prob.t) ->
+          (* Deconvolve only the degrees the truncation needs. *)
+          let others = Array.make (max_degree + 1) 0. in
+          others.(0) <- 1.;
+          for j = 1 to max_degree do
+            others.(j) <- es.(j) -. (l.p *. others.(j - 1))
+          done;
+          let series = ref 1. in
+          for j = 1 to max_degree do
+            series := !series +. (Exact.series_coefficient j *. others.(j))
+          done;
+          acc +. (Prob.waiting_product l *. !series))
+        0. loads
+
+let second_order loads =
+  (* Closed form of Equation 5: W = sum_i w_i (1 + 1/2 sum_(j<>i) P_j). *)
+  let p_total = List.fold_left (fun acc (l : Prob.t) -> acc +. l.p) 0. loads in
+  List.fold_left
+    (fun acc (l : Prob.t) ->
+      acc +. (Prob.waiting_product l *. (1. +. (0.5 *. (p_total -. l.p)))))
+    0. loads
+
+let fourth_order loads = waiting_time ~order:4 loads

@@ -1,0 +1,23 @@
+(** m-th order approximations of the exact waiting time — the paper's
+    Equation 5 and Section 4.1.
+
+    The series of Equation 4 is truncated after the symmetric polynomial of
+    degree [m - 1]; the resulting terms involve products of at most [m]
+    probabilities.  The paper evaluates the second order
+
+    {v W ≈ sum_i mu_i P_i (1 + 1/2 sum_(j≠i) P_j) v}
+
+    and the fourth order.  Truncating after a {e positive} term (even [m])
+    over-estimates the exact value, truncating after a negative term
+    under-estimates it; hence the paper's observation that the second order
+    is always more conservative than the fourth. *)
+
+val waiting_time : order:int -> Prob.t list -> float
+(** [waiting_time ~order loads] truncates Equation 4 at symmetric-polynomial
+    degree [order - 1].  Complexity O(n·order).
+    @raise Invalid_argument if [order < 2]. *)
+
+val second_order : Prob.t list -> float
+(** Specialised [order:2], the closed form above. *)
+
+val fourth_order : Prob.t list -> float

@@ -1,0 +1,76 @@
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Discrete of (float * float) list
+  | Exponential of { mean : float }
+
+let validate = function
+  | Constant v ->
+      if v <= 0. then invalid_arg "Contention.Dist: non-positive constant"
+  | Uniform { lo; hi } ->
+      if lo <= 0. || hi < lo then invalid_arg "Contention.Dist: bad uniform bounds"
+  | Discrete [] -> invalid_arg "Contention.Dist: empty discrete distribution"
+  | Discrete pairs ->
+      List.iter
+        (fun (v, w) ->
+          if v <= 0. then invalid_arg "Contention.Dist: non-positive discrete value";
+          if w < 0. then invalid_arg "Contention.Dist: negative weight")
+        pairs;
+      if List.fold_left (fun acc (_, w) -> acc +. w) 0. pairs <= 0. then
+        invalid_arg "Contention.Dist: zero total weight"
+  | Exponential { mean } ->
+      if mean <= 0. then invalid_arg "Contention.Dist: non-positive mean"
+
+let discrete_moment pairs power =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. pairs in
+  List.fold_left (fun acc (v, w) -> acc +. (w *. (v ** power))) 0. pairs /. total
+
+let mean d =
+  validate d;
+  match d with
+  | Constant v -> v
+  | Uniform { lo; hi } -> 0.5 *. (lo +. hi)
+  | Discrete pairs -> discrete_moment pairs 1.
+  | Exponential { mean } -> mean
+
+let second_moment d =
+  validate d;
+  match d with
+  | Constant v -> v *. v
+  | Uniform { lo; hi } ->
+      (* E X^2 = (hi^3 - lo^3) / (3 (hi - lo)), with the degenerate case. *)
+      if hi = lo then lo *. lo
+      else ((hi ** 3.) -. (lo ** 3.)) /. (3. *. (hi -. lo))
+  | Discrete pairs -> discrete_moment pairs 2.
+  | Exponential { mean } -> 2. *. mean *. mean
+
+let variance d =
+  let m = mean d in
+  second_moment d -. (m *. m)
+
+let residual d = second_moment d /. (2. *. mean d)
+
+let sample d ~u =
+  validate d;
+  if u < 0. || u >= 1. then invalid_arg "Contention.Dist.sample: u outside [0,1)";
+  match d with
+  | Constant v -> v
+  | Uniform { lo; hi } -> lo +. (u *. (hi -. lo))
+  | Discrete pairs ->
+      let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. pairs in
+      let target = u *. total in
+      let rec pick acc = function
+        | [] -> assert false
+        | [ (v, _) ] -> v
+        | (v, w) :: rest -> if acc +. w > target then v else pick (acc +. w) rest
+      in
+      pick 0. pairs
+  | Exponential { mean } -> -.mean *. log (1. -. u)
+
+let pp ppf = function
+  | Constant v -> Format.fprintf ppf "const(%g)" v
+  | Uniform { lo; hi } -> Format.fprintf ppf "uniform(%g,%g)" lo hi
+  | Discrete pairs ->
+      Format.fprintf ppf "discrete(%s)"
+        (String.concat "; " (List.map (fun (v, w) -> Printf.sprintf "%g:%g" v w) pairs))
+  | Exponential { mean } -> Format.fprintf ppf "exp(%g)" mean

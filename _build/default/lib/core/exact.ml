@@ -1,0 +1,39 @@
+let series_coefficient j = (if j mod 2 = 1 then 1. else -1.) /. float_of_int (j + 1)
+
+let waiting_time loads =
+  match loads with
+  | [] -> 0.
+  | loads ->
+      let ps = Array.of_list (List.map (fun (l : Prob.t) -> l.p) loads) in
+      let es = Sympoly.all ps in
+      let n = Array.length ps in
+      List.fold_left
+        (fun acc (l : Prob.t) ->
+          let others = Sympoly.without es l.p in
+          let series = ref 1. in
+          for j = 1 to n - 1 do
+            series := !series +. (series_coefficient j *. others.(j))
+          done;
+          acc +. (Prob.waiting_product l *. !series))
+        0. loads
+
+let waiting_time_brute_force loads =
+  let arr = Array.of_list loads in
+  let n = Array.length arr in
+  if n > 25 then invalid_arg "Contention.Exact.waiting_time_brute_force: too many actors";
+  let total = ref 0. in
+  for mask = 1 to (1 lsl n) - 1 do
+    let prob = ref 1. and mu_sum = ref 0. and size = ref 0 in
+    for i = 0 to n - 1 do
+      let l = arr.(i) in
+      if mask land (1 lsl i) <> 0 then begin
+        prob := !prob *. l.Prob.p;
+        mu_sum := !mu_sum +. l.Prob.mu;
+        incr size
+      end
+      else prob := !prob *. (1. -. l.Prob.p)
+    done;
+    let s = float_of_int !size in
+    total := !total +. (!prob *. (((2. *. s) -. 1.) /. s) *. !mu_sum)
+  done;
+  !total

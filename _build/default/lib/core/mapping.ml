@@ -1,0 +1,42 @@
+type t = int array
+
+let modulo ~procs g =
+  if procs < 1 then invalid_arg "Contention.Mapping.modulo: procs < 1";
+  Array.init (Sdf.Graph.num_actors g) (fun j -> j mod procs)
+
+let dedicated g = Array.init (Sdf.Graph.num_actors g) Fun.id
+
+let balanced ~procs g =
+  if procs < 1 then invalid_arg "Contention.Mapping.balanced: procs < 1";
+  let q = Sdf.Repetition.compute_exn g in
+  let work a = (Sdf.Graph.actor g a).exec_time *. float_of_int q.(a) in
+  let order =
+    List.sort
+      (fun a b -> Float.compare (work b) (work a))
+      (List.init (Sdf.Graph.num_actors g) Fun.id)
+  in
+  let load = Array.make procs 0. in
+  let mapping = Array.make (Sdf.Graph.num_actors g) 0 in
+  let lightest () =
+    let best = ref 0 in
+    for p = 1 to procs - 1 do
+      if load.(p) < load.(!best) then best := p
+    done;
+    !best
+  in
+  List.iter
+    (fun a ->
+      let p = lightest () in
+      mapping.(a) <- p;
+      load.(p) <- load.(p) +. work a)
+    order;
+  mapping
+
+let validate ~procs g t =
+  if Array.length t <> Sdf.Graph.num_actors g then
+    invalid_arg "Contention.Mapping.validate: length mismatch";
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= procs then
+        invalid_arg (Printf.sprintf "Contention.Mapping.validate: processor %d" p))
+    t

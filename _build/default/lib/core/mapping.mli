@@ -1,0 +1,23 @@
+(** Actor-to-processor mapping policies.
+
+    The paper's evaluation maps actor [i] of every application onto processor
+    [Proc_i] (its Section 3 example does exactly this), which the modulo
+    policy generalises to graphs with more actors than processors. *)
+
+type t = int array
+(** [t.(actor_id)] is the processor id. *)
+
+val modulo : procs:int -> Sdf.Graph.t -> t
+(** Actor [j] on processor [j mod procs] — the paper's layout. *)
+
+val dedicated : Sdf.Graph.t -> t
+(** Actor [j] on its own processor [j]; needs [num_actors] processors.  Used
+    to measure isolation behaviour in a shared simulator. *)
+
+val balanced : procs:int -> Sdf.Graph.t -> t
+(** Greedy first-fit by descending work ([tau * q]): each actor goes to the
+    currently least-loaded processor.  An alternative policy for ablations. *)
+
+val validate : procs:int -> Sdf.Graph.t -> t -> unit
+(** @raise Invalid_argument if the mapping has the wrong length or targets a
+    processor outside [\[0, procs)]. *)

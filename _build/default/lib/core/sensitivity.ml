@@ -1,0 +1,64 @@
+type impact = {
+  victim : string;
+  removed : string;
+  period_with : float;
+  period_without : float;
+  relief_pct : float;
+}
+
+let name_of (a : Analysis.app) = a.graph.Sdf.Graph.name
+
+let period_of results name =
+  List.find_map
+    (fun (r : Analysis.estimate) ->
+      if name_of r.for_app = name then Some r.period else None)
+    results
+
+let leave_one_out ?(estimator = Analysis.Order 2) apps =
+  let full = Analysis.estimate estimator apps in
+  List.concat_map
+    (fun (removed : Analysis.app) ->
+      let rest = List.filter (fun a -> a != removed) apps in
+      let partial = Analysis.estimate estimator rest in
+      List.filter_map
+        (fun (victim : Analysis.app) ->
+          if victim == removed then None
+          else
+            let vname = name_of victim in
+            match (period_of full vname, period_of partial vname) with
+            | Some period_with, Some period_without ->
+                Some
+                  {
+                    victim = vname;
+                    removed = name_of removed;
+                    period_with;
+                    period_without;
+                    relief_pct =
+                      100. *. (period_with -. period_without) /. period_with;
+                  }
+            | _ -> None)
+        apps)
+    apps
+
+let rank_for ?estimator ~victim apps =
+  if not (List.exists (fun a -> name_of a = victim) apps) then raise Not_found;
+  leave_one_out ?estimator apps
+  |> List.filter (fun i -> i.victim = victim)
+  |> List.sort (fun a b -> Float.compare b.relief_pct a.relief_pct)
+
+let render impacts =
+  let rows =
+    List.map
+      (fun i ->
+        [
+          i.victim;
+          i.removed;
+          Repro_stats.Table.float_cell i.period_with;
+          Repro_stats.Table.float_cell i.period_without;
+          Repro_stats.Table.float_cell i.relief_pct;
+        ])
+      impacts
+  in
+  Repro_stats.Table.render
+    ~header:[ "Victim"; "Removed"; "Period with"; "Period without"; "Relief %" ]
+    rows

@@ -1,0 +1,30 @@
+(** Leave-one-out sensitivity of the period estimates.
+
+    The estimator is cheap, so "what if this application were not running?"
+    can be answered exhaustively: for every (victim, removed) pair, compare
+    the victim's estimated period with and without the removed application.
+    This identifies the dominant interferers — the diagnostic a resource
+    manager or a designer needs when a use-case misses its requirement. *)
+
+type impact = {
+  victim : string;  (** Application whose period is examined. *)
+  removed : string;  (** Application hypothetically taken out of the mix. *)
+  period_with : float;  (** Victim's estimate with everyone running. *)
+  period_without : float;  (** Victim's estimate with [removed] absent. *)
+  relief_pct : float;
+      (** [100 * (period_with - period_without) / period_with]: how much of
+          the victim's period the removed application is responsible for. *)
+}
+
+val leave_one_out :
+  ?estimator:Analysis.estimator -> Analysis.app list -> impact list
+(** All ordered (victim, removed) pairs, [removed <> victim].  Default
+    estimator [Order 2].  O(n²) estimator invocations. *)
+
+val rank_for :
+  ?estimator:Analysis.estimator -> victim:string -> Analysis.app list -> impact list
+(** The impacts on one victim, sorted by decreasing relief — its dominant
+    interferer first.  @raise Not_found if no application has that name. *)
+
+val render : impact list -> string
+(** Plain-text table of the impacts. *)

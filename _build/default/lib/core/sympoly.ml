@@ -1,0 +1,49 @@
+let all xs =
+  let n = Array.length xs in
+  let e = Array.make (n + 1) 0. in
+  e.(0) <- 1.;
+  Array.iteri
+    (fun i x ->
+      (* After folding x_0..x_i, e.(j) holds e_j of those elements; update
+         from high to low degree so each x is counted once. *)
+      for j = i + 1 downto 1 do
+        e.(j) <- e.(j) +. (x *. e.(j - 1))
+      done)
+    xs;
+  e
+
+let up_to k xs =
+  let n = Array.length xs in
+  let k = Int.min k n in
+  let e = Array.make (k + 1) 0. in
+  e.(0) <- 1.;
+  Array.iteri
+    (fun i x ->
+      for j = Int.min k (i + 1) downto 1 do
+        e.(j) <- e.(j) +. (x *. e.(j - 1))
+      done)
+    xs;
+  e
+
+let without es x =
+  let n = Array.length es - 1 in
+  let e' = Array.make n 0. in
+  if n > 0 then begin
+    e'.(0) <- 1.;
+    for j = 1 to n - 1 do
+      e'.(j) <- es.(j) -. (x *. e'.(j - 1))
+    done
+  end
+  else if n = 0 then ()
+  else invalid_arg "Contention.Sympoly.without: empty polynomial";
+  e'
+
+let brute_force j xs =
+  if j < 0 then invalid_arg "Contention.Sympoly.brute_force: negative degree";
+  let n = Array.length xs in
+  let rec go idx remaining =
+    if remaining = 0 then 1.
+    else if idx >= n || n - idx < remaining then 0.
+    else (xs.(idx) *. go (idx + 1) (remaining - 1)) +. go (idx + 1) remaining
+  in
+  go 0 j

@@ -1,0 +1,24 @@
+(** Elementary symmetric polynomials.
+
+    [e_j(x_1..x_n) = sum over all j-element subsets S of (product of x_i, i in S)],
+    with [e_0 = 1].  These are the [Pi_j] terms of the paper's Equation 4. *)
+
+val all : float array -> float array
+(** [all xs] is [[| e_0; e_1; ...; e_n |]] computed by the Newton-like
+    recurrence in O(n²) time (each element folded into a running coefficient
+    vector). *)
+
+val up_to : int -> float array -> float array
+(** [up_to k xs] is [[| e_0; ...; e_min(k,n) |]] in O(n·k) time — the
+    truncation used by the m-th order approximation. *)
+
+val without : float array -> float -> float array
+(** [without es x_i] removes element [x_i] (by value) from the polynomial
+    basis:
+    given [es = all xs] it returns [all (xs minus one occurrence of x_i)]
+    in O(n) time by deconvolution: [e'_j = e_j - x_i * e'_(j-1)].
+    Numerically stable for [|x_i| <= 1] (probabilities). *)
+
+val brute_force : int -> float array -> float
+(** [brute_force j xs]: direct subset-sum definition, exponential; used only
+    by tests as an oracle.  @raise Invalid_argument if [j < 0]. *)

@@ -1,0 +1,25 @@
+(** TDMA worst-case response times — the other baseline in the paper's
+    related work (Bekooij et al., the paper's reference [3]).
+
+    Each processor runs a time wheel of length [wheel]; every {e actor}
+    mapped on the node owns one equal slice per revolution and execution is
+    preempted at slice boundaries.  The worst case for a firing of length
+    [exec] arrives just after its slice ended, then needs
+    [ceil(exec / slice)] slices:
+
+    {v R = exec + ceil(exec / slice) * (wheel - slice) v}
+
+    As the paper notes, this bound needs preemption and "increases much more
+    than the average case performance" as applications are added — the slice
+    shrinks with every sharer, so the response time of {e every} actor grows
+    even when the node is mostly idle.  It is included for the comparison the
+    paper's Section 2 draws, not as part of the probabilistic approach. *)
+
+val response_time : exec:float -> slice:float -> wheel:float -> float
+(** @raise Invalid_argument unless [0 < slice <= wheel] and [exec > 0]. *)
+
+val estimate : ?wheel:float -> Analysis.app list -> Analysis.estimate list
+(** Figure-4-style period estimation with TDMA response times: each node's
+    wheel is divided equally among the actors mapped on it, one slice per
+    actor.  [wheel] defaults to [100.].  Results align with the input order,
+    like {!Analysis.estimate}. *)

@@ -1,0 +1,1 @@
+lib/desim/appstate.ml: Array Float List Printf Sdf

@@ -1,0 +1,1 @@
+lib/desim/engine.ml: Appstate Array Heap List Printf Queue Sdf

@@ -1,0 +1,1 @@
+lib/desim/preemptive.ml: Appstate Array Engine Float Fun Heap Int List Sdf

@@ -1,0 +1,1 @@
+lib/desim/preemptive.mli: Engine

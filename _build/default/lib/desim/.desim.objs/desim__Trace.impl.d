@@ -1,0 +1,1 @@
+lib/desim/trace.ml: Array Buffer Engine Float Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/desim/vcd.ml: Array Buffer Char Engine Float Fun Hashtbl List Printf Sdf String Trace

@@ -1,0 +1,1 @@
+lib/desim/vcd.mli: Engine Trace

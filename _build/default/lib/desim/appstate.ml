@@ -1,0 +1,111 @@
+type app = { graph : Sdf.Graph.t; mapping : int array }
+
+type result = {
+  app_name : string;
+  iterations : int;
+  avg_period : float;
+  max_period : float;
+  min_period : float;
+  busy_time : float array;
+}
+
+type t = {
+  app : app;
+  q : int array;
+  in_idx : int list array;
+  tokens : int array;
+  fires : int array;
+  busy : float array;
+  mutable iterations : int;
+  mutable last_completion : float;
+  mutable kept_first : float;
+  mutable kept_count : int;
+  mutable max_gap : float;
+  mutable min_gap : float;
+}
+
+let validate ~procs ~index (a : app) =
+  let n = Sdf.Graph.num_actors a.graph in
+  if Array.length a.mapping <> n then
+    invalid_arg
+      (Printf.sprintf "Desim: app %d mapping length %d <> %d actors" index
+         (Array.length a.mapping) n);
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= procs then
+        invalid_arg (Printf.sprintf "Desim: app %d maps to processor %d" index p))
+    a.mapping
+
+let make ~procs (a : app) =
+  let g = a.graph in
+  let n = Sdf.Graph.num_actors g in
+  let in_idx = Array.make n [] in
+  Array.iteri
+    (fun ci (c : Sdf.Graph.channel) -> in_idx.(c.dst) <- ci :: in_idx.(c.dst))
+    g.channels;
+  {
+    app = a;
+    q = Sdf.Repetition.compute_exn g;
+    in_idx;
+    tokens = Array.map (fun (c : Sdf.Graph.channel) -> c.tokens) g.channels;
+    fires = Array.make n 0;
+    busy = Array.make procs 0.;
+    iterations = 0;
+    last_completion = nan;
+    kept_first = nan;
+    kept_count = 0;
+    max_gap = nan;
+    min_gap = nan;
+  }
+
+let tokens_enabled st actor =
+  List.for_all
+    (fun ci -> st.tokens.(ci) >= st.app.graph.channels.(ci).consume)
+    st.in_idx.(actor)
+
+let consume_inputs st actor =
+  List.iter
+    (fun ci -> st.tokens.(ci) <- st.tokens.(ci) - st.app.graph.channels.(ci).consume)
+    st.in_idx.(actor)
+
+let record_iteration st ~warmup time =
+  st.iterations <- st.iterations + 1;
+  if st.iterations > warmup then begin
+    if st.kept_count = 0 then st.kept_first <- time
+    else begin
+      let gap = time -. st.last_completion in
+      if Float.is_nan st.max_gap || gap > st.max_gap then st.max_gap <- gap;
+      if Float.is_nan st.min_gap || gap < st.min_gap then st.min_gap <- gap
+    end;
+    st.kept_count <- st.kept_count + 1;
+    st.last_completion <- time
+  end
+  else st.last_completion <- time
+
+let finish_firing st ~warmup ~actor ~time =
+  Array.iteri
+    (fun ci (c : Sdf.Graph.channel) ->
+      if c.src = actor then st.tokens.(ci) <- st.tokens.(ci) + c.produce)
+    st.app.graph.channels;
+  st.fires.(actor) <- st.fires.(actor) + 1;
+  if actor = 0 && st.fires.(0) mod st.q.(0) = 0 then record_iteration st ~warmup time
+
+let output_consumers st actor =
+  Array.fold_right
+    (fun (c : Sdf.Graph.channel) acc -> if c.src = actor then c.dst :: acc else acc)
+    st.app.graph.channels []
+
+let result st =
+  let avg =
+    if st.kept_count >= 2 then
+      (st.last_completion -. st.kept_first) /. float_of_int (st.kept_count - 1)
+    else nan
+  in
+  {
+    app_name = st.app.graph.name;
+    iterations = st.iterations;
+    avg_period = avg;
+    max_period = st.max_gap;
+    min_period = st.min_gap;
+    busy_time = st.busy;
+  }

@@ -1,0 +1,85 @@
+(* VCD identifier codes: printable ASCII 33..126, multi-character when
+   needed. *)
+let id_of_index i =
+  let base = 94 and first = 33 in
+  let rec go i acc =
+    let c = Char.chr (first + (i mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+let of_trace trace ~apps ~procs ?(timescale = "1us") ?(resolution = 1.) () =
+  if resolution <= 0. then invalid_arg "Desim.Vcd.of_trace: resolution <= 0";
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "$timescale %s $end\n" timescale);
+  (* Signal declarations: one wire per actor, one string per processor. *)
+  let actor_ids = Hashtbl.create 64 in
+  let next = ref 0 in
+  Array.iteri
+    (fun ai (app : Engine.app) ->
+      Buffer.add_string buf
+        (Printf.sprintf "$scope module %s $end\n" app.graph.Sdf.Graph.name);
+      Array.iter
+        (fun (a : Sdf.Graph.actor) ->
+          let id = id_of_index !next in
+          incr next;
+          Hashtbl.replace actor_ids (ai, a.id) id;
+          Buffer.add_string buf (Printf.sprintf "$var wire 1 %s %s $end\n" id a.name))
+        app.graph.Sdf.Graph.actors;
+      Buffer.add_string buf "$upscope $end\n")
+    apps;
+  let proc_ids =
+    Array.init procs (fun _ ->
+        let id = id_of_index !next in
+        incr next;
+        id)
+  in
+  Buffer.add_string buf "$scope module procs $end\n";
+  Array.iteri
+    (fun p id ->
+      Buffer.add_string buf (Printf.sprintf "$var string 1 %s proc%d $end\n" id p))
+    proc_ids;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  (* Events: starts raise the actor wire and set the processor string;
+     finishes lower the wire and idle the processor. *)
+  let events = ref [] in
+  List.iter
+    (fun (r : Trace.record) ->
+      let actor_id = Hashtbl.find actor_ids (r.app, r.actor) in
+      let name =
+        (Sdf.Graph.actor apps.(r.app).Engine.graph r.actor).Sdf.Graph.name
+      in
+      events :=
+        (r.start_time, Printf.sprintf "1%s" actor_id)
+        :: (r.start_time, Printf.sprintf "s%s %s" name proc_ids.(r.proc))
+        :: (r.finish_time, Printf.sprintf "0%s" actor_id)
+        :: (r.finish_time, Printf.sprintf "sidle %s" proc_ids.(r.proc))
+        :: !events)
+    (Trace.records trace);
+  let events =
+    List.stable_sort (fun (t1, _) (t2, _) -> Float.compare t1 t2) (List.rev !events)
+  in
+  (* Initial values. *)
+  Buffer.add_string buf "#0\n";
+  Hashtbl.iter (fun _ id -> Buffer.add_string buf (Printf.sprintf "0%s\n" id)) actor_ids;
+  Array.iter
+    (fun id -> Buffer.add_string buf (Printf.sprintf "sidle %s\n" id))
+    proc_ids;
+  let current = ref 0 in
+  List.iter
+    (fun (t, change) ->
+      let stamp = int_of_float (Float.round (t /. resolution)) in
+      if stamp <> !current then begin
+        current := stamp;
+        Buffer.add_string buf (Printf.sprintf "#%d\n" stamp)
+      end;
+      Buffer.add_string buf (change ^ "\n"))
+    events;
+  Buffer.contents buf
+
+let write_file path trace ~apps ~procs () =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (of_trace trace ~apps ~procs ()))

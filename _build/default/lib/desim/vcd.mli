@@ -1,0 +1,27 @@
+(** Value Change Dump (IEEE 1364) export of simulation traces.
+
+    Every (application, actor) pair becomes a one-bit signal that is high
+    while a firing executes; processors get a string signal naming the
+    running actor.  The files open directly in GTKWave and friends, which is
+    how one actually stares at contention. *)
+
+val of_trace :
+  Trace.t ->
+  apps:Engine.app array ->
+  procs:int ->
+  ?timescale:string ->
+  ?resolution:float ->
+  unit ->
+  string
+(** Render the trace.  [resolution] (default [1.]) divides every timestamp
+    (VCD wants integers; pick e.g. [0.01] for 2 decimal places of
+    precision).  [timescale] defaults to ["1us"].
+    @raise Invalid_argument if [resolution <= 0.]. *)
+
+val write_file :
+  string ->
+  Trace.t ->
+  apps:Engine.app array ->
+  procs:int ->
+  unit ->
+  unit

@@ -1,0 +1,1 @@
+lib/exp/export.ml: Array Contention Figures Float Fun List Printf String Sweep Workload

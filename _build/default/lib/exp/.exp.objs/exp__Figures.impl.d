@@ -1,0 +1,1 @@
+lib/exp/figures.ml: Array Buffer Contention Desim Float List Printf Repro_stats Sweep Workload

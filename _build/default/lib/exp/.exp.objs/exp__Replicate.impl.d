@@ -1,0 +1,1 @@
+lib/exp/replicate.ml: Array Contention Desim Float List Repro_stats Sdf Sdfgen

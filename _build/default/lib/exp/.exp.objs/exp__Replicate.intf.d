@@ -1,0 +1,1 @@
+lib/exp/replicate.mli: Contention Desim

@@ -1,0 +1,1 @@
+lib/exp/report.ml: Array Buffer Contention Desim Float Format List Printf Repro_stats Sdf Workload

@@ -1,0 +1,1 @@
+lib/exp/scenario.ml: Array Contention Float List Repro_stats Sweep Workload

@@ -1,0 +1,1 @@
+lib/exp/scenario.mli: Contention Sweep

@@ -1,0 +1,1 @@
+lib/exp/sweep.ml: Array Contention Desim Float Fun Hashtbl Int List Option Repro_stats Unix Workload

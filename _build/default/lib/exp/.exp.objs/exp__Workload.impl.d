@@ -1,0 +1,1 @@
+lib/exp/workload.ml: Array Contention Desim Fun List Printf Sdf Sdfgen String

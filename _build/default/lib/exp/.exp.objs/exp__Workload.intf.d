@@ -1,0 +1,1 @@
+lib/exp/workload.mli: Contention Desim Sdfgen

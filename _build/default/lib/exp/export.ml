@@ -1,0 +1,76 @@
+let quote s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let line cells = String.concat "," (List.map quote cells) ^ "\n"
+
+let float_cell v = if Float.is_nan v then "" else Printf.sprintf "%.6g" v
+
+let fig5_csv (f : Figures.fig5) =
+  let header = line ("app" :: List.map fst f.series) in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i name ->
+           line (name :: List.map (fun (_, values) -> float_cell values.(i)) f.series))
+         f.app_names)
+  in
+  String.concat "" (header :: rows)
+
+let table1_csv rows =
+  let header = line [ "method"; "throughput_pct"; "period_pct"; "complexity" ] in
+  let body =
+    List.map
+      (fun (r : Figures.table1_row) ->
+        line
+          [
+            r.method_name;
+            float_cell r.throughput_pct;
+            float_cell r.period_pct;
+            r.complexity;
+          ])
+      rows
+  in
+  String.concat "" (header :: body)
+
+let fig6_csv (f : Figures.fig6) =
+  let header = line ("apps" :: List.map fst f.inaccuracy) in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i size ->
+           line
+             (Printf.sprintf "%.0f" size
+             :: List.map (fun (_, values) -> float_cell values.(i)) f.inaccuracy))
+         f.sizes)
+  in
+  String.concat "" (header :: rows)
+
+let observations_csv (s : Sweep.t) =
+  let estimator_names = List.map Contention.Analysis.estimator_name s.estimators in
+  let header =
+    line
+      ([ "usecase"; "size"; "app"; "simulated_period"; "simulated_worst" ]
+      @ estimator_names)
+  in
+  let names = Workload.names s.workload in
+  let rows =
+    List.map
+      (fun (o : Sweep.observation) ->
+        line
+          ([
+             string_of_int o.usecase;
+             string_of_int (Contention.Usecase.cardinal o.usecase);
+             names.(o.app_index);
+             float_cell o.simulated_period;
+             float_cell o.simulated_worst;
+           ]
+          @ List.map (fun est -> float_cell (List.assoc est o.estimated_periods)) s.estimators))
+      s.observations
+  in
+  String.concat "" (header :: rows)
+
+let write ~path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)

@@ -1,0 +1,16 @@
+(** CSV export of the experiment data, for external plotting. *)
+
+val fig5_csv : Figures.fig5 -> string
+(** Header [app,<series...>]; one row per application, values normalised to
+    the isolation period. *)
+
+val table1_csv : Figures.table1_row list -> string
+
+val fig6_csv : Figures.fig6 -> string
+(** Header [apps,<methods...>]; one row per use-case size. *)
+
+val observations_csv : Sweep.t -> string
+(** The raw sweep: one row per (use-case, application) with the simulated
+    and estimated periods — the full data behind Table 1 and Figure 6. *)
+
+val write : path:string -> string -> unit

@@ -1,0 +1,55 @@
+type summary = {
+  app_name : string;
+  mean : float;
+  stddev : float;
+  ci95 : float;
+  samples : int;
+}
+
+let run ?(replications = 11) ?(horizon = 200_000.) ?(seed = 0) ~procs ~distributions
+    apps =
+  if replications < 1 then invalid_arg "Exp.Replicate.run: replications < 1";
+  if Array.length distributions <> Array.length apps then
+    invalid_arg "Exp.Replicate.run: one distribution array per application";
+  Array.iteri
+    (fun i dists ->
+      if Array.length dists <> Sdf.Graph.num_actors apps.(i).Desim.Engine.graph then
+        invalid_arg "Exp.Replicate.run: distributions shape mismatch";
+      Array.iter Contention.Dist.validate dists)
+    distributions;
+  let samples = Array.map (fun _ -> ref []) apps in
+  for rep = 1 to replications do
+    let rng = Sdfgen.Rng.create ((seed * 1_000_003) + rep) in
+    let firing_time ~app ~actor =
+      Contention.Dist.sample distributions.(app).(actor) ~u:(Sdfgen.Rng.float rng 1.)
+    in
+    let results, _ = Desim.Engine.run ~horizon ~firing_time ~procs apps in
+    Array.iteri
+      (fun i (r : Desim.Engine.result) ->
+        if not (Float.is_nan r.avg_period) then
+          samples.(i) := r.avg_period :: !(samples.(i)))
+      results
+  done;
+  Array.mapi
+    (fun i (app : Desim.Engine.app) ->
+      match !(samples.(i)) with
+      | [] ->
+          {
+            app_name = app.graph.Sdf.Graph.name;
+            mean = nan;
+            stddev = nan;
+            ci95 = nan;
+            samples = 0;
+          }
+      | xs ->
+          let n = List.length xs in
+          let mean = Repro_stats.Stats.mean xs in
+          let stddev = Repro_stats.Stats.stddev xs in
+          {
+            app_name = app.graph.Sdf.Graph.name;
+            mean;
+            stddev;
+            ci95 = 1.96 *. stddev /. sqrt (float_of_int n);
+            samples = n;
+          })
+    apps

@@ -1,0 +1,28 @@
+(** Monte-Carlo replication of stochastic simulations.
+
+    A single stochastic run gives one sample of each application's mean
+    period; replications with independent seeds give a confidence interval,
+    which is what estimates should be compared against when execution times
+    are random (the paper's Section 6 extension). *)
+
+type summary = {
+  app_name : string;
+  mean : float;  (** Mean of the per-replication average periods. *)
+  stddev : float;
+  ci95 : float;  (** Half-width of the 95% normal confidence interval. *)
+  samples : int;  (** Replications that produced a measurable period. *)
+}
+
+val run :
+  ?replications:int ->
+  ?horizon:float ->
+  ?seed:int ->
+  procs:int ->
+  distributions:Contention.Dist.t array array ->
+  Desim.Engine.app array ->
+  summary array
+(** [run ~procs ~distributions apps] simulates [replications] (default [11])
+    times; replication [r] draws every firing duration of app [i], actor [j]
+    from [distributions.(i).(j)] using a generator derived from [seed]
+    (default [0]) and [r].
+    @raise Invalid_argument on shape mismatches or [replications < 1]. *)

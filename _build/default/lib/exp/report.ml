@@ -1,0 +1,75 @@
+type t = {
+  usecase : Contention.Usecase.t;
+  estimated : (string * float) list;
+  simulated : (string * float) list;
+  predicted_utilisation : float array;
+  observed_utilisation : float array;
+}
+
+let build ?(horizon = 200_000.) (w : Workload.t) usecase =
+  let apps = Workload.analysis_apps w usecase in
+  let estimates = Contention.Analysis.estimate (Contention.Analysis.Order 2) apps in
+  let name_of (a : Contention.Analysis.app) = a.graph.Sdf.Graph.name in
+  let estimated =
+    List.map (fun (r : Contention.Analysis.estimate) -> (name_of r.for_app, r.period)) estimates
+  in
+  let results, stats = Desim.Engine.run ~horizon ~procs:w.procs (Workload.sim_apps w usecase) in
+  let simulated =
+    Array.to_list
+      (Array.map (fun (r : Desim.Engine.result) -> (r.app_name, r.avg_period)) results)
+  in
+  (* Predicted busy fraction per node: each actor occupies its processor for
+     [tau * q] out of every (contended) period, so the prediction uses the
+     estimated periods — Definition 4 applied to the use-case, not to
+     isolation. *)
+  let predicted = Array.make w.procs 0. in
+  List.iter
+    (fun (r : Contention.Analysis.estimate) ->
+      let a = r.for_app in
+      Array.iteri
+        (fun actor proc ->
+          let tau = (Sdf.Graph.actor a.graph actor).exec_time in
+          predicted.(proc) <-
+            predicted.(proc) +. (tau *. float_of_int a.repetition.(actor) /. r.period))
+        a.mapping)
+    estimates;
+  let predicted = Array.map (Float.min 1.) predicted in
+  {
+    usecase;
+    estimated;
+    simulated;
+    predicted_utilisation = predicted;
+    observed_utilisation = Desim.Engine.utilisation stats;
+  }
+
+let render ~napps t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Format.asprintf "Use-case %a\n\n" (Contention.Usecase.pp ~napps) t.usecase);
+  let rows =
+    List.map2
+      (fun (name, est) (name', sim) ->
+        assert (name = name');
+        [
+          name;
+          Repro_stats.Table.float_cell est;
+          Repro_stats.Table.float_cell sim;
+          (if Float.is_nan sim then "-"
+           else Repro_stats.Table.float_cell (Repro_stats.Stats.abs_pct_error ~reference:sim est));
+        ])
+      t.estimated t.simulated
+  in
+  Buffer.add_string buf
+    (Repro_stats.Table.render ~header:[ "App"; "Estimated"; "Simulated"; "Err %" ] rows);
+  Buffer.add_string buf "\nProcessor utilisation (predicted = sum of blocking probabilities):\n";
+  let rows =
+    List.init (Array.length t.predicted_utilisation) (fun p ->
+        [
+          Printf.sprintf "proc %d" p;
+          Repro_stats.Table.float_cell ~decimals:3 t.predicted_utilisation.(p);
+          Repro_stats.Table.float_cell ~decimals:3 t.observed_utilisation.(p);
+        ])
+  in
+  Buffer.add_string buf
+    (Repro_stats.Table.render ~header:[ "Processor"; "Predicted"; "Observed" ] rows);
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** Per-use-case validation report: estimated vs simulated periods and
+    predicted vs observed processor utilisation, rendered as text.
+
+    The utilisation comparison directly validates the paper's Definition 4:
+    the blocking probability [P(a) = tau q / Per] {e is} the fraction of time
+    actor [a] occupies its node, so its per-processor sum — evaluated at the
+    {e estimated} contended periods and capped at 1 — should match the
+    simulator's measured busy fraction. *)
+
+type t = {
+  usecase : Contention.Usecase.t;
+  estimated : (string * float) list;  (** App name, estimated period (Order 2). *)
+  simulated : (string * float) list;
+  predicted_utilisation : float array;  (** Per processor, capped at 1. *)
+  observed_utilisation : float array;
+}
+
+val build : ?horizon:float -> Workload.t -> Contention.Usecase.t -> t
+val render : napps:int -> t -> string

@@ -1,0 +1,67 @@
+type t = { on_prob : float array }
+
+let make on_prob =
+  Array.iter
+    (fun p ->
+      if not (p >= 0. && p <= 1.) then
+        invalid_arg "Exp.Scenario.make: probability outside [0,1]")
+    on_prob;
+  { on_prob = Array.copy on_prob }
+
+let uniform ~napps p = make (Array.make napps p)
+
+let probability t usecase =
+  let n = Array.length t.on_prob in
+  let rec go i acc =
+    if i >= n then acc
+    else
+      let p = t.on_prob.(i) in
+      let factor = if Contention.Usecase.mem i usecase then p else 1. -. p in
+      go (i + 1) (acc *. factor)
+  in
+  go 0 1.
+
+type source = Simulated | Estimated of Contention.Analysis.estimator
+
+let period_of (o : Sweep.observation) = function
+  | Simulated -> o.simulated_period
+  | Estimated est -> (
+      match List.assoc_opt est o.estimated_periods with
+      | Some p -> p
+      | None -> invalid_arg "Exp.Scenario: estimator not in the sweep")
+
+let expected_period t (s : Sweep.t) ~app source =
+  if app < 0 || app >= Array.length t.on_prob then
+    invalid_arg "Exp.Scenario.expected_period: app index out of range";
+  let weight = ref 0. and acc = ref 0. in
+  List.iter
+    (fun (o : Sweep.observation) ->
+      if o.app_index = app then begin
+        let period = period_of o source in
+        if not (Float.is_nan period) then begin
+          let p = probability t o.usecase in
+          weight := !weight +. p;
+          acc := !acc +. (p *. period)
+        end
+      end)
+    s.observations;
+  if !weight <= 0. then nan else !acc /. !weight
+
+let render t (s : Sweep.t) =
+  let names = Workload.names s.workload in
+  let header =
+    "App" :: "E[per | active] sim"
+    :: List.map
+         (fun est -> "E " ^ Contention.Analysis.estimator_name est)
+         s.estimators
+  in
+  let rows =
+    List.init (Array.length names) (fun i ->
+        names.(i)
+        :: Repro_stats.Table.float_cell (expected_period t s ~app:i Simulated)
+        :: List.map
+             (fun est ->
+               Repro_stats.Table.float_cell (expected_period t s ~app:i (Estimated est)))
+             s.estimators)
+  in
+  Repro_stats.Table.render ~header rows

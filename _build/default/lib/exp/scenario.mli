@@ -1,0 +1,32 @@
+(** Expected performance across use-cases.
+
+    The paper evaluates every use-case separately; a designer usually also
+    wants the {e expected} behaviour under a usage model.  With independent
+    per-application activity probabilities the distribution over use-cases
+    is product-form, and the sweep data (estimated or simulated periods per
+    use-case) integrates directly against it. *)
+
+type t = private { on_prob : float array }
+(** [on_prob.(i)] is the probability application [i] is active at a random
+    observation instant, independently of the others. *)
+
+val make : float array -> t
+(** @raise Invalid_argument if a probability is outside [\[0,1\]]. *)
+
+val uniform : napps:int -> float -> t
+
+val probability : t -> Contention.Usecase.t -> float
+(** Product-form probability of exactly this set of applications running. *)
+
+type source = Simulated | Estimated of Contention.Analysis.estimator
+
+val expected_period : t -> Sweep.t -> app:int -> source -> float
+(** [E(period of app | app active)] under the usage model, from the sweep's
+    per-use-case data.  Use-cases with an unmeasurable simulated period are
+    skipped (their weight is renormalised away).
+    @raise Invalid_argument if the app index is out of range or the sweep
+    lacks the requested estimator. *)
+
+val render : t -> Sweep.t -> string
+(** Table of expected periods per application: simulated versus each of the
+    sweep's estimators. *)

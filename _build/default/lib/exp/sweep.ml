@@ -1,0 +1,116 @@
+type observation = {
+  usecase : Contention.Usecase.t;
+  app_index : int;
+  simulated_period : float;
+  simulated_worst : float;
+  estimated_periods : (Contention.Analysis.estimator * float) list;
+}
+
+type timing = {
+  simulation_s : float;
+  analysis_s : (Contention.Analysis.estimator * float) list;
+}
+
+type t = {
+  workload : Workload.t;
+  estimators : Contention.Analysis.estimator list;
+  observations : observation list;
+  timing : timing;
+}
+
+let timed acc f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  acc := !acc +. (Unix.gettimeofday () -. t0);
+  r
+
+let run ?(horizon = 500_000.) ?estimators ?usecases ?progress (w : Workload.t) =
+  let estimators =
+    Option.value ~default:Contention.Analysis.all_paper_estimators estimators
+  in
+  let usecases =
+    Option.value ~default:(Contention.Usecase.all ~napps:(Workload.num_apps w)) usecases
+  in
+  let total = List.length usecases in
+  let sim_time = ref 0. in
+  let analysis_times = List.map (fun e -> (e, ref 0.)) estimators in
+  let completed = ref 0 in
+  let observe usecase =
+    let indices = Contention.Usecase.to_list usecase in
+    let sim_results, _ =
+      timed sim_time (fun () ->
+          Desim.Engine.run ~horizon ~procs:w.procs (Workload.sim_apps w usecase))
+    in
+    let apps = Workload.analysis_apps w usecase in
+    let per_estimator =
+      List.map
+        (fun (est, acc) ->
+          let results =
+            timed acc (fun () -> Contention.Analysis.estimate est apps)
+          in
+          (est, List.map (fun (r : Contention.Analysis.estimate) -> r.period) results))
+        analysis_times
+    in
+    incr completed;
+    (match progress with Some f -> f !completed total | None -> ());
+    List.mapi
+      (fun pos app_index ->
+        {
+          usecase;
+          app_index;
+          simulated_period = sim_results.(pos).Desim.Engine.avg_period;
+          simulated_worst = sim_results.(pos).Desim.Engine.max_period;
+          estimated_periods =
+            List.map (fun (est, periods) -> (est, List.nth periods pos)) per_estimator;
+        })
+      indices
+  in
+  let observations = List.concat_map observe usecases in
+  {
+    workload = w;
+    estimators;
+    observations;
+    timing =
+      {
+        simulation_s = !sim_time;
+        analysis_s = List.map (fun (e, acc) -> (e, !acc)) analysis_times;
+      };
+  }
+
+let valid_observations t =
+  List.filter (fun o -> not (Float.is_nan o.simulated_period)) t.observations
+
+let estimate_of o est =
+  match List.assoc_opt est o.estimated_periods with
+  | Some p -> p
+  | None -> invalid_arg "Exp.Sweep: estimator was not part of the sweep"
+
+let inaccuracy_over obs est ~on =
+  match obs with
+  | [] -> nan
+  | obs ->
+      Repro_stats.Stats.mean
+        (List.map
+           (fun o ->
+             Repro_stats.Stats.abs_pct_error
+               ~reference:(on o.simulated_period)
+               (on (estimate_of o est)))
+           obs)
+
+let inaccuracy_period t est = inaccuracy_over (valid_observations t) est ~on:Fun.id
+
+let inaccuracy_throughput t est =
+  inaccuracy_over (valid_observations t) est ~on:(fun p -> 1. /. p)
+
+let inaccuracy_by_size t est =
+  let by_size = Hashtbl.create 16 in
+  List.iter
+    (fun o ->
+      let k = Contention.Usecase.cardinal o.usecase in
+      Hashtbl.replace by_size k (o :: Option.value ~default:[] (Hashtbl.find_opt by_size k)))
+    (valid_observations t);
+  let sizes = List.sort_uniq Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) by_size []) in
+  Array.of_list
+    (List.map
+       (fun k -> (k, inaccuracy_over (Hashtbl.find by_size k) est ~on:Fun.id))
+       sizes)

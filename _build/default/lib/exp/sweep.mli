@@ -1,0 +1,47 @@
+(** The use-case sweep behind Table 1 and Figure 6: every (non-empty)
+    use-case is simulated and analysed with every estimator, and per-app
+    periods are compared. *)
+
+type observation = {
+  usecase : Contention.Usecase.t;
+  app_index : int;
+  simulated_period : float;  (** Steady-state mean from {!Desim.Engine}. *)
+  simulated_worst : float;  (** Worst inter-iteration gap observed. *)
+  estimated_periods : (Contention.Analysis.estimator * float) list;
+}
+
+type timing = {
+  simulation_s : float;  (** Wall-clock spent simulating the whole sweep. *)
+  analysis_s : (Contention.Analysis.estimator * float) list;
+      (** Wall-clock per estimator for the whole sweep. *)
+}
+
+type t = {
+  workload : Workload.t;
+  estimators : Contention.Analysis.estimator list;
+  observations : observation list;
+  timing : timing;
+}
+
+val run :
+  ?horizon:float ->
+  ?estimators:Contention.Analysis.estimator list ->
+  ?usecases:Contention.Usecase.t list ->
+  ?progress:(int -> int -> unit) ->
+  Workload.t ->
+  t
+(** [run w] sweeps all [2^n - 1] use-cases (or the given subset) with the
+    paper's four estimators by default.  [horizon] defaults to the paper's
+    [500_000.] cycles.  [progress done total] is called after each
+    use-case. *)
+
+val inaccuracy_period : t -> Contention.Analysis.estimator -> float
+(** Mean absolute percent difference between estimated and simulated period,
+    over all observations — Table 1's "Period" column. *)
+
+val inaccuracy_throughput : t -> Contention.Analysis.estimator -> float
+(** Same on [1/period] — Table 1's "Throughput" column. *)
+
+val inaccuracy_by_size : t -> Contention.Analysis.estimator -> (int * float) array
+(** Figure 6: [(k, mean inaccuracy over use-cases with k active apps)] for
+    each occurring [k], ascending. *)

@@ -1,0 +1,100 @@
+type t = { seed : int; procs : int; apps : Contention.Analysis.app array }
+
+let make ?(seed = 2007) ?(num_apps = 10) ?(procs = 10) ?params () =
+  if num_apps < 1 then invalid_arg "Exp.Workload.make: num_apps < 1";
+  if num_apps > 26 then invalid_arg "Exp.Workload.make: more than 26 applications";
+  let graphs = Sdfgen.Generator.generate_many ?params ~seed num_apps in
+  let apps =
+    Array.map
+      (fun g ->
+        Contention.Analysis.app ~procs g ~mapping:(Contention.Mapping.modulo ~procs g))
+      graphs
+  in
+  { seed; procs; apps }
+
+let num_apps t = Array.length t.apps
+
+let names t = Array.map (fun (a : Contention.Analysis.app) -> a.graph.Sdf.Graph.name) t.apps
+
+let isolation_periods t =
+  Array.map (fun (a : Contention.Analysis.app) -> a.isolation_period) t.apps
+
+let analysis_apps t usecase =
+  List.map (fun i -> t.apps.(i)) (Contention.Usecase.to_list usecase)
+
+let sim_apps t usecase =
+  Array.of_list
+    (List.map
+       (fun i ->
+         let a = t.apps.(i) in
+         { Desim.Engine.graph = a.Contention.Analysis.graph;
+           mapping = a.Contention.Analysis.mapping })
+       (Contention.Usecase.to_list usecase))
+
+let app_index t name =
+  let found = ref None in
+  Array.iteri
+    (fun i (a : Contention.Analysis.app) ->
+      if a.graph.Sdf.Graph.name = name then found := Some i)
+    t.apps;
+  match !found with Some i -> i | None -> raise Not_found
+
+let header_prefix = "# contention-workload"
+
+let save t path =
+  let header = Printf.sprintf "%s procs=%d seed=%d\n" header_prefix t.procs t.seed in
+  let graphs =
+    List.map (fun (a : Contention.Analysis.app) -> a.graph) (Array.to_list t.apps)
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (header ^ Sdf.Text.to_string_many graphs))
+
+let parse_header line =
+  let fields = String.split_on_char ' ' line in
+  let value key =
+    List.find_map
+      (fun field ->
+        match String.split_on_char '=' field with
+        | [ k; v ] when k = key -> int_of_string_opt v
+        | _ -> None)
+      fields
+  in
+  match (value "procs", value "seed") with
+  | Some procs, Some seed when procs > 0 -> Some (procs, seed)
+  | _ -> None
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let contents =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let first_line =
+        match String.index_opt contents '\n' with
+        | Some i -> String.sub contents 0 i
+        | None -> contents
+      in
+      if not (String.length first_line >= String.length header_prefix
+              && String.sub first_line 0 (String.length header_prefix) = header_prefix)
+      then Error "not a contention workload file (missing header)"
+      else (
+        match parse_header first_line with
+        | None -> Error "malformed workload header"
+        | Some (procs, seed) -> (
+            match Sdf.Text.of_string_many contents with
+            | Error _ as e -> e
+            | Ok graphs ->
+                (match
+                   List.map
+                     (fun g ->
+                       Contention.Analysis.app ~procs g
+                         ~mapping:(Contention.Mapping.modulo ~procs g))
+                     graphs
+                 with
+                | apps -> Ok { seed; procs; apps = Array.of_list apps }
+                | exception Invalid_argument msg -> Error msg)))

@@ -1,0 +1,41 @@
+(** The paper's evaluation workload: ten random strongly-connected SDFGs of
+    8–10 actors (Section 5), actor [j] of every application mapped on
+    processor [j mod procs]. *)
+
+type t = private {
+  seed : int;
+  procs : int;
+  apps : Contention.Analysis.app array;
+}
+
+val make :
+  ?seed:int ->
+  ?num_apps:int ->
+  ?procs:int ->
+  ?params:Sdfgen.Generator.params ->
+  unit ->
+  t
+(** Defaults: [seed = 2007] (the paper's year — any seed reproduces a valid
+    instance of the experiment), [num_apps = 10], [procs = 10],
+    [params = Sdfgen.Generator.default_params]. *)
+
+val num_apps : t -> int
+val names : t -> string array
+val isolation_periods : t -> float array
+
+val analysis_apps : t -> Contention.Usecase.t -> Contention.Analysis.app list
+(** The applications active in the use-case, ascending by index. *)
+
+val sim_apps : t -> Contention.Usecase.t -> Desim.Engine.app array
+(** Same subset as simulator inputs. *)
+
+val app_index : t -> string -> int
+(** @raise Not_found for an unknown application name. *)
+
+val save : t -> string -> unit
+(** Persist the workload (graphs plus a [# contention-workload] header
+    carrying seed and processor count) in the {!Sdf.Text} format. *)
+
+val load : string -> (t, string) result
+(** Reload a file written by {!save}; mappings are reconstructed with the
+    modulo policy and isolation periods recomputed. *)

@@ -1,0 +1,141 @@
+let neg_inf = neg_infinity
+
+type mat = float array array
+
+let matrix n = Array.make_matrix n n neg_inf
+
+let identity n =
+  let m = matrix n in
+  for i = 0 to n - 1 do
+    m.(i).(i) <- 0.
+  done;
+  m
+
+let size m = Array.length m
+
+let multiply a b =
+  let n = size a in
+  if size b <> n || (n > 0 && Array.length a.(0) <> n) then
+    invalid_arg "Maxplus.multiply: dimension mismatch";
+  let c = matrix n in
+  for i = 0 to n - 1 do
+    for k = 0 to n - 1 do
+      let aik = a.(i).(k) in
+      if aik > neg_inf then
+        for j = 0 to n - 1 do
+          let v = aik +. b.(k).(j) in
+          if v > c.(i).(j) then c.(i).(j) <- v
+        done
+    done
+  done;
+  c
+
+let apply m x =
+  let n = size m in
+  if Array.length x <> n then invalid_arg "Maxplus.apply: dimension mismatch";
+  Array.init n (fun i ->
+      let best = ref neg_inf in
+      for j = 0 to n - 1 do
+        let v = m.(i).(j) +. x.(j) in
+        if v > !best then best := v
+      done;
+      !best)
+
+let closure a =
+  let n = size a in
+  let d = Array.map Array.copy a in
+  for i = 0 to n - 1 do
+    if d.(i).(i) < 0. then d.(i).(i) <- 0.
+  done;
+  (* Floyd-Warshall longest paths in (max, +). *)
+  (try
+     for k = 0 to n - 1 do
+       for i = 0 to n - 1 do
+         if d.(i).(k) > neg_inf then
+           for j = 0 to n - 1 do
+             let v = d.(i).(k) +. d.(k).(j) in
+             if v > d.(i).(j) then d.(i).(j) <- v
+           done
+       done;
+       for i = 0 to n - 1 do
+         if d.(i).(i) > 0. then raise Exit
+       done
+     done
+   with Exit -> d.(0).(0) <- nan);
+  if n > 0 && Float.is_nan d.(0).(0) then None else Some d
+
+(* Detect the periodic regime of the power sequence: normalised completion
+   vectors repeat, and the accumulated shift divided by the cycle length is
+   the eigenvalue. *)
+let eigenvalue ?(max_iterations = 100_000) m =
+  let n = size m in
+  if n = 0 then None
+  else begin
+    let key x =
+      (* Normalise by the first finite entry; quantise to make float keys
+         robust.  The same key implies the same finite pattern, hence the
+         same reference index for the accumulated shift. *)
+      match Array.find_opt (fun v -> v > neg_inf) x with
+      | None -> None
+      | Some base ->
+          let normalised =
+            Array.map
+              (fun v ->
+                if v > neg_inf then Float.round ((v -. base) *. 1e6) else neg_inf)
+              x
+          in
+          Some (normalised, base)
+    in
+    let seen = Hashtbl.create 256 in
+    let rec iterate k x =
+      if k > max_iterations then None
+      else
+        match key x with
+        | None -> None
+        | Some (normalised, base) -> (
+            match Hashtbl.find_opt seen normalised with
+            | Some (k0, base0) -> Some ((base -. base0) /. float_of_int (k - k0))
+            | None ->
+                Hashtbl.add seen normalised (k, base);
+                iterate (k + 1) (apply m x))
+    in
+    iterate 0 (Array.make n 0.)
+  end
+
+let of_graph g =
+  let h = Sdf.Hsdf.expand g in
+  let nodes = Sdf.Hsdf.num_nodes h in
+  (* Registers for dependencies spanning more than one iteration: an edge of
+     delay d >= 2 routes through d - 1 unit-delay registers. *)
+  let registers = ref 0 in
+  Array.iter
+    (fun (e : Sdf.Hsdf.edge) -> if e.delay >= 2 then registers := !registers + e.delay - 1)
+    h.edges;
+  let n = nodes + !registers in
+  let a0 = matrix n and a1 = matrix n in
+  let weight_to v = h.nodes.(v).Sdf.Hsdf.exec_time in
+  let next_register = ref nodes in
+  Array.iter
+    (fun (e : Sdf.Hsdf.edge) ->
+      let u = e.from_node and v = e.to_node in
+      match e.delay with
+      | 0 -> a0.(v).(u) <- Float.max a0.(v).(u) (weight_to v)
+      | 1 -> a1.(v).(u) <- Float.max a1.(v).(u) (weight_to v)
+      | d ->
+          (* u -> r1 -> ... -> r(d-1) -> v, one iteration per hop. *)
+          let first = !next_register in
+          next_register := !next_register + d - 1;
+          a1.(first).(u) <- Float.max a1.(first).(u) 0.;
+          for j = 1 to d - 2 do
+            a1.(first + j).(first + j - 1) <- 0.
+          done;
+          a1.(v).(first + d - 2) <- Float.max a1.(v).(first + d - 2) (weight_to v))
+    h.edges;
+  match closure a0 with
+  | None -> invalid_arg "Maxplus.of_graph: zero-delay cycle (deadlock)"
+  | Some star -> multiply star a1
+
+let period g =
+  match eigenvalue (of_graph g) with
+  | Some lambda -> lambda
+  | None -> invalid_arg "Maxplus.period: power algorithm did not settle"

@@ -1,0 +1,52 @@
+(** Max-plus algebra over floats — a fourth, independent period engine.
+
+    In the (max, +) semiring the self-timed evolution of an HSDF graph is
+    linear: the vector [x(k)] of k-th completion times satisfies
+    [x(k) = A ⊗ x(k-1)], and the steady-state growth rate per iteration —
+    the unique eigenvalue of an irreducible [A] — is the graph's period
+    (Baccelli, Cohen, Olsder & Quadrat, "Synchronization and Linearity").
+
+    The matrix is built from the HSDF expansion: zero-delay dependencies are
+    eliminated by the Kleene closure [A0*], multi-iteration dependencies by
+    shift registers, leaving [A = A0* ⊗ A1].  The eigenvalue comes from the
+    power algorithm with periodicity detection. *)
+
+val neg_inf : float
+(** The semiring zero ([-∞], "no edge"). *)
+
+type mat = float array array
+(** Square matrix; [m.(i).(j)] is the weight of the edge [j -> i]
+    ([neg_inf] when absent), so [multiply m v] reads column-style like the
+    usual [x(k) = A ⊗ x(k-1)]. *)
+
+val identity : int -> mat
+val matrix : int -> mat
+(** All-[neg_inf] square matrix of the given size. *)
+
+val multiply : mat -> mat -> mat
+(** ⊗: [C.(i).(j) = max_k (A.(i).(k) + B.(k).(j))].
+    @raise Invalid_argument on dimension mismatch. *)
+
+val apply : mat -> float array -> float array
+(** Matrix-vector product in (max, +). *)
+
+val closure : mat -> mat option
+(** Kleene star [A* = I ⊕ A ⊕ A² ⊕ …]; [None] when a cycle of positive
+    weight makes it diverge.  Floyd-Warshall style, O(n³). *)
+
+val eigenvalue : ?max_iterations:int -> mat -> float option
+(** Power algorithm: iterate [x(k+1) = A ⊗ x(k)] from the zero vector and
+    detect the periodic regime [x(k+c) = λc ⊗ x(k)]; returns [λ].  [None]
+    if no finite eigenvalue is found within [max_iterations] (default
+    [100_000]) — e.g. for a reducible matrix that never settles. *)
+
+val of_graph : Sdf.Graph.t -> mat
+(** The max-plus matrix of a graph's HSDF expansion (state = HSDF firings
+    plus shift registers for dependencies spanning more than one
+    iteration).
+    @raise Invalid_argument on inconsistent graphs or zero-delay cycles. *)
+
+val period : Sdf.Graph.t -> float
+(** [eigenvalue (of_graph g)] — cross-validates {!Sdf.Statespace.period},
+    {!Sdf.Hsdf.period} and {!Sdf.Hsdf.period_rational}.
+    @raise Invalid_argument if the power algorithm fails to settle. *)

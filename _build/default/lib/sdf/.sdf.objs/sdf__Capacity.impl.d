@@ -1,0 +1,1 @@
+lib/sdf/capacity.ml: Array Fun Graph Int List Metrics Printf Statespace

@@ -1,0 +1,1 @@
+lib/sdf/capacity.mli: Graph

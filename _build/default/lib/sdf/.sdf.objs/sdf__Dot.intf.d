@@ -1,0 +1,1 @@
+lib/sdf/dot.mli: Graph

@@ -1,0 +1,1 @@
+lib/sdf/graph.ml: Array Format Fun List Printf

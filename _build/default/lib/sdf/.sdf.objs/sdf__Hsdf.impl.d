@@ -1,0 +1,1 @@
+lib/sdf/hsdf.ml: Array Float Graph Hashtbl List Mcm Printf Repetition

@@ -1,0 +1,1 @@
+lib/sdf/mcm.ml: Array Float Int List Rational

@@ -1,0 +1,1 @@
+lib/sdf/mcm.mli: Rational

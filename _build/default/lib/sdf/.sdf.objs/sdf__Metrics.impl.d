@@ -1,0 +1,1 @@
+lib/sdf/metrics.ml: Array Float Graph List Repetition

@@ -1,0 +1,1 @@
+lib/sdf/metrics.mli: Graph

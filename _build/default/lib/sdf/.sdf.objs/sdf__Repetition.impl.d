@@ -1,0 +1,1 @@
+lib/sdf/repetition.ml: Array Format Graph Queue Rational Result

@@ -1,0 +1,1 @@
+lib/sdf/statespace.ml: Array Float Graph Hashtbl List Printf Repetition

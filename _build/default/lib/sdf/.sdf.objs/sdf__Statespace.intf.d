@@ -1,0 +1,1 @@
+lib/sdf/statespace.mli: Graph

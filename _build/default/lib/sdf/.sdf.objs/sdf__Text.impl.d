@@ -1,0 +1,1 @@
+lib/sdf/text.ml: Array Buffer Fun Graph List Printf String

@@ -1,0 +1,1 @@
+lib/sdf/text.mli: Graph

@@ -1,0 +1,1 @@
+lib/sdf/transform.ml: Array Graph Hsdf Printf

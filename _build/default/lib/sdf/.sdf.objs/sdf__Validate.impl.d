@@ -1,0 +1,1 @@
+lib/sdf/validate.ml: Array Format Graph List Repetition Statespace

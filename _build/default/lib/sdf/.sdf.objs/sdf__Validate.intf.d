@@ -1,0 +1,1 @@
+lib/sdf/validate.mli: Format Graph

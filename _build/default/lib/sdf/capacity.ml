@@ -1,0 +1,99 @@
+let check_capacity (c : Graph.channel) capacity =
+  let least = Int.max c.tokens (Int.max c.produce c.consume) in
+  if capacity < least then
+    invalid_arg
+      (Printf.sprintf
+         "Sdf.Capacity: capacity %d on channel %d -> %d below minimum %d" capacity
+         c.src c.dst least)
+
+let bounded (g : Graph.t) ~capacities =
+  if Array.length capacities <> Graph.num_channels g then
+    invalid_arg "Sdf.Capacity.bounded: capacities length mismatch";
+  Array.iteri (fun i c -> check_capacity c capacities.(i)) g.channels;
+  let actors = Array.map (fun (a : Graph.actor) -> (a.name, a.exec_time)) g.actors in
+  let forward =
+    Array.map
+      (fun (c : Graph.channel) -> (c.src, c.dst, c.produce, c.consume, c.tokens))
+      g.channels
+  in
+  let reverse =
+    Array.mapi
+      (fun i (c : Graph.channel) ->
+        (* Space tokens: the producer consumes [produce] space per firing,
+           the consumer frees [consume] per firing; initially the free space
+           is capacity - initial tokens. *)
+        (c.dst, c.src, c.consume, c.produce, capacities.(i) - c.tokens))
+      g.channels
+  in
+  Graph.create
+    ~name:(g.name ^ "#bounded")
+    ~actors
+    ~channels:(Array.append forward reverse)
+
+let sufficient_capacities (g : Graph.t) =
+  match Metrics.analyse ~iterations:3 g with
+  | None -> invalid_arg "Sdf.Capacity.sufficient_capacities: graph deadlocks"
+  | Some m ->
+      (* Peak occupancy plus one in-flight production burst (space claimed at
+         the producer's start) plus one in-flight consumption burst (space
+         returned only at the consumer's finish) can never block. *)
+      Array.mapi
+        (fun i (c : Graph.channel) ->
+          let least = Int.max c.tokens (Int.max c.produce c.consume) in
+          Int.max least (m.buffer_peaks.(i) + c.produce + c.consume))
+        g.channels
+
+let throughput_with g ~capacities = Statespace.period (bounded g ~capacities)
+
+let sweep_uniform (g : Graph.t) ~max_capacity =
+  if max_capacity < 1 then invalid_arg "Sdf.Capacity.sweep_uniform: max_capacity < 1";
+  List.init max_capacity (fun k ->
+      let k = k + 1 in
+      let capacities =
+        Array.map
+          (fun (c : Graph.channel) ->
+            Int.max k (Int.max c.tokens (Int.max c.produce c.consume)))
+          g.channels
+      in
+      (k, throughput_with g ~capacities))
+
+let minimise ?start (g : Graph.t) ~max_period =
+  if max_period <= 0. then invalid_arg "Sdf.Capacity.minimise: non-positive max_period";
+  let caps =
+    match start with
+    | Some c ->
+        if Array.length c <> Graph.num_channels g then
+          invalid_arg "Sdf.Capacity.minimise: start length mismatch";
+        Array.copy c
+    | None -> sufficient_capacities g
+  in
+  let meets caps =
+    match throughput_with g ~capacities:caps with
+    | Some p -> p <= max_period +. 1e-9
+    | None -> false
+  in
+  if not (meets caps) then None
+  else begin
+    let floor_of i =
+      let c = g.channels.(i) in
+      Int.max c.tokens (Int.max c.produce c.consume)
+    in
+    (* Steepest shrink: always try the channel with the most slack first. *)
+    let improved = ref true in
+    while !improved do
+      improved := false;
+      let order =
+        List.sort
+          (fun a b -> Int.compare (caps.(b) - floor_of b) (caps.(a) - floor_of a))
+          (List.init (Array.length caps) Fun.id)
+      in
+      List.iter
+        (fun i ->
+          if (not !improved) && caps.(i) > floor_of i then begin
+            caps.(i) <- caps.(i) - 1;
+            if meets caps then improved := true else caps.(i) <- caps.(i) + 1
+          end)
+        order
+    done;
+    Some caps
+  end

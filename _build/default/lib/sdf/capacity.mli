@@ -1,0 +1,46 @@
+(** Bounded channel capacities with back-pressure.
+
+    Finite FIFO capacities are modelled by the classic transformation
+    (Wiggers et al., CODES+ISSS 2006 — the paper's reference [20]): each
+    forward channel gets a reverse channel carrying {e space} tokens.  A
+    producer must claim space before it starts firing and the consumer
+    returns space when it finishes, so a full buffer blocks the producer
+    exactly as real back-pressure would.  The transformed graph is a plain
+    SDFG: every existing analysis (periods, metrics, simulation) applies
+    unchanged, and the throughput/buffer trade-off of the paper's
+    reference [16] falls out of sweeping the capacities. *)
+
+val bounded : Graph.t -> capacities:int array -> Graph.t
+(** [bounded g ~capacities] adds one reverse channel per forward channel;
+    [capacities.(i)] bounds channel [i] of [g].
+    @raise Invalid_argument if the array length differs from the channel
+    count or some capacity is smaller than the channel's initial tokens or
+    its production or consumption rate (such a buffer could never move a
+    token). *)
+
+val sufficient_capacities : Graph.t -> int array
+(** Capacities that provably preserve the self-timed schedule: the observed
+    occupancy peaks of the unbounded execution plus one in-flight production
+    and consumption burst per channel.
+    [bounded g ~capacities:(sufficient_capacities g)] therefore has the same
+    period as [g].
+    @raise Invalid_argument on a deadlocking graph. *)
+
+val throughput_with : Graph.t -> capacities:int array -> float option
+(** Period of the bounded graph; [None] if the bound deadlocks it. *)
+
+val sweep_uniform : Graph.t -> max_capacity:int -> (int * float option) list
+(** The buffer/throughput trade-off curve: for each uniform capacity
+    [k = 1 .. max_capacity] (clamped per-channel to stay valid), the period
+    of the bounded graph.  Monotone: larger buffers never hurt. *)
+
+val minimise : ?start:int array -> Graph.t -> max_period:float -> int array option
+(** Greedy buffer minimisation under a throughput constraint (the
+    trade-off exploration of the paper's reference [16]): starting from
+    [start] (default {!sufficient_capacities}), repeatedly shrink the
+    channel whose capacity is largest while the bounded period stays within
+    [max_period].  Returns the minimised capacities, or [None] when even the
+    starting point misses the constraint.  The result is a local minimum:
+    no single channel can shrink further.
+    @raise Invalid_argument on an invalid [start] or non-positive
+    [max_period]. *)

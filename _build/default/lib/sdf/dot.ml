@@ -1,0 +1,24 @@
+let to_dot (g : Graph.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n" g.name);
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=circle];\n";
+  Array.iter
+    (fun (a : Graph.actor) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  a%d [label=\"%s\\n(%g)\"];\n" a.id a.name a.exec_time))
+    g.actors;
+  Array.iter
+    (fun (c : Graph.channel) ->
+      let tokens = if c.tokens > 0 then Printf.sprintf " [%d]" c.tokens else "" in
+      Buffer.add_string buf
+        (Printf.sprintf "  a%d -> a%d [label=\"%d/%d%s\"];\n" c.src c.dst c.produce
+           c.consume tokens))
+    g.channels;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot g))

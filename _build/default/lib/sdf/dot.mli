@@ -1,0 +1,9 @@
+(** Graphviz export of SDF graphs, for documentation and debugging. *)
+
+val to_dot : Graph.t -> string
+(** DOT source: actors become nodes labelled [name (tau)], channels become
+    edges labelled [produce/consume] with initial tokens shown as a bullet
+    count. *)
+
+val write_file : string -> Graph.t -> unit
+(** [write_file path g] writes [to_dot g] to [path]. *)

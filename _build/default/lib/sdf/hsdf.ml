@@ -1,0 +1,108 @@
+type node = { actor : int; firing : int; exec_time : float }
+type edge = { from_node : int; to_node : int; delay : int }
+type t = { nodes : node array; edges : edge array; source : Graph.t }
+
+let num_nodes t = Array.length t.nodes
+
+(* Firing k of [src] (0-based) produces tokens numbered
+   d + k*p + 1 .. d + (k+1)*p on the channel (counting initial tokens first);
+   token number m is consumed by global firing ceil(m/c) of [dst], i.e.
+   firing ((ceil(m/c) - 1) mod q_dst) of iteration (ceil(m/c) - 1) / q_dst. *)
+let expand (g : Graph.t) =
+  let q = Repetition.compute_exn g in
+  let base = Array.make (Graph.num_actors g) 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun id _ ->
+      base.(id) <- !total;
+      total := !total + q.(id))
+    g.actors;
+  let nodes = Array.make !total { actor = 0; firing = 0; exec_time = 1. } in
+  Array.iteri
+    (fun id (a : Graph.actor) ->
+      for k = 0 to q.(id) - 1 do
+        nodes.(base.(id) + k) <- { actor = id; firing = k; exec_time = a.exec_time }
+      done)
+    g.actors;
+  let edges = ref [] in
+  let add from_node to_node delay = edges := { from_node; to_node; delay } :: !edges in
+  (* Channel dependencies. *)
+  Array.iter
+    (fun (c : Graph.channel) ->
+      let p = c.produce and co = c.consume and d = c.tokens in
+      for k = 0 to q.(c.src) - 1 do
+        (* Dependencies induced by each token produced by firing k. Distinct
+           tokens of one firing may feed distinct consumer firings. *)
+        for j = 1 to p do
+          let m = d + (k * p) + j in
+          let consumer = (m + co - 1) / co in
+          (* 1-based global firing *)
+          let firing = (consumer - 1) mod q.(c.dst)
+          and iteration = (consumer - 1) / q.(c.dst) in
+          add (base.(c.src) + k) (base.(c.dst) + firing) iteration
+        done
+      done)
+    g.channels;
+  (* Initially available tokens also satisfy early consumer firings with no
+     producer dependency; those firings simply lack an incoming edge for them,
+     which is already the correct semantics. Forbid auto-concurrency by
+     chaining the copies of each actor. *)
+  Array.iteri
+    (fun id _ ->
+      if q.(id) = 1 then add base.(id) base.(id) 1
+      else
+        for k = 0 to q.(id) - 1 do
+          let next = (k + 1) mod q.(id) in
+          add (base.(id) + k) (base.(id) + next) (if next = 0 then 1 else 0)
+        done)
+    g.actors;
+  (* Deduplicate: keep the minimum delay for each (from, to) pair — larger
+     delays are dominated for cycle-ratio purposes. *)
+  let best = Hashtbl.create 256 in
+  List.iter
+    (fun e ->
+      let key = (e.from_node, e.to_node) in
+      match Hashtbl.find_opt best key with
+      | Some d when d <= e.delay -> ()
+      | _ -> Hashtbl.replace best key e.delay)
+    !edges;
+  let edges =
+    Hashtbl.fold
+      (fun (from_node, to_node) delay acc -> { from_node; to_node; delay } :: acc)
+      best []
+  in
+  { nodes; edges = Array.of_list edges; source = g }
+
+let period g =
+  let h = expand g in
+  let edges =
+    Array.map
+      (fun e -> (e.from_node, e.to_node, h.nodes.(e.from_node).exec_time, e.delay))
+      h.edges
+  in
+  match Mcm.max_cycle_ratio ~nodes:(num_nodes h) edges with
+  | Some ratio -> ratio
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Sdf.Hsdf.period: graph %S has no cycle (unbounded rate)"
+           h.source.name)
+
+let period_rational g =
+  let h = expand g in
+  let int_time (n : node) =
+    let t = n.exec_time in
+    if Float.is_integer t && t >= 1. && t < 1e15 then int_of_float t
+    else
+      invalid_arg
+        (Printf.sprintf "Sdf.Hsdf.period_rational: non-integer execution time %g" t)
+  in
+  let edges =
+    Array.map
+      (fun e -> (e.from_node, e.to_node, int_time h.nodes.(e.from_node), e.delay))
+      h.edges
+  in
+  match Mcm.max_cycle_ratio_rational ~nodes:(num_nodes h) edges with
+  | Some ratio -> ratio
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Sdf.Hsdf.period_rational: graph %S has no cycle" h.source.name)

@@ -1,0 +1,43 @@
+(** Expansion of an SDFG into a Homogeneous SDFG (HSDFG).
+
+    Every actor [a] becomes [q.(a)] copies (one per firing in an iteration);
+    every channel becomes dependency edges between the producing and the
+    consuming firing, annotated with the number of iterations the dependency
+    crosses ({e delay}).  An extra chain over the copies of each actor (with a
+    wrap-around delay of one) forbids auto-concurrency, matching the
+    self-timed semantics of {!Statespace}.
+
+    The period of the original graph is the maximum cycle ratio
+    [sum of execution times / sum of delays] over the cycles of the
+    expansion — see {!Mcm}. *)
+
+type node = {
+  actor : int;  (** Actor id in the original graph. *)
+  firing : int;  (** Firing index within an iteration, [0 .. q.(actor)-1]. *)
+  exec_time : float;
+}
+
+type edge = {
+  from_node : int;  (** Index into {!nodes}. *)
+  to_node : int;
+  delay : int;  (** Iteration distance of the dependency; ≥ 0. *)
+}
+
+type t = { nodes : node array; edges : edge array; source : Graph.t }
+
+val expand : Graph.t -> t
+(** @raise Invalid_argument if the graph is inconsistent or disconnected. *)
+
+val num_nodes : t -> int
+
+val period : Graph.t -> float
+(** Maximum cycle ratio of the expansion: the exact iteration period of the
+    graph under self-timed execution.  Cross-validates {!Statespace.period}.
+    @raise Invalid_argument on inconsistent graphs or graphs with a zero-delay
+    cycle (deadlock). *)
+
+val period_rational : Graph.t -> Rational.t
+(** Exact rational period for graphs whose execution times are integers —
+    free of the bisection tolerance of {!period}.
+    @raise Invalid_argument if some execution time is not an integer, or as
+    {!period}. *)

@@ -1,0 +1,172 @@
+let relax_tolerance = 1e-12
+
+(* Bellman-Ford style longest-path relaxation started from every node at
+   distance 0; a relaxation still succeeding after [nodes] rounds witnesses a
+   positive cycle. *)
+let has_positive_cycle ~nodes edges =
+  if nodes = 0 then false
+  else begin
+    let dist = Array.make nodes 0. in
+    let changed = ref true in
+    let round = ref 0 in
+    while !changed && !round <= nodes do
+      changed := false;
+      incr round;
+      Array.iter
+        (fun (u, v, w) ->
+          let candidate = dist.(u) +. w in
+          if candidate > dist.(v) +. relax_tolerance then begin
+            dist.(v) <- candidate;
+            changed := true
+          end)
+        edges
+    done;
+    !changed
+  end
+
+(* A cycle using only zero-delay edges has unbounded ratio (weights are
+   positive in our use); detect it with an iterative DFS. *)
+let zero_delay_cycle ~nodes edges =
+  let adj = Array.make nodes [] in
+  Array.iter (fun (u, v, _, d) -> if d = 0 then adj.(u) <- v :: adj.(u)) edges;
+  let color = Array.make nodes 0 in
+  (* 0 = white, 1 = on stack, 2 = done *)
+  let found = ref false in
+  let rec visit u =
+    color.(u) <- 1;
+    List.iter
+      (fun v ->
+        if not !found then
+          if color.(v) = 1 then found := true
+          else if color.(v) = 0 then visit v)
+      adj.(u);
+    color.(u) <- 2
+  in
+  for u = 0 to nodes - 1 do
+    if color.(u) = 0 && not !found then visit u
+  done;
+  !found
+
+let max_cycle_ratio ?(epsilon = 1e-9) ~nodes edges =
+  Array.iter
+    (fun (_, _, w, d) ->
+      if w < 0. || d < 0 then invalid_arg "Sdf.Mcm: negative weight or delay")
+    edges;
+  if Array.length edges = 0 then None
+  else if zero_delay_cycle ~nodes edges then
+    invalid_arg "Sdf.Mcm.max_cycle_ratio: zero-delay cycle (deadlock)"
+  else
+    let exists_cycle_above lambda =
+      let shifted =
+        Array.map (fun (u, v, w, d) -> (u, v, w -. (lambda *. float_of_int d))) edges
+      in
+      has_positive_cycle ~nodes shifted
+    in
+    (* Any cycle gives ratio > 0 because all weights are >= 0 and some must be
+       > 0 on a live graph; lambda = 0 test also tells us whether a cycle
+       exists at all when all weights are positive. *)
+    let total_weight = Array.fold_left (fun acc (_, _, w, _) -> acc +. w) 0. edges in
+    if not (exists_cycle_above (-1.)) then None
+    else begin
+      let lo = ref 0. and hi = ref (total_weight +. 1.) in
+      while !hi -. !lo > epsilon do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if exists_cycle_above mid then lo := mid else hi := mid
+      done;
+      Some (0.5 *. (!lo +. !hi))
+    end
+
+let has_positive_cycle_int ~nodes edges =
+  if nodes = 0 then false
+  else begin
+    let dist = Array.make nodes 0 in
+    let changed = ref true in
+    let round = ref 0 in
+    while !changed && !round <= nodes do
+      changed := false;
+      incr round;
+      Array.iter
+        (fun (u, v, w) ->
+          let candidate = dist.(u) + w in
+          if candidate > dist.(v) then begin
+            dist.(v) <- candidate;
+            changed := true
+          end)
+        edges
+    done;
+    !changed
+  end
+
+(* Best rational approximation to [x] with denominator <= max_den, by the
+   continued-fraction algorithm with the final-term (semiconvergent)
+   adjustment: among all fractions with denominator <= max_den none is
+   closer to [x]. *)
+let closest_fraction x ~max_den =
+  if x < 0. then invalid_arg "Sdf.Mcm: negative ratio";
+  let rec convergents x (p0, q0) (p1, q1) =
+    let a = int_of_float (Float.floor x) in
+    let p2 = (a * p1) + p0 and q2 = (a * q1) + q0 in
+    if q2 > max_den then begin
+      (* Largest admissible final term: the best semiconvergent. *)
+      let a' = (max_den - q0) / Int.max 1 q1 in
+      let p' = (a' * p1) + p0 and q' = (a' * q1) + q0 in
+      if q' = 0 then (p1, Int.max 1 q1) else (p', q')
+    end
+    else begin
+      let frac = x -. Float.floor x in
+      if frac < 1e-12 then (p2, q2) else convergents (1. /. frac) (p1, q1) (p2, q2)
+    end
+  in
+  let cand1 = convergents x (0, 1) (1, 0) in
+  (* The last convergent computed before overflow is also a candidate; redo
+     the walk tracking it. *)
+  let rec last_convergent x (p0, q0) (p1, q1) =
+    let a = int_of_float (Float.floor x) in
+    let p2 = (a * p1) + p0 and q2 = (a * q1) + q0 in
+    if q2 > max_den then (p1, q1)
+    else begin
+      let frac = x -. Float.floor x in
+      if frac < 1e-12 then (p2, q2) else last_convergent (1. /. frac) (p1, q1) (p2, q2)
+    end
+  in
+  let cand2 = last_convergent x (0, 1) (1, 0) in
+  let dist (p, q) = if q = 0 then infinity else Float.abs (x -. (float_of_int p /. float_of_int q)) in
+  if dist cand1 <= dist cand2 then cand1 else cand2
+
+let max_cycle_ratio_rational ~nodes edges =
+  Array.iter
+    (fun (_, _, w, d) ->
+      if w < 0 || d < 0 then invalid_arg "Sdf.Mcm: negative weight or delay")
+    edges;
+  if Array.length edges = 0 then None
+  else begin
+    let float_edges = Array.map (fun (u, v, w, d) -> (u, v, float_of_int w, d)) edges in
+    if zero_delay_cycle ~nodes float_edges then
+      invalid_arg "Sdf.Mcm.max_cycle_ratio_rational: zero-delay cycle (deadlock)";
+    let total_delay = Array.fold_left (fun acc (_, _, _, d) -> acc + d) 0 edges in
+    let total_weight = Array.fold_left (fun acc (_, _, w, _) -> acc + w) 0 edges in
+    let max_den = Int.max 1 total_delay in
+    (* Overflow guard for w*q - p*d terms accumulated over <= nodes steps. *)
+    if total_weight > 0 && max_den > max_int / ((total_weight + 1) * Int.max 1 nodes * 4)
+    then invalid_arg "Sdf.Mcm.max_cycle_ratio_rational: weights too large";
+    let exists_above (p, q) =
+      (* exists cycle with sum(w*q - p*d) > 0 *)
+      let shifted = Array.map (fun (u, v, w, d) -> (u, v, (w * q) - (p * d))) edges in
+      has_positive_cycle_int ~nodes shifted
+    in
+    if not (exists_above (-1, 1)) then None
+    else begin
+      (* Distinct fractions with denominator <= max_den are >= 1/max_den^2
+         apart; a float bracket narrower than that isolates the optimum. *)
+      let epsilon = 1. /. (4. *. float_of_int max_den *. float_of_int max_den) in
+      match max_cycle_ratio ~epsilon ~nodes float_edges with
+      | None -> None
+      | Some lambda ->
+          let p, q = closest_fraction lambda ~max_den in
+          if exists_above (p, q) then
+            invalid_arg "Sdf.Mcm.max_cycle_ratio_rational: verification failed (above)"
+          else if not (exists_above ((p * max_den * 2) - 1, q * max_den * 2)) then
+            invalid_arg "Sdf.Mcm.max_cycle_ratio_rational: verification failed (below)"
+          else Some (Rational.make p q)
+    end
+  end

@@ -1,0 +1,72 @@
+type t = { latency : float; makespan : float; buffer_peaks : int array }
+
+(* A compact float-time self-timed executor. Unlike Statespace it does not
+   need recurrence detection (it runs a fixed number of iterations), so plain
+   floats are fine. *)
+let analyse ?(iterations = 3) (g : Graph.t) =
+  if iterations < 1 then invalid_arg "Sdf.Metrics.analyse: iterations < 1";
+  let n = Graph.num_actors g in
+  let q = Repetition.compute_exn g in
+  let tokens = Array.map (fun (c : Graph.channel) -> c.tokens) g.channels in
+  let peaks = Array.copy tokens in
+  let remaining = Array.make n infinity in
+  (* infinity = idle *)
+  let fires = Array.make n 0 in
+  let in_idx = Array.make n [] in
+  Array.iteri (fun ci (c : Graph.channel) -> in_idx.(c.dst) <- ci :: in_idx.(c.dst)) g.channels;
+  let enabled id =
+    remaining.(id) = infinity
+    && List.for_all (fun ci -> tokens.(ci) >= g.channels.(ci).consume) in_idx.(id)
+  in
+  let target = Array.map (fun qi -> qi * iterations) q in
+  let first_iteration_done = Array.make n nan in
+  let now = ref 0. in
+  let latency = ref nan in
+  let deadlocked = ref false in
+  let finished () = Array.for_all2 (fun f t -> f >= t) fires target in
+  while (not (finished ())) && not !deadlocked do
+    (* Start everything enabled (actors that reached their firing target stop
+       to keep the horizon finite). *)
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      for id = 0 to n - 1 do
+        if fires.(id) < target.(id) && enabled id then begin
+          List.iter
+            (fun ci -> tokens.(ci) <- tokens.(ci) - g.channels.(ci).consume)
+            in_idx.(id);
+          remaining.(id) <- (Graph.actor g id).exec_time;
+          progress := true
+        end
+      done
+    done;
+    let dt = Array.fold_left Float.min infinity remaining in
+    if dt = infinity then deadlocked := true
+    else begin
+      now := !now +. dt;
+      for id = 0 to n - 1 do
+        if remaining.(id) < infinity then begin
+          remaining.(id) <- remaining.(id) -. dt;
+          if remaining.(id) <= 1e-9 then begin
+            remaining.(id) <- infinity;
+            fires.(id) <- fires.(id) + 1;
+            Array.iteri
+              (fun ci (c : Graph.channel) ->
+                if c.src = id then begin
+                  tokens.(ci) <- tokens.(ci) + c.produce;
+                  if tokens.(ci) > peaks.(ci) then peaks.(ci) <- tokens.(ci)
+                end)
+              g.channels;
+            if fires.(id) = q.(id) then first_iteration_done.(id) <- !now
+          end
+        end
+      done
+    end
+  done;
+  if !deadlocked then None
+  else begin
+    latency := Array.fold_left Float.max 0. first_iteration_done;
+    Some { latency = !latency; makespan = !now; buffer_peaks = peaks }
+  end
+
+let buffer_bound_total t = Array.fold_left ( + ) 0 t.buffer_peaks

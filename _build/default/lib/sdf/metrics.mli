@@ -1,0 +1,24 @@
+(** Secondary performance metrics of self-timed execution: latency, makespan
+    and buffer occupancy (the properties SDF analysis tools report alongside
+    throughput — cf. the paper's references [16, 20]). *)
+
+type t = {
+  latency : float;
+      (** Completion time of the first firing of the last-finishing actor in
+          iteration one — the input-to-output delay of a fresh start. *)
+  makespan : float;  (** Completion time of the requested iterations. *)
+  buffer_peaks : int array;
+      (** Maximum simultaneous token count observed per channel (indexed
+          like [Graph.channels]), an upper bound on the FIFO capacity each
+          channel needs under self-timed execution. *)
+}
+
+val analyse : ?iterations:int -> Graph.t -> t option
+(** [analyse g] executes [g] self-timed for [iterations] (default [3])
+    complete graph iterations and reports the metrics; [None] if the graph
+    deadlocks before completing them.
+    @raise Invalid_argument on an inconsistent graph or non-positive
+    [iterations]. *)
+
+val buffer_bound_total : t -> int
+(** Sum of the per-channel peaks: a simple total-memory upper bound. *)

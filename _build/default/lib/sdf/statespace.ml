@@ -1,0 +1,129 @@
+type outcome = Period of float | Deadlock
+
+(* State of the self-timed execution: current token count of every channel
+   plus, per actor, the remaining time of its ongoing firing (-1 when idle).
+   Recurrence of this pair implies the execution is periodic from there on. *)
+module State = struct
+  type t = { tokens : int array; remaining : int array }
+
+  let equal a b = a.tokens = b.tokens && a.remaining = b.remaining
+  let hash a = Hashtbl.hash (a.tokens, a.remaining)
+end
+
+module States = Hashtbl.Make (State)
+
+let scaled_times ~scale (g : Graph.t) =
+  let to_int (a : Graph.actor) =
+    let t = Float.round (a.exec_time *. scale) in
+    if t < 1. || t > 1e15 then
+      invalid_arg
+        (Printf.sprintf
+           "Sdf.Statespace: execution time %g for %S out of range at scale %g"
+           a.exec_time a.name scale)
+    else int_of_float t
+  in
+  Array.map to_int g.actors
+
+let run ?(scale = 1e6) ?(max_steps = 2_000_000) (g : Graph.t) =
+  let n = Graph.num_actors g in
+  if n = 0 then invalid_arg "Sdf.Statespace.run: empty graph";
+  let q = Repetition.compute_exn g in
+  let times = scaled_times ~scale g in
+  let tokens = Array.map (fun (c : Graph.channel) -> c.tokens) g.channels in
+  let remaining = Array.make n (-1) in
+  let in_idx =
+    (* Channel indices feeding each actor, for O(in-degree) enabled checks. *)
+    let idx = Array.make n [] in
+    Array.iteri
+      (fun ci (c : Graph.channel) -> idx.(c.dst) <- ci :: idx.(c.dst))
+      g.channels;
+    idx
+  in
+  let enabled id =
+    remaining.(id) < 0
+    && List.for_all
+         (fun ci -> tokens.(ci) >= g.channels.(ci).consume)
+         in_idx.(id)
+  in
+  let start id =
+    List.iter (fun ci -> tokens.(ci) <- tokens.(ci) - g.channels.(ci).consume) in_idx.(id);
+    remaining.(id) <- times.(id)
+  in
+  let fires0 = ref 0 in
+  let finish id =
+    Array.iteri
+      (fun ci (c : Graph.channel) ->
+        if c.src = id then tokens.(ci) <- tokens.(ci) + c.produce)
+      g.channels;
+    remaining.(id) <- -1;
+    if id = 0 then incr fires0
+  in
+  (* Fire everything enabled; starting one actor never disables another
+     (channels have a single consumer position per actor here), but starting
+     an actor with a self-loop could; loop to a fixpoint for safety. *)
+  let saturate () =
+    let again = ref true in
+    while !again do
+      again := false;
+      for id = 0 to n - 1 do
+        if enabled id then begin
+          start id;
+          again := true
+        end
+      done
+    done
+  in
+  let seen = States.create 4096 in
+  let now = ref 0 in
+  let steps = ref 0 in
+  let result = ref None in
+  saturate ();
+  while !result = None do
+    incr steps;
+    if !steps > max_steps then
+      invalid_arg
+        (Printf.sprintf "Sdf.Statespace.run: no recurrence within %d steps in %S"
+           max_steps g.name);
+    let snapshot =
+      { State.tokens = Array.copy tokens; remaining = Array.copy remaining }
+    in
+    (match States.find_opt seen snapshot with
+    | Some (t0, f0) ->
+        let iterations = float_of_int (!fires0 - f0) /. float_of_int q.(0) in
+        if iterations <= 0. then result := Some Deadlock
+          (* recurrent state without progress: a genuine deadlock cycle *)
+        else
+          let elapsed = float_of_int (!now - t0) in
+          result := Some (Period (elapsed /. iterations /. scale))
+    | None -> States.add seen snapshot (!now, !fires0));
+    if !result = None then begin
+      (* Advance to the next completion. *)
+      let dt =
+        Array.fold_left
+          (fun acc r -> if r >= 0 && (acc < 0 || r < acc) then r else acc)
+          (-1) remaining
+      in
+      if dt < 0 then result := Some Deadlock
+      else begin
+        now := !now + dt;
+        for id = 0 to n - 1 do
+          if remaining.(id) >= 0 then begin
+            remaining.(id) <- remaining.(id) - dt;
+            if remaining.(id) = 0 then finish id
+          end
+        done;
+        saturate ()
+      end
+    end
+  done;
+  match !result with Some r -> r | None -> assert false
+
+let period ?scale g =
+  match run ?scale g with Period p -> Some p | Deadlock -> None
+
+let period_exn ?scale g =
+  match run ?scale g with
+  | Period p -> p
+  | Deadlock -> invalid_arg (Printf.sprintf "Sdf.Statespace: graph %S deadlocks" g.name)
+
+let is_live g = match run g with Period _ -> true | Deadlock -> false

@@ -1,0 +1,36 @@
+(** Application period via self-timed state-space execution
+    (Ghamarian et al., ACSD 2006 — the paper's reference [5]).
+
+    The graph is executed self-timed: every actor fires as soon as it is
+    enabled, with at most one concurrent firing per actor (each actor owns a
+    dedicated resource, which is the setting of the paper's analysis).
+    Because the execution is deterministic and the reachable state space of a
+    strongly-connected consistent SDFG is finite, the execution eventually
+    revisits a state; the period is the elapsed time between the two visits
+    divided by the number of graph iterations completed in between.
+
+    Execution times are floats; they are scaled to integers (default
+    [scale = 1e6], i.e. microsecond resolution on unit-time graphs) so state
+    recurrence can be detected with exact arithmetic. *)
+
+type outcome =
+  | Period of float
+      (** Average time per graph iteration in steady state (paper's Per). *)
+  | Deadlock
+      (** The execution reached a state with no enabled and no running actor. *)
+
+val run : ?scale:float -> ?max_steps:int -> Graph.t -> outcome
+(** [run g] executes [g] until a recurrent state or deadlock is found.
+    [max_steps] (default [2_000_000]) bounds the number of simulation events
+    as a safety net.
+    @raise Invalid_argument if the graph is inconsistent, disconnected, or the
+    recurrence is not found within [max_steps]. *)
+
+val period : ?scale:float -> Graph.t -> float option
+(** [Some p] on success, [None] on deadlock. *)
+
+val period_exn : ?scale:float -> Graph.t -> float
+(** @raise Invalid_argument on deadlock. *)
+
+val is_live : Graph.t -> bool
+(** Whether self-timed execution runs forever (no deadlock). *)

@@ -1,0 +1,38 @@
+let single_rate g =
+  let h = Hsdf.expand g in
+  let actors =
+    Array.map
+      (fun (n : Hsdf.node) ->
+        (Printf.sprintf "%s#%d" (Graph.actor g n.actor).name n.firing, n.exec_time))
+      h.nodes
+  in
+  let channels =
+    Array.map
+      (fun (e : Hsdf.edge) -> (e.from_node, e.to_node, 1, 1, e.delay))
+      h.edges
+  in
+  Graph.create ~name:(g.name ^ "#sr") ~actors ~channels
+
+let scale_times factor g =
+  if factor <= 0. then invalid_arg "Sdf.Transform.scale_times: non-positive factor";
+  Graph.with_exec_times g (Array.map (fun t -> t *. factor) (Graph.exec_times g))
+
+let reverse (g : Graph.t) =
+  let actors = Array.map (fun (a : Graph.actor) -> (a.name, a.exec_time)) g.actors in
+  let channels =
+    Array.map
+      (fun (c : Graph.channel) -> (c.dst, c.src, c.consume, c.produce, c.tokens))
+      g.channels
+  in
+  Graph.create ~name:(g.name ^ "#rev") ~actors ~channels
+
+let rename ~prefix (g : Graph.t) =
+  let actors =
+    Array.map (fun (a : Graph.actor) -> (prefix ^ a.name, a.exec_time)) g.actors
+  in
+  let channels =
+    Array.map
+      (fun (c : Graph.channel) -> (c.src, c.dst, c.produce, c.consume, c.tokens))
+      g.channels
+  in
+  Graph.create ~name:(prefix ^ g.name) ~actors ~channels

@@ -1,0 +1,24 @@
+(** Structural graph transformations. *)
+
+val single_rate : Graph.t -> Graph.t
+(** The HSDF expansion ({!Hsdf.expand}) materialised as an ordinary graph:
+    every actor [a] becomes [q.(a)] copies named ["a#k"], every dependency
+    becomes a channel with [produce = consume = 1] and [tokens = delay].
+    The result is homogeneous, has the same period as the input, and can be
+    fed to any analysis that only handles single-rate graphs.
+    @raise Invalid_argument on inconsistent or disconnected graphs. *)
+
+val scale_times : float -> Graph.t -> Graph.t
+(** Multiply every execution time by a positive factor; the period scales by
+    the same factor.  @raise Invalid_argument if the factor is not
+    positive. *)
+
+val reverse : Graph.t -> Graph.t
+(** Flip every channel (producer becomes consumer with swapped rates).  The
+    reverse of a consistent graph is consistent with the same repetition
+    vector, and self-timed execution of the reverse has the same period —
+    a useful property-test oracle. *)
+
+val rename : prefix:string -> Graph.t -> Graph.t
+(** Prefix the graph name and every actor name — for assembling workloads
+    from copies of one application without name clashes. *)

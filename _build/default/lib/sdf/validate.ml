@@ -1,0 +1,41 @@
+type finding =
+  | Inconsistent of string
+  | Disconnected
+  | Not_strongly_connected
+  | Deadlocks
+  | Dead_self_loop of int
+  | Huge_repetition of int * int
+
+let pp_finding ppf = function
+  | Inconsistent msg -> Format.fprintf ppf "inconsistent rates (%s)" msg
+  | Disconnected -> Format.fprintf ppf "graph is not connected"
+  | Not_strongly_connected -> Format.fprintf ppf "graph is not strongly connected"
+  | Deadlocks -> Format.fprintf ppf "self-timed execution deadlocks"
+  | Dead_self_loop a -> Format.fprintf ppf "actor %d can never fire (starved self-loop)" a
+  | Huge_repetition (a, q) ->
+      Format.fprintf ppf "actor %d repeats %d times per iteration" a q
+
+let check ?(repetition_limit = 1000) (g : Graph.t) =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  (* Starved self-loops are a local, certain deadlock. *)
+  Array.iter
+    (fun (c : Graph.channel) ->
+      if c.src = c.dst && c.tokens < c.consume then add (Dead_self_loop c.src))
+    g.channels;
+  if not (Graph.is_connected g) then add Disconnected
+  else if not (Graph.is_strongly_connected g) then add Not_strongly_connected;
+  (match Repetition.compute g with
+  | Error e -> add (Inconsistent (Format.asprintf "%a" Repetition.pp_error e))
+  | Ok q ->
+      Array.iteri (fun a qa -> if qa > repetition_limit then add (Huge_repetition (a, qa))) q;
+      (* Liveness only makes sense for consistent connected graphs without
+         an exploding expansion. *)
+      if
+        Graph.is_connected g
+        && Array.for_all (fun qa -> qa <= repetition_limit) q
+        && not (Statespace.is_live g)
+      then add Deadlocks);
+  List.rev !findings
+
+let is_clean g = check g = []

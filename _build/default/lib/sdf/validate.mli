@@ -1,0 +1,29 @@
+(** Structural linting of SDF graphs.
+
+    {!Graph.create} rejects outright malformed inputs; this module reports
+    the semantic problems that make a well-formed graph useless for the
+    analyses in this library, with one finding per issue so a front end can
+    show them all at once. *)
+
+type finding =
+  | Inconsistent of string  (** No repetition vector exists. *)
+  | Disconnected
+  | Not_strongly_connected
+      (** Legal, but unbounded channels exist and the paper's workload
+          assumes strong connectivity. *)
+  | Deadlocks  (** Self-timed execution stops. *)
+  | Dead_self_loop of int
+      (** Actor whose self-loop carries fewer tokens than it consumes: it
+          can never fire. *)
+  | Huge_repetition of int * int
+      (** Actor with a repetition entry above the threshold: the HSDF
+          expansion will blow up (the paper's Section 2 concern). *)
+
+val check : ?repetition_limit:int -> Graph.t -> finding list
+(** All findings, cheapest checks first; liveness is only checked when the
+    graph is consistent.  [repetition_limit] defaults to [1000]. *)
+
+val is_clean : Graph.t -> bool
+(** [check] finds nothing. *)
+
+val pp_finding : Format.formatter -> finding -> unit

@@ -1,0 +1,1 @@
+lib/sdfgen/generator.ml: Array Char Fun List Printf Rng Sdf String

@@ -1,0 +1,1 @@
+lib/sdfgen/generator.mli: Rng Sdf

@@ -1,0 +1,1 @@
+lib/sdfgen/presets.ml: Array Printf Sdf

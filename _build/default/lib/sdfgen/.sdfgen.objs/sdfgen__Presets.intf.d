@@ -1,0 +1,1 @@
+lib/sdfgen/presets.mli: Sdf

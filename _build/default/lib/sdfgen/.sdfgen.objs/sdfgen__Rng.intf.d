@@ -1,0 +1,1 @@
+lib/sdfgen/rng.mli:

@@ -1,0 +1,108 @@
+type params = {
+  actors_min : int;
+  actors_max : int;
+  exec_min : int;
+  exec_max : int;
+  repetition_max : int;
+  extra_channels : int;
+}
+
+let default_params =
+  {
+    actors_min = 8;
+    actors_max = 10;
+    exec_min = 5;
+    exec_max = 100;
+    repetition_max = 3;
+    extra_channels = 3;
+  }
+
+(* Rates for a channel u -> v consistent with repetition vector q:
+   q.(u) * produce = q.(v) * consume. *)
+let rates q u v =
+  let g = Sdf.Rational.gcd q.(u) q.(v) in
+  (q.(v) / g, q.(u) / g)
+
+(* Initial tokens making channel u -> v unable to block v for a full
+   iteration: v can fire q.(v) times consuming q.(v)*consume tokens. *)
+let full_iteration_tokens q v ~consume = q.(v) * consume
+
+let generate ?(params = default_params) rng ~name =
+  let p = params in
+  if p.actors_min < 2 || p.actors_max < p.actors_min then
+    invalid_arg "Sdfgen.Generator: invalid actor count bounds";
+  if p.exec_min < 1 || p.exec_max < p.exec_min then
+    invalid_arg "Sdfgen.Generator: invalid execution time bounds";
+  if p.repetition_max < 1 then invalid_arg "Sdfgen.Generator: repetition_max < 1";
+  let n = Rng.int_in rng p.actors_min p.actors_max in
+  let q = Array.init n (fun _ -> Rng.int_in rng 1 p.repetition_max) in
+  (* Normalising q's gcd to 1 keeps iterations minimal. *)
+  let g = Array.fold_left Sdf.Rational.gcd 0 q in
+  let q = Array.map (fun v -> v / g) q in
+  let actors =
+    Array.init n (fun i ->
+        (Printf.sprintf "%s%d" (String.lowercase_ascii name) i,
+         float_of_int (Rng.int_in rng p.exec_min p.exec_max)))
+  in
+  (* Random actor order for the strongly-connecting cycle. *)
+  let order = Array.init n Fun.id in
+  Rng.shuffle rng order;
+  let position = Array.make n 0 in
+  Array.iteri (fun pos id -> position.(id) <- pos) order;
+  let channels = ref [] in
+  let add_channel ~src ~dst ~tokens_for_backward =
+    let produce, consume = rates q src dst in
+    let backward = position.(dst) <= position.(src) in
+    let tokens =
+      if backward || tokens_for_backward then full_iteration_tokens q dst ~consume
+      else 0
+    in
+    channels := (src, dst, produce, consume, tokens) :: !channels
+  in
+  for i = 0 to n - 1 do
+    let src = order.(i) and dst = order.((i + 1) mod n) in
+    add_channel ~src ~dst ~tokens_for_backward:false
+  done;
+  let extra = ref 0 in
+  let attempts = ref 0 in
+  while !extra < p.extra_channels && !attempts < 50 * p.extra_channels do
+    incr attempts;
+    let src = Rng.int rng n and dst = Rng.int rng n in
+    let duplicate =
+      List.exists (fun (s, d, _, _, _) -> s = src && d = dst) !channels
+    in
+    if src <> dst && not duplicate then begin
+      add_channel ~src ~dst ~tokens_for_backward:false;
+      incr extra
+    end
+  done;
+  let build token_boost =
+    let boosted =
+      List.map
+        (fun (s, d, pr, co, tk) ->
+          let tk = if tk > 0 then tk * token_boost else tk in
+          (s, d, pr, co, tk))
+        !channels
+    in
+    Sdf.Graph.create ~name ~actors ~channels:(Array.of_list boosted)
+  in
+  (* Liveness is expected by construction (every backward channel lets its
+     consumer run a full iteration); verify and boost tokens if needed. *)
+  let rec ensure_live boost =
+    if boost > 8 then
+      invalid_arg "Sdfgen.Generator: could not make graph live (internal error)"
+    else
+      let g = build boost in
+      if Sdf.Statespace.is_live g then g else ensure_live (boost * 2)
+  in
+  let g = ensure_live 1 in
+  assert (Sdf.Graph.is_strongly_connected g);
+  assert (Sdf.Repetition.is_consistent g);
+  g
+
+let generate_many ?params ~seed count =
+  let rng = Rng.create seed in
+  Array.init count (fun i ->
+      let name = String.make 1 (Char.chr (Char.code 'A' + (i mod 26))) in
+      let name = if i < 26 then name else Printf.sprintf "%s%d" name (i / 26) in
+      generate ?params (Rng.split rng) ~name)

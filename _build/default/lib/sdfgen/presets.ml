@@ -1,0 +1,68 @@
+let ring ~name taus =
+  let n = Array.length taus in
+  if n < 2 then invalid_arg "Sdfgen.Presets.ring: need at least two actors";
+  let actors = Array.mapi (fun i tau -> (Printf.sprintf "%s%d" name i, tau)) taus in
+  let channels =
+    Array.init n (fun i -> (i, (i + 1) mod n, 1, 1, if i = n - 1 then 1 else 0))
+  in
+  Sdf.Graph.create ~name ~actors ~channels
+
+let pipeline ~name ?(frames_in_flight = 1) taus =
+  let n = Array.length taus in
+  if n < 2 then invalid_arg "Sdfgen.Presets.pipeline: need at least two actors";
+  if frames_in_flight < 1 then invalid_arg "Sdfgen.Presets.pipeline: frames_in_flight < 1";
+  let actors = Array.mapi (fun i tau -> (Printf.sprintf "%s%d" name i, tau)) taus in
+  let channels =
+    Array.init n (fun i ->
+        (i, (i + 1) mod n, 1, 1, if i = n - 1 then frames_in_flight else 0))
+  in
+  Sdf.Graph.create ~name ~actors ~channels
+
+let scaled scale t = t *. scale
+
+let h263_decoder ?(scale = 1.) () =
+  let s = scaled scale in
+  (* One iteration = one frame; IQ/IDCT run per 8x8 block (99 per QCIF
+     frame), VLD and MC run per frame. *)
+  Sdf.Graph.create ~name:"H263"
+    ~actors:
+      [| ("vld", s 120.); ("iq", s 4.); ("idct", s 6.); ("mc", s 280.) |]
+    ~channels:
+      [|
+        (0, 1, 99, 1, 0);  (* vld emits 99 blocks *)
+        (1, 2, 1, 1, 0);
+        (2, 3, 1, 99, 0);  (* mc gathers the frame *)
+        (3, 0, 1, 1, 2);  (* double-buffered reference frame *)
+      |]
+
+let mp3_decoder ?(scale = 1.) () =
+  let s = scaled scale in
+  (* One iteration = one frame of two granules; IMDCT per subband batch. *)
+  Sdf.Graph.create ~name:"MP3"
+    ~actors:
+      [|
+        ("huff", s 60.); ("requant", s 40.); ("stereo", s 30.);
+        ("imdct", s 18.); ("synth", s 55.);
+      |]
+    ~channels:
+      [|
+        (0, 1, 1, 1, 0);
+        (1, 2, 1, 1, 0);
+        (2, 3, 4, 1, 0);  (* four subband batches per granule pair *)
+        (3, 4, 1, 4, 0);
+        (4, 0, 1, 1, 2);
+      |]
+
+let jpeg_decoder ?(scale = 1.) () =
+  let s = scaled scale in
+  Sdf.Graph.create ~name:"JPEG"
+    ~actors:[| ("parse", s 90.); ("jidct", s 25.); ("colour", s 140.) |]
+    ~channels:
+      [|
+        (0, 1, 6, 1, 0);  (* six blocks per MCU *)
+        (1, 2, 1, 6, 0);
+        (2, 0, 1, 1, 1);
+      |]
+
+let media_set ?scale () =
+  [| h263_decoder ?scale (); mp3_decoder ?scale (); jpeg_decoder ?scale () |]

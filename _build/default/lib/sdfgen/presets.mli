@@ -1,0 +1,32 @@
+(** Hand-shaped application graphs mimicking the media workloads the paper's
+    title targets.  Execution times are parameters so the same shapes serve
+    tests, examples and benchmarks at different scales; every preset is
+    strongly connected, consistent and live by construction. *)
+
+val ring : name:string -> float array -> Sdf.Graph.t
+(** Single-rate cycle through the given actors, one initial token closing
+    it: period = sum of execution times.
+    @raise Invalid_argument on fewer than two actors. *)
+
+val pipeline : name:string -> ?frames_in_flight:int -> float array -> Sdf.Graph.t
+(** Linear chain with a feedback edge carrying [frames_in_flight] tokens
+    (default [1] — no overlap).  With enough frames in flight the period is
+    the bottleneck stage.  @raise Invalid_argument on fewer than two
+    actors or [frames_in_flight < 1]. *)
+
+val h263_decoder : ?scale:float -> unit -> Sdf.Graph.t
+(** A QCIF H.263-style decoder shape (Stuijk et al.'s classic benchmark):
+    VLD -> IQ (99 blocks per frame) -> IDCT -> MC with a frame feedback.
+    Times in microsecond-ish units, multiplied by [scale] (default 1). *)
+
+val mp3_decoder : ?scale:float -> unit -> Sdf.Graph.t
+(** An MP3-style decoder: Huffman (2 granules per frame) -> requantise ->
+    stereo -> IMDCT -> synthesis, frame feedback. *)
+
+val jpeg_decoder : ?scale:float -> unit -> Sdf.Graph.t
+(** A JPEG-style still decoder: parse -> (6 MCU blocks) IDCT -> colour,
+    image feedback. *)
+
+val media_set : ?scale:float -> unit -> Sdf.Graph.t array
+(** The three decoders above — a ready-made multi-featured media device
+    workload. *)

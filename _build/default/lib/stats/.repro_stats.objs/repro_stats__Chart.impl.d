@@ -1,0 +1,1 @@
+lib/stats/chart.ml: Array Buffer Float Int List Printf String Table

@@ -1,0 +1,84 @@
+let grouped_bars ?(width = 50) ~labels ~series () =
+  let nlabels = List.length labels in
+  List.iter
+    (fun (name, values) ->
+      if Array.length values <> nlabels then
+        invalid_arg
+          (Printf.sprintf "Repro_stats.Chart.grouped_bars: series %S length mismatch" name))
+    series;
+  let max_value =
+    List.fold_left
+      (fun acc (_, values) -> Array.fold_left Float.max acc values)
+      0. series
+  in
+  let max_value = if max_value <= 0. then 1. else max_value in
+  let name_width =
+    List.fold_left (fun acc (name, _) -> Int.max acc (String.length name)) 0 series
+  in
+  let buf = Buffer.create 1024 in
+  List.iteri
+    (fun li label ->
+      Buffer.add_string buf (Printf.sprintf "%s\n" label);
+      List.iter
+        (fun (name, values) ->
+          let v = values.(li) in
+          let cells =
+            if Float.is_nan v then 0
+            else int_of_float (Float.round (v /. max_value *. float_of_int width))
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s |%s %s\n" name_width name (String.make cells '#')
+               (Table.float_cell ~decimals:2 v)))
+        series)
+    labels;
+  Buffer.contents buf
+
+let lines ?(width = 60) ?(height = 20) ~x_label ~y_label ~xs ~series () =
+  if Array.length xs = 0 then invalid_arg "Repro_stats.Chart.lines: no x values";
+  List.iter
+    (fun (name, ys) ->
+      if Array.length ys <> Array.length xs then
+        invalid_arg (Printf.sprintf "Repro_stats.Chart.lines: series %S length mismatch" name))
+    series;
+  let y_max =
+    List.fold_left (fun acc (_, ys) -> Array.fold_left Float.max acc ys) 0. series
+  in
+  let y_max = if y_max <= 0. then 1. else y_max in
+  let x_min = xs.(0) and x_max = xs.(Array.length xs - 1) in
+  let x_span = if x_max = x_min then 1. else x_max -. x_min in
+  let grid = Array.make_matrix height width ' ' in
+  let glyphs = [| '*'; '+'; 'o'; 'x'; '@'; '%'; '&'; '~' |] in
+  List.iteri
+    (fun si (_, ys) ->
+      let glyph = glyphs.(si mod Array.length glyphs) in
+      Array.iteri
+        (fun i y ->
+          if not (Float.is_nan y) then begin
+            let col =
+              int_of_float
+                (Float.round ((xs.(i) -. x_min) /. x_span *. float_of_int (width - 1)))
+            in
+            let row =
+              height - 1
+              - int_of_float (Float.round (y /. y_max *. float_of_int (height - 1)))
+            in
+            let row = Int.max 0 (Int.min (height - 1) row) in
+            grid.(row).(col) <- glyph
+          end)
+        ys)
+    series;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Printf.sprintf "%s (max %.1f)\n" y_label y_max);
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf "  |";
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf ("  +" ^ String.make width '-' ^ "> " ^ x_label ^ "\n");
+  List.iteri
+    (fun si (name, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %c = %s\n" glyphs.(si mod Array.length glyphs) name))
+    series;
+  Buffer.contents buf

@@ -1,0 +1,24 @@
+(** ASCII charts used to render the paper's figures in the terminal. *)
+
+val grouped_bars :
+  ?width:int ->
+  labels:string list ->
+  series:(string * float array) list ->
+  unit ->
+  string
+(** Figure-5 style grouped bar chart: one group per label (application), one
+    bar per series (estimation method), scaled to the maximum value.
+    @raise Invalid_argument if a series length differs from the label
+    count. *)
+
+val lines :
+  ?width:int ->
+  ?height:int ->
+  x_label:string ->
+  y_label:string ->
+  xs:float array ->
+  series:(string * float array) list ->
+  unit ->
+  string
+(** Figure-6 style multi-series plot on a character grid, one glyph per
+    series.  @raise Invalid_argument on a length mismatch or empty data. *)

@@ -1,0 +1,40 @@
+(** Descriptive statistics for the evaluation harness. *)
+
+val mean : float list -> float
+(** @raise Invalid_argument on an empty list. *)
+
+val mean_arr : float array -> float
+
+val stddev : float list -> float
+(** Population standard deviation.  @raise Invalid_argument on empty. *)
+
+val median : float list -> float
+(** @raise Invalid_argument on empty. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile q xs] with [q] in [\[0,100\]], linear interpolation.
+    @raise Invalid_argument on empty list or out-of-range [q]. *)
+
+val abs_pct_error : reference:float -> float -> float
+(** [100 * |estimate - reference| / reference] — the paper's inaccuracy
+    metric ("mean absolute difference ... in percent").
+    @raise Invalid_argument if [reference] is zero. *)
+
+val mean_abs_pct_error : reference:float list -> float list -> float
+(** Mean of {!abs_pct_error} over paired lists.
+    @raise Invalid_argument on a length mismatch or empty lists. *)
+
+type accumulator
+(** Streaming mean/min/max/count accumulator. *)
+
+val accumulator : unit -> accumulator
+val add : accumulator -> float -> unit
+val count : accumulator -> int
+val acc_mean : accumulator -> float
+(** @raise Invalid_argument when nothing was added. *)
+
+val acc_max : accumulator -> float
+val acc_min : accumulator -> float

@@ -1,0 +1,40 @@
+type align = Left | Right
+
+let float_cell ?(decimals = 1) v =
+  if Float.is_nan v then "-" else Printf.sprintf "%.*f" decimals v
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  List.iteri
+    (fun i row ->
+      if List.length row <> ncols then
+        invalid_arg
+          (Printf.sprintf "Repro_stats.Table.render: row %d has %d cells, expected %d" i
+             (List.length row) ncols))
+    rows;
+  let align =
+    match align with
+    | Some a ->
+        if List.length a <> ncols then
+          invalid_arg "Repro_stats.Table.render: align length mismatch"
+        else a
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- Int.max widths.(i) (String.length cell)) row
+  in
+  measure header;
+  List.iter measure rows;
+  let pad i cell =
+    let w = widths.(i) in
+    let fill = String.make (w - String.length cell) ' ' in
+    match List.nth align i with Left -> cell ^ fill | Right -> fill ^ cell
+  in
+  let line row = "| " ^ String.concat " | " (List.mapi pad row) ^ " |" in
+  let rule =
+    "|"
+    ^ String.concat "|" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "|"
+  in
+  String.concat "\n" (line header :: rule :: List.map line rows) ^ "\n"

@@ -1,0 +1,17 @@
+(** Plain-text table rendering for the experiment harness output. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] lays the table out with a separator line under the
+    header; columns are padded to the widest cell.  [align] defaults to
+    [Left] for the first column and [Right] for the rest (the usual shape of
+    a results table).  @raise Invalid_argument if a row's width differs from
+    the header's. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Fixed-point formatting, [nan] rendered as ["-"]; 1 decimal by default. *)

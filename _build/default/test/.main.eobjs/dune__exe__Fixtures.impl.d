@@ -1,0 +1,1 @@
+test/fixtures.ml: Alcotest Contention Float QCheck2 QCheck_alcotest Sdf Sdfgen String

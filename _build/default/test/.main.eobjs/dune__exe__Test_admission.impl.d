@@ -1,0 +1,1 @@
+test/test_admission.ml: Admission Alcotest Analysis Array Contention Fixtures List Mapping Printf QCheck2 Sdf Sdfgen

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Contention Fixtures List Mapping Prob QCheck2

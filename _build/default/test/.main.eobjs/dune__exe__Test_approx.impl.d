@@ -1,0 +1,1 @@
+test/test_approx.ml: Alcotest Approx Contention Exact Fixtures Int List Prob

@@ -1,0 +1,1 @@
+test/test_arbitration.ml: Alcotest Array Desim Engine Fixtures Float Sdf

@@ -1,0 +1,1 @@
+test/test_calibration.ml: Alcotest Analysis Array Contention Desim Fixtures Float List Mapping Prob Sdf Sdfgen

@@ -1,0 +1,1 @@
+test/test_capacity.ml: Alcotest Array Capacity Fixtures Graph Int List Sdf Statespace

@@ -1,0 +1,1 @@
+test/test_compose.ml: Alcotest Compose Contention Exact Fixtures Float List Prob QCheck2

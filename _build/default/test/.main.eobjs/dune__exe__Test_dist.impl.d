@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Contention Dist Fixtures Float List Prob QCheck2 Sdfgen

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Contention Desim Engine Fixtures Float QCheck2 Sdf

@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Contention Exact Fixtures Prob QCheck2 Wcrt

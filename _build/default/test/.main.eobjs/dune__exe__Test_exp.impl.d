@@ -1,0 +1,1 @@
+test/test_exp.ml: Alcotest Array Contention Exp Fixtures Float List Sdf Sdfgen String

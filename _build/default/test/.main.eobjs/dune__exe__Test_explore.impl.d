@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Array Contention Explore Fixtures List QCheck2 Sdf

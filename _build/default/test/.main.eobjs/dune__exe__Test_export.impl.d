@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Exp Filename Fixtures List Sdfgen String Sys

@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest Array Fixtures Fun Sdf Sdfgen

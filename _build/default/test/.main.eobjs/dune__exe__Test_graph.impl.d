@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Fixtures Format Graph List Sdf

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Desim Fixtures Float List QCheck2

@@ -1,0 +1,1 @@
+test/test_hsdf_mcm.ml: Alcotest Array Fixtures Graph Hsdf Mcm Sdf Statespace

@@ -1,0 +1,1 @@
+test/test_integration.ml: Admission Alcotest Analysis Array Contention Desim Filename Fixtures Float List Mapping Sdf Sdfgen Sys

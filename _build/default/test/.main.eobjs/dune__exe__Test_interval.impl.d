@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Analysis Array Contention Exact Fixtures Interval List Prob

@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Array Contention Fixtures Int Mapping Sdf Sdfgen

@@ -1,0 +1,1 @@
+test/test_persistence.ml: Alcotest Array Contention Exp Filename Fixtures Float Int List Option Sdf Sdfgen String Sys

@@ -1,0 +1,1 @@
+test/test_preemptive.ml: Alcotest Array Contention Desim Engine Fixtures Float Fun List Preemptive QCheck2 Sdf

@@ -1,0 +1,1 @@
+test/test_presets_validate.ml: Alcotest Array Fixtures Format List Sdf Sdfgen

@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Contention Fixtures Format Prob QCheck2

@@ -1,0 +1,1 @@
+test/test_rational.ml: Alcotest Fixtures QCheck2 Rational Sdf

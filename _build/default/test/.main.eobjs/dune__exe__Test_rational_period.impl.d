@@ -1,0 +1,1 @@
+test/test_rational_period.ml: Alcotest Array Fixtures Graph Hsdf Mcm Rational Sdf Statespace

@@ -1,0 +1,1 @@
+test/test_repetition.ml: Alcotest Array Fixtures Format Graph Rational Repetition Sdf

@@ -1,0 +1,1 @@
+test/test_replicate.ml: Alcotest Array Contention Desim Exp Fixtures

@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Array Contention Exp Fixtures Float Lazy List Option Sdfgen

@@ -1,0 +1,1 @@
+test/test_sensitivity.ml: Alcotest Analysis Contention Fixtures List Sdf Sensitivity

@@ -1,0 +1,1 @@
+test/test_statespace.ml: Alcotest Array Fixtures Graph Repetition Sdf Statespace

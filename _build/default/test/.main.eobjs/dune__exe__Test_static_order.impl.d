@@ -1,0 +1,1 @@
+test/test_static_order.ml: Alcotest Array Desim Engine Fixtures Sdf Trace

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Fixtures List QCheck2 Repro_stats Stats

@@ -1,0 +1,1 @@
+test/test_stochastic.ml: Alcotest Analysis Array Contention Desim Dist Fixtures Mapping Prob Sdf Sdfgen

@@ -1,0 +1,1 @@
+test/test_sympoly.ml: Alcotest Array Contention Fixtures Fun QCheck2 Sympoly

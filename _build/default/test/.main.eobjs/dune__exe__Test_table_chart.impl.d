@@ -1,0 +1,1 @@
+test/test_table_chart.ml: Alcotest Chart Fixtures Float Int List Repro_stats String Table

@@ -1,0 +1,1 @@
+test/test_tdma.ml: Alcotest Analysis Array Contention Fixtures List Printf Sdf Tdma

@@ -1,0 +1,1 @@
+test/test_text.ml: Alcotest Filename Fixtures Graph Sdf Statespace Sys Text

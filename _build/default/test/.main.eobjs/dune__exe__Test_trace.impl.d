@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Desim Engine Fixtures List Sdf String Trace

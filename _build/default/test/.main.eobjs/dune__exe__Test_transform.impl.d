@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Fixtures Graph Repetition Sdf Statespace Transform

@@ -1,0 +1,1 @@
+test/test_usecase.ml: Alcotest Contention Fixtures Format Int List QCheck2 Usecase

@@ -1,0 +1,1 @@
+test/test_vcd.ml: Alcotest Array Desim Filename Fixtures List Printf Sdf String Sys

@@ -1,0 +1,102 @@
+open Sdf
+
+let test_bounded_structure () =
+  let g = Fixtures.pipeline () in
+  let b = Capacity.bounded g ~capacities:[| 2; 2 |] in
+  Alcotest.(check int) "actors unchanged" 2 (Graph.num_actors b);
+  Alcotest.(check int) "channels doubled" 4 (Graph.num_channels b);
+  (* Reverse channel of (0 -> 1, tokens 0, capacity 2) carries 2 space
+     tokens. *)
+  let reverse = b.Graph.channels.(2) in
+  Alcotest.(check int) "reverse src" 1 reverse.src;
+  Alcotest.(check int) "reverse dst" 0 reverse.dst;
+  Alcotest.(check int) "space tokens" 2 reverse.tokens
+
+let test_validation () =
+  let g = Fixtures.pipeline () in
+  (match Capacity.bounded g ~capacities:[| 2 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch accepted");
+  (* Capacity below the initial tokens of the feedback channel (1) or below
+     rate 1 is rejected. *)
+  match Capacity.bounded g ~capacities:[| 0; 1 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 accepted"
+
+let test_tight_capacity_serialises () =
+  (* A two-stage pipeline with 2 feedback tokens overlaps to period 5; with
+     the forward buffer capped at 1 token the overlap disappears. *)
+  let g =
+    Graph.create ~name:"pipe2"
+      ~actors:[| ("p0", 3.); ("p1", 5.) |]
+      ~channels:[| (0, 1, 1, 1, 0); (1, 0, 1, 1, 2) |]
+  in
+  Fixtures.check_float "unbounded overlaps" 5. (Statespace.period_exn g);
+  match Capacity.throughput_with g ~capacities:[| 1; 2 |] with
+  | Some p -> Fixtures.check_float "bounded serialises" 8. p
+  | None -> Alcotest.fail "deadlocked"
+
+let test_sufficient_preserves_period () =
+  let g = Fixtures.graph_a () in
+  let caps = Capacity.sufficient_capacities g in
+  match Capacity.throughput_with g ~capacities:caps with
+  | Some p -> Fixtures.check_float "period preserved" 300. p
+  | None -> Alcotest.fail "sufficient capacities deadlocked"
+
+let test_sweep_monotone_curve () =
+  let g = Fixtures.graph_a () in
+  let curve = Capacity.sweep_uniform g ~max_capacity:6 in
+  Alcotest.(check int) "points" 6 (List.length curve);
+  (* Larger buffers never slow the graph down. *)
+  let rec check_monotone = function
+    | (_, Some p1) :: ((_, Some p2) :: _ as rest) ->
+        Alcotest.(check bool) "monotone" true (p2 <= p1 +. 1e-6);
+        check_monotone rest
+    | (_, None) :: rest | (_, Some _) :: ((_, None) :: _ as rest) -> check_monotone rest
+    | [ _ ] | [] -> ()
+  in
+  check_monotone curve;
+  (* The curve reaches the unbounded period eventually. *)
+  match List.rev curve with
+  | (_, Some p) :: _ -> Fixtures.check_float "converges" 300. p
+  | _ -> Alcotest.fail "no final point"
+
+let test_sweep_invalid () =
+  match Capacity.sweep_uniform (Fixtures.pipeline ()) ~max_capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "max_capacity 0 accepted"
+
+(* Property: sufficient capacities preserve the unbounded period on random
+   graphs — the core soundness claim of the transformation. *)
+let prop_sufficient_preserves =
+  Fixtures.qcheck_case ~count:50 "sufficient capacities preserve period"
+    Fixtures.graph_gen (fun g ->
+      let unbounded = Statespace.period_exn g in
+      match Capacity.throughput_with g ~capacities:(Capacity.sufficient_capacities g) with
+      | Some p -> Fixtures.float_eq ~eps:1e-6 unbounded p
+      | None -> false)
+
+(* Property: any valid bound only slows the graph down (or deadlocks it). *)
+let prop_bounds_never_speed_up =
+  Fixtures.qcheck_case ~count:50 "bounds never speed up" Fixtures.graph_gen (fun g ->
+      let unbounded = Statespace.period_exn g in
+      let tight =
+        Array.map
+          (fun (c : Graph.channel) -> Int.max c.tokens (Int.max c.produce c.consume))
+          g.Graph.channels
+      in
+      match Capacity.throughput_with g ~capacities:tight with
+      | None -> true
+      | Some p -> p +. 1e-6 >= unbounded)
+
+let suite =
+  [
+    Alcotest.test_case "bounded structure" `Quick test_bounded_structure;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "tight capacity serialises" `Quick test_tight_capacity_serialises;
+    Alcotest.test_case "sufficient preserves period" `Quick test_sufficient_preserves_period;
+    Alcotest.test_case "sweep monotone" `Quick test_sweep_monotone_curve;
+    Alcotest.test_case "sweep invalid" `Quick test_sweep_invalid;
+    prop_sufficient_preserves;
+    prop_bounds_never_speed_up;
+  ]

@@ -1,0 +1,170 @@
+(* Integration tests of the experiment harness on a reduced workload so the
+   suite stays fast: 4 applications, short simulation horizon. *)
+
+(* procs >= actors_max keeps every application free of self-contention, like
+   the paper's 10-actors-on-10-processors layout; size-1 use-cases then have
+   exactly zero inaccuracy. *)
+let small_workload () =
+  Exp.Workload.make ~seed:7 ~num_apps:4 ~procs:6
+    ~params:
+      {
+        Sdfgen.Generator.default_params with
+        actors_min = 4;
+        actors_max = 6;
+        exec_min = 2;
+        exec_max = 20;
+      }
+    ()
+
+let test_workload_construction () =
+  let w = small_workload () in
+  Alcotest.(check int) "num apps" 4 (Exp.Workload.num_apps w);
+  Alcotest.(check (list string)) "names" [ "A"; "B"; "C"; "D" ]
+    (Array.to_list (Exp.Workload.names w));
+  Array.iter
+    (fun p -> Alcotest.(check bool) "positive period" true (p > 0.))
+    (Exp.Workload.isolation_periods w);
+  Alcotest.(check int) "app_index" 2 (Exp.Workload.app_index w "C");
+  match Exp.Workload.app_index w "Z" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown app found"
+
+let test_usecase_selection () =
+  let w = small_workload () in
+  let uc = Contention.Usecase.of_list [ 1; 3 ] in
+  let apps = Exp.Workload.analysis_apps w uc in
+  Alcotest.(check (list string)) "selected" [ "B"; "D" ]
+    (List.map (fun (a : Contention.Analysis.app) -> a.graph.Sdf.Graph.name) apps);
+  let sim = Exp.Workload.sim_apps w uc in
+  Alcotest.(check int) "sim apps" 2 (Array.length sim)
+
+let test_workload_determinism () =
+  let w1 = small_workload () and w2 = small_workload () in
+  Alcotest.(check (array (float 1e-12))) "same periods"
+    (Exp.Workload.isolation_periods w1)
+    (Exp.Workload.isolation_periods w2)
+
+let run_small_sweep () =
+  let w = small_workload () in
+  Exp.Sweep.run ~horizon:20_000. w
+
+let test_sweep_structure () =
+  let s = run_small_sweep () in
+  (* 2^4 - 1 use-cases; observations = sum of use-case sizes = 4 * 2^3 = 32. *)
+  Alcotest.(check int) "observations" 32 (List.length s.observations);
+  List.iter
+    (fun (o : Exp.Sweep.observation) ->
+      Alcotest.(check int) "4 estimates" 4 (List.length o.estimated_periods);
+      Alcotest.(check bool) "positive estimates" true
+        (List.for_all (fun (_, p) -> p > 0.) o.estimated_periods))
+    s.observations;
+  Alcotest.(check bool) "timing recorded" true (s.timing.simulation_s >= 0.)
+
+let test_sweep_inaccuracy_shape () =
+  let s = run_small_sweep () in
+  let wc = Exp.Sweep.inaccuracy_period s Contention.Analysis.Worst_case in
+  let o2 = Exp.Sweep.inaccuracy_period s (Contention.Analysis.Order 2) in
+  let o4 = Exp.Sweep.inaccuracy_period s (Contention.Analysis.Order 4) in
+  let comp = Exp.Sweep.inaccuracy_period s Contention.Analysis.Composability in
+  (* The paper's headline: worst case is far worse than the probabilistic
+     approaches, which are mutually close. *)
+  Alcotest.(check bool) "wc dominates" true (wc > o2 && wc > o4 && wc > comp);
+  Alcotest.(check bool) "probabilistic close" true (Float.abs (o2 -. comp) < 5.);
+  let tp = Exp.Sweep.inaccuracy_throughput s (Contention.Analysis.Order 2) in
+  Alcotest.(check bool) "throughput inaccuracy sane" true (tp >= 0. && tp < 100.)
+
+let test_sweep_by_size () =
+  let s = run_small_sweep () in
+  let by_size = Exp.Sweep.inaccuracy_by_size s (Contention.Analysis.Order 2) in
+  Alcotest.(check (list int)) "sizes" [ 1; 2; 3; 4 ]
+    (Array.to_list (Array.map fst by_size));
+  (* Size 1 has no contention: zero inaccuracy. *)
+  (match by_size.(0) with
+  | 1, v -> Fixtures.check_float ~eps:1e-6 "no contention" 0. v
+  | _ -> Alcotest.fail "missing size 1");
+  (* Unknown estimator is rejected. *)
+  match Exp.Sweep.inaccuracy_period s (Contention.Analysis.Order 9) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown estimator accepted"
+
+let test_figures_render () =
+  let w = small_workload () in
+  let f5 = Exp.Figures.fig5 ~horizon:20_000. w in
+  Alcotest.(check int) "7 series" 7 (List.length f5.series);
+  let rendered = Exp.Figures.render_fig5 f5 in
+  Alcotest.(check bool) "fig5 mentions simulated" true
+    (Fixtures.contains ~affix:"Simulated" rendered);
+  let s = run_small_sweep () in
+  let t1 = Exp.Figures.table1 s in
+  Alcotest.(check int) "4 rows" 4 (List.length t1);
+  Alcotest.(check (list string)) "paper row order"
+    [ "Worst Case"; "Composability"; "Fourth Order"; "Second Order" ]
+    (List.map (fun (r : Exp.Figures.table1_row) -> r.method_name) t1);
+  let rendered = Exp.Figures.render_table1 t1 in
+  Alcotest.(check bool) "complexity column" true (Fixtures.contains ~affix:"O(n" rendered);
+  let f6 = Exp.Figures.fig6 s in
+  Alcotest.(check int) "sizes 1..4" 4 (Array.length f6.sizes);
+  let rendered = Exp.Figures.render_fig6 f6 in
+  Alcotest.(check bool) "fig6 renders" true (String.length rendered > 100);
+  let timing = Exp.Figures.render_timing s in
+  Alcotest.(check bool) "timing renders" true
+    (Fixtures.contains ~affix:"simulation" timing)
+
+let test_fig5_normalisation () =
+  let w = small_workload () in
+  let f5 = Exp.Figures.fig5 ~horizon:20_000. w in
+  let original = List.assoc "Original" f5.series in
+  Array.iter (fun v -> Fixtures.check_float "original = 1" 1. v) original;
+  (* Estimates are at least the isolation period. *)
+  List.iter
+    (fun (name, values) ->
+      if name <> "Original" && name <> "Simulated" && name <> "Simulated Worst Case" then
+        Array.iter
+          (fun v -> Alcotest.(check bool) (name ^ " >= 1") true (v >= 1. -. 1e-9))
+          values)
+    f5.series
+
+let test_progress_callback () =
+  let w = small_workload () in
+  let calls = ref 0 in
+  let _ =
+    Exp.Sweep.run ~horizon:5_000.
+      ~usecases:[ Contention.Usecase.of_list [ 0 ]; Contention.Usecase.of_list [ 0; 1 ] ]
+      ~progress:(fun d t ->
+        incr calls;
+        Alcotest.(check bool) "progress bounds" true (d <= t))
+      w
+  in
+  Alcotest.(check int) "progress called per use-case" 2 !calls
+
+let suite =
+  [
+    Alcotest.test_case "workload construction" `Quick test_workload_construction;
+    Alcotest.test_case "usecase selection" `Quick test_usecase_selection;
+    Alcotest.test_case "workload determinism" `Quick test_workload_determinism;
+    Alcotest.test_case "sweep structure" `Slow test_sweep_structure;
+    Alcotest.test_case "sweep inaccuracy shape" `Slow test_sweep_inaccuracy_shape;
+    Alcotest.test_case "sweep by size" `Slow test_sweep_by_size;
+    Alcotest.test_case "figures render" `Slow test_figures_render;
+    Alcotest.test_case "fig5 normalisation" `Slow test_fig5_normalisation;
+    Alcotest.test_case "progress callback" `Quick test_progress_callback;
+  ]
+
+(* Sweep restricted to explicit use-cases covers exactly those, and the
+   timing block accounts every estimator requested. *)
+let test_sweep_estimator_subset () =
+  let w = small_workload () in
+  let s =
+    Exp.Sweep.run ~horizon:5_000.
+      ~estimators:[ Contention.Analysis.Exact ]
+      ~usecases:[ Contention.Usecase.of_list [ 0; 1 ] ]
+      w
+  in
+  Alcotest.(check int) "observations" 2 (List.length s.observations);
+  List.iter
+    (fun (o : Exp.Sweep.observation) ->
+      Alcotest.(check int) "one estimator" 1 (List.length o.estimated_periods))
+    s.observations;
+  Alcotest.(check int) "one timing entry" 1 (List.length s.timing.analysis_s)
+
+let suite = suite @ [ Alcotest.test_case "estimator subset" `Quick test_sweep_estimator_subset ]

@@ -1,0 +1,73 @@
+let small_sweep () =
+  let w =
+    Exp.Workload.make ~seed:3 ~num_apps:3 ~procs:6
+      ~params:
+        {
+          Sdfgen.Generator.default_params with
+          actors_min = 3;
+          actors_max = 5;
+          exec_min = 2;
+          exec_max = 15;
+        }
+      ()
+  in
+  (w, Exp.Sweep.run ~horizon:10_000. w)
+
+let count_lines s = List.length (String.split_on_char '\n' (String.trim s))
+
+let test_fig5_csv () =
+  let w, _ = small_sweep () in
+  let csv = Exp.Export.fig5_csv (Exp.Figures.fig5 ~horizon:10_000. w) in
+  Alcotest.(check int) "header + one row per app" 4 (count_lines csv);
+  let header = List.hd (String.split_on_char '\n' csv) in
+  Alcotest.(check bool) "series named" true
+    (Fixtures.contains ~affix:"Simulated" header && Fixtures.contains ~affix:"app" header)
+
+let test_table1_csv () =
+  let _, s = small_sweep () in
+  let csv = Exp.Export.table1_csv (Exp.Figures.table1 s) in
+  Alcotest.(check int) "header + 4 methods" 5 (count_lines csv);
+  Alcotest.(check bool) "complexity quoted safely" true
+    (Fixtures.contains ~affix:"O(n" csv)
+
+let test_fig6_csv () =
+  let _, s = small_sweep () in
+  let csv = Exp.Export.fig6_csv (Exp.Figures.fig6 s) in
+  (* sizes 1..3 plus header *)
+  Alcotest.(check int) "rows" 4 (count_lines csv)
+
+let test_observations_csv () =
+  let _, s = small_sweep () in
+  let csv = Exp.Export.observations_csv s in
+  (* 3 apps: sum over use-cases of active count = 3 * 2^2 = 12, plus header. *)
+  Alcotest.(check int) "rows" 13 (count_lines csv);
+  let header = List.hd (String.split_on_char '\n' csv) in
+  Alcotest.(check bool) "has estimator columns" true
+    (Fixtures.contains ~affix:"second-order" header)
+
+let test_quoting () =
+  (* Commas and quotes in names survive. *)
+  let row = Exp.Export.table1_csv
+      [ { Exp.Figures.method_name = "a,b\"c"; throughput_pct = 1.; period_pct = 2.;
+          complexity = "O(n)" } ]
+  in
+  Alcotest.(check bool) "quoted" true (Fixtures.contains ~affix:"\"a,b\"\"c\"" row)
+
+let test_write () =
+  let path = Filename.temp_file "export" ".csv" in
+  Exp.Export.write ~path "x,y\n1,2\n";
+  let ic = open_in path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "written" "x,y\n1,2\n" contents
+
+let suite =
+  [
+    Alcotest.test_case "fig5 csv" `Slow test_fig5_csv;
+    Alcotest.test_case "table1 csv" `Slow test_table1_csv;
+    Alcotest.test_case "fig6 csv" `Slow test_fig6_csv;
+    Alcotest.test_case "observations csv" `Slow test_observations_csv;
+    Alcotest.test_case "quoting" `Quick test_quoting;
+    Alcotest.test_case "write" `Quick test_write;
+  ]

@@ -1,0 +1,66 @@
+let test_determinism () =
+  let a = Sdfgen.Generator.generate_many ~seed:42 5 in
+  let b = Sdfgen.Generator.generate_many ~seed:42 5 in
+  Array.iteri
+    (fun i g -> Alcotest.(check bool) "same graph" true (Sdf.Graph.equal_structure g b.(i)))
+    a;
+  let c = Sdfgen.Generator.generate_many ~seed:43 5 in
+  let all_equal =
+    Array.for_all Fun.id (Array.mapi (fun i g -> Sdf.Graph.equal_structure g c.(i)) a)
+  in
+  Alcotest.(check bool) "different seed differs" false all_equal
+
+let test_names () =
+  let graphs = Sdfgen.Generator.generate_many ~seed:1 3 in
+  Alcotest.(check (list string)) "names" [ "A"; "B"; "C" ]
+    (Array.to_list (Array.map (fun g -> g.Sdf.Graph.name) graphs))
+
+let test_default_params_shape () =
+  let graphs = Sdfgen.Generator.generate_many ~seed:2007 10 in
+  Array.iter
+    (fun g ->
+      let n = Sdf.Graph.num_actors g in
+      Alcotest.(check bool) "8-10 actors" true (n >= 8 && n <= 10);
+      Array.iter
+        (fun (a : Sdf.Graph.actor) ->
+          Alcotest.(check bool) "exec in range" true
+            (a.exec_time >= 5. && a.exec_time <= 100.))
+        g.actors)
+    graphs
+
+let test_invalid_params () =
+  let bad = { Sdfgen.Generator.default_params with actors_min = 1 } in
+  match
+    Sdfgen.Generator.generate ~params:bad (Sdfgen.Rng.create 0) ~name:"X"
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "actors_min = 1 accepted"
+
+let prop_strongly_connected =
+  Fixtures.qcheck_case ~count:100 "strongly connected" Fixtures.graph_gen
+    Sdf.Graph.is_strongly_connected
+
+let prop_consistent =
+  Fixtures.qcheck_case ~count:100 "consistent" Fixtures.graph_gen
+    Sdf.Repetition.is_consistent
+
+let prop_live =
+  Fixtures.qcheck_case ~count:100 "live" Fixtures.graph_gen Sdf.Statespace.is_live
+
+let prop_repetition_bounded =
+  Fixtures.qcheck_case ~count:100 "small repetition entries" Fixtures.graph_gen
+    (fun g ->
+      let q = Sdf.Repetition.compute_exn g in
+      Array.for_all (fun v -> v >= 1 && v <= 3) q)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "names" `Quick test_names;
+    Alcotest.test_case "default params shape" `Quick test_default_params_shape;
+    Alcotest.test_case "invalid params" `Quick test_invalid_params;
+    prop_strongly_connected;
+    prop_consistent;
+    prop_live;
+    prop_repetition_bounded;
+  ]

@@ -1,0 +1,90 @@
+open Sdf
+
+let test_expand_counts () =
+  let h = Hsdf.expand (Fixtures.graph_a ()) in
+  (* q = [1;2;1] -> 4 firing nodes. *)
+  Alcotest.(check int) "nodes" 4 (Hsdf.num_nodes h);
+  Array.iter
+    (fun (e : Hsdf.edge) ->
+      Alcotest.(check bool) "delay >= 0" true (e.delay >= 0);
+      Alcotest.(check bool) "node range" true
+        (e.from_node >= 0 && e.from_node < 4 && e.to_node >= 0 && e.to_node < 4))
+    h.edges
+
+let test_expand_homogeneous_identity () =
+  (* A homogeneous graph expands to itself (plus self-loops). *)
+  let h = Hsdf.expand (Fixtures.pipeline ()) in
+  Alcotest.(check int) "nodes" 2 (Hsdf.num_nodes h);
+  Fixtures.check_float "period preserved" 8. (Hsdf.period (Fixtures.pipeline ()))
+
+let test_paper_period () =
+  Fixtures.check_float ~eps:1e-6 "Per(A)" 300. (Hsdf.period (Fixtures.graph_a ()));
+  Fixtures.check_float ~eps:1e-6 "Per(B)" 300. (Hsdf.period (Fixtures.graph_b ()))
+
+let test_mcm_simple_cycle () =
+  (* Triangle: ratio (1+2+3)/2 = 3. *)
+  let edges = [| (0, 1, 1., 0); (1, 2, 2., 1); (2, 0, 3., 1) |] in
+  match Mcm.max_cycle_ratio ~nodes:3 edges with
+  | Some r -> Fixtures.check_float ~eps:1e-6 "triangle" 3. r
+  | None -> Alcotest.fail "no cycle found"
+
+let test_mcm_picks_maximum () =
+  (* Two disjoint cycles with ratios 2 and 5: the answer is 5. *)
+  let edges = [| (0, 1, 2., 1); (1, 0, 2., 1); (2, 3, 5., 1); (3, 2, 5., 1) |] in
+  match Mcm.max_cycle_ratio ~nodes:4 edges with
+  | Some r -> Fixtures.check_float ~eps:1e-6 "max of cycles" 5. r
+  | None -> Alcotest.fail "no cycle found"
+
+let test_mcm_acyclic () =
+  let edges = [| (0, 1, 1., 0); (1, 2, 1., 1) |] in
+  Alcotest.(check bool) "acyclic -> None" true
+    (Mcm.max_cycle_ratio ~nodes:3 edges = None)
+
+let test_mcm_zero_delay_cycle () =
+  let edges = [| (0, 1, 1., 0); (1, 0, 1., 0) |] in
+  match Mcm.max_cycle_ratio ~nodes:2 edges with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero-delay cycle accepted"
+
+let test_mcm_negative_inputs () =
+  match Mcm.max_cycle_ratio ~nodes:2 [| (0, 1, -1., 0); (1, 0, 1., 1) |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative weight accepted"
+
+let test_positive_cycle_detection () =
+  Alcotest.(check bool) "positive cycle" true
+    (Mcm.has_positive_cycle ~nodes:2 [| (0, 1, 1.); (1, 0, -0.5) |]);
+  Alcotest.(check bool) "no positive cycle" false
+    (Mcm.has_positive_cycle ~nodes:2 [| (0, 1, 1.); (1, 0, -2.) |]);
+  Alcotest.(check bool) "empty graph" false (Mcm.has_positive_cycle ~nodes:0 [||])
+
+(* The two period engines agree on random graphs — the central
+   cross-validation that replaces the paper's reliance on SDF3. *)
+let prop_engines_agree =
+  Fixtures.qcheck_case ~count:80 "statespace = mcm" Fixtures.graph_gen (fun g ->
+      let ps = Statespace.period_exn g in
+      let ph = Hsdf.period g in
+      Fixtures.float_eq ~eps:1e-5 ps ph)
+
+let prop_engines_agree_fractional =
+  Fixtures.qcheck_case ~count:40 "statespace = mcm (perturbed times)"
+    Fixtures.graph_gen (fun g ->
+      (* Perturb times to non-integers to exercise scaling paths. *)
+      let times = Array.map (fun t -> t +. 0.25) (Graph.exec_times g) in
+      let g = Graph.with_exec_times g times in
+      Fixtures.float_eq ~eps:1e-5 (Statespace.period_exn g) (Hsdf.period g))
+
+let suite =
+  [
+    Alcotest.test_case "expand counts" `Quick test_expand_counts;
+    Alcotest.test_case "homogeneous identity" `Quick test_expand_homogeneous_identity;
+    Alcotest.test_case "paper periods" `Quick test_paper_period;
+    Alcotest.test_case "mcm simple cycle" `Quick test_mcm_simple_cycle;
+    Alcotest.test_case "mcm maximum" `Quick test_mcm_picks_maximum;
+    Alcotest.test_case "mcm acyclic" `Quick test_mcm_acyclic;
+    Alcotest.test_case "mcm zero-delay cycle" `Quick test_mcm_zero_delay_cycle;
+    Alcotest.test_case "mcm invalid input" `Quick test_mcm_negative_inputs;
+    Alcotest.test_case "positive cycle detection" `Quick test_positive_cycle_detection;
+    prop_engines_agree;
+    prop_engines_agree_fractional;
+  ]

@@ -1,0 +1,161 @@
+(* Cross-module integration tests: analysis estimates versus simulated
+   behaviour on constructed scenarios where the truth is known. *)
+
+open Contention
+
+(* A "ticker" application is a two-actor ring: a worker (tau 5, mapped on the
+   shared processor 0) and a pacer (tau 5, on a private processor), one token
+   on the feedback edge.  Isolation period = 10, so the worker occupies the
+   shared node with P = 1/2 and mu = 2.5.  With two tickers the theory is
+   exactly computable: probabilistic wait = mu * P = 1.25, estimated period
+   11.25; worst-case wait 5, period 15; the simulation interleaves perfectly
+   and keeps period 10. *)
+let ticker name ~pacer_proc =
+  let g =
+    Sdf.Graph.create ~name
+      ~actors:[| (name ^ "w", 5.); (name ^ "p", 5.) |]
+      ~channels:[| (0, 1, 1, 1, 0); (1, 0, 1, 1, 1) |]
+  in
+  (g, [| 0; pacer_proc |])
+
+let test_tickers_analysis () =
+  let gx, mx = ticker "X" ~pacer_proc:1 and gy, my = ticker "Y" ~pacer_proc:2 in
+  Fixtures.check_float "isolation" 10. (Sdf.Statespace.period_exn gx);
+  let x = Analysis.app gx ~mapping:mx and y = Analysis.app gy ~mapping:my in
+  (match Analysis.estimate Analysis.Exact [ x; y ] with
+  | [ rx; ry ] ->
+      Fixtures.check_float "wait" 1.25 rx.Analysis.waiting_times.(0);
+      Fixtures.check_float "period" 11.25 rx.Analysis.period;
+      Fixtures.check_float "symmetric" 11.25 ry.Analysis.period
+  | _ -> Alcotest.fail "arity");
+  match Analysis.estimate Analysis.Worst_case [ x; y ] with
+  | [ rx; _ ] -> Fixtures.check_float "wc period" 15. rx.Analysis.period
+  | _ -> Alcotest.fail "arity"
+
+let test_tickers_simulation_between_bounds () =
+  let gx, mx = ticker "X" ~pacer_proc:1 and gy, my = ticker "Y" ~pacer_proc:2 in
+  let apps =
+    [| { Desim.Engine.graph = gx; mapping = mx };
+       { Desim.Engine.graph = gy; mapping = my } |]
+  in
+  let results, _ = Desim.Engine.run ~horizon:50_000. ~procs:3 apps in
+  Array.iter
+    (fun (r : Desim.Engine.result) ->
+      (* Simulated behaviour must lie between isolation and worst case. *)
+      Alcotest.(check bool) "sim >= isolation" true (r.avg_period +. 1e-6 >= 10.);
+      Alcotest.(check bool) "sim <= worst case" true (r.avg_period <= 15. +. 1e-6))
+    results
+
+(* A saturated node: three tickers' workers on one processor. Total demand
+   3 * 5/10 = 1.5 > 1, so the simulated period must stretch to 3 * tau = 15
+   regardless of phase. The probabilistic estimate must stay below the worst
+   case (20). *)
+let test_saturation () =
+  let gx, mx = ticker "X" ~pacer_proc:1
+  and gy, my = ticker "Y" ~pacer_proc:2
+  and gz, mz = ticker "Z" ~pacer_proc:3 in
+  let apps =
+    [| { Desim.Engine.graph = gx; mapping = mx };
+       { Desim.Engine.graph = gy; mapping = my };
+       { Desim.Engine.graph = gz; mapping = mz } |]
+  in
+  let results, _ = Desim.Engine.run ~horizon:60_000. ~procs:4 apps in
+  Array.iter
+    (fun (r : Desim.Engine.result) ->
+      Fixtures.check_float ~eps:1e-2 "saturated period" 15. r.avg_period)
+    results;
+  let analysis_apps =
+    [ Analysis.app gx ~mapping:mx; Analysis.app gy ~mapping:my; Analysis.app gz ~mapping:mz ]
+  in
+  List.iter
+    (fun est ->
+      List.iter
+        (fun (r : Analysis.estimate) ->
+          Alcotest.(check bool)
+            (Analysis.estimator_name est ^ " between iso and wc")
+            true
+            (r.period >= 10. && r.period <= 20.00001))
+        (Analysis.estimate est analysis_apps))
+    [ Analysis.Order 2; Analysis.Order 4; Analysis.Composability; Analysis.Exact ]
+
+(* Estimates track simulation within the paper's error band on random
+   two-application workloads: the probabilistic estimate should usually be
+   closer to simulation than the worst-case estimate. We require it on
+   average over the generated cases rather than for every single case. *)
+let test_probabilistic_beats_worst_case_on_average () =
+  let rng = Sdfgen.Rng.create 1234 in
+  let params =
+    { Sdfgen.Generator.default_params with actors_min = 4; actors_max = 6;
+      exec_min = 2; exec_max = 30; extra_channels = 2 }
+  in
+  let procs = 3 in
+  let cases = 15 in
+  let err_prob = ref 0. and err_wc = ref 0. in
+  for _ = 1 to cases do
+    let g1 = Sdfgen.Generator.generate ~params (Sdfgen.Rng.split rng) ~name:"U" in
+    let g2 = Sdfgen.Generator.generate ~params (Sdfgen.Rng.split rng) ~name:"V" in
+    let a1 = Analysis.app g1 ~mapping:(Mapping.modulo ~procs g1) in
+    let a2 = Analysis.app g2 ~mapping:(Mapping.modulo ~procs g2) in
+    let sim, _ =
+      Desim.Engine.run ~horizon:50_000. ~procs
+        [| { Desim.Engine.graph = g1; mapping = a1.Analysis.mapping };
+           { Desim.Engine.graph = g2; mapping = a2.Analysis.mapping } |]
+    in
+    let est estimator =
+      List.map (fun (r : Analysis.estimate) -> r.period) (Analysis.estimate estimator [ a1; a2 ])
+    in
+    let probabilistic = est (Analysis.Order 2) and worst = est Analysis.Worst_case in
+    List.iteri
+      (fun i simulated ->
+        if not (Float.is_nan simulated) then begin
+          err_prob := !err_prob +. Float.abs (List.nth probabilistic i -. simulated) /. simulated;
+          err_wc := !err_wc +. Float.abs (List.nth worst i -. simulated) /. simulated
+        end)
+      (Array.to_list (Array.map (fun r -> r.Desim.Engine.avg_period) sim))
+  done;
+  Alcotest.(check bool) "probabilistic closer on average" true (!err_prob < !err_wc)
+
+(* Admission control agrees with offline analysis for two applications. *)
+let test_admission_consistent_with_analysis () =
+  let a = Analysis.app (Fixtures.graph_a ()) ~mapping:[| 0; 1; 2 |] in
+  let b = Analysis.app (Fixtures.graph_b ()) ~mapping:[| 0; 1; 2 |] in
+  let offline =
+    match Analysis.estimate Analysis.Composability [ a; b ] with
+    | [ ra; _ ] -> ra.Analysis.period
+    | _ -> Alcotest.fail "arity"
+  in
+  let ctl = Admission.create ~procs:3 in
+  ignore (Admission.try_admit ctl a Admission.best_effort);
+  ignore (Admission.try_admit ctl b Admission.best_effort);
+  Fixtures.check_float ~eps:1e-6 "online = offline" offline
+    (Admission.estimated_period ctl "A")
+
+(* The DOT export round-trips basic structure for generated graphs. *)
+let test_dot_export () =
+  let g = Fixtures.graph_a () in
+  let dot = Sdf.Dot.to_dot g in
+  Alcotest.(check bool) "digraph" true (Fixtures.contains ~affix:"digraph" dot);
+  Array.iter
+    (fun (a : Sdf.Graph.actor) ->
+      Alcotest.(check bool) "actor present" true (Fixtures.contains ~affix:a.name dot))
+    g.actors;
+  let path = Filename.temp_file "sdf" ".dot" in
+  Sdf.Dot.write_file path g;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "file contents" dot contents
+
+let suite =
+  [
+    Alcotest.test_case "tickers analysis" `Quick test_tickers_analysis;
+    Alcotest.test_case "tickers simulation bounds" `Quick test_tickers_simulation_between_bounds;
+    Alcotest.test_case "saturated node" `Quick test_saturation;
+    Alcotest.test_case "probabilistic beats worst case" `Slow
+      test_probabilistic_beats_worst_case_on_average;
+    Alcotest.test_case "admission = offline analysis" `Quick
+      test_admission_consistent_with_analysis;
+    Alcotest.test_case "dot export" `Quick test_dot_export;
+  ]

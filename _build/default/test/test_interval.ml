@@ -1,0 +1,87 @@
+open Contention
+
+let load p mu = Prob.make ~p ~mu ~tau:(2. *. mu)
+
+let test_of_load_margins () =
+  let b = Interval.of_load ~p_margin:0.2 ~mu_margin:0.1 (load 0.5 10.) in
+  Fixtures.check_float "p lower" 0.4 b.Interval.lower.Prob.p;
+  Fixtures.check_float "p upper" 0.6 b.Interval.upper.Prob.p;
+  Fixtures.check_float "mu lower" 9. b.Interval.lower.Prob.mu;
+  Fixtures.check_float "mu upper" 11. b.Interval.upper.Prob.mu;
+  (* Clamping keeps probabilities legal. *)
+  let clamped = Interval.of_load ~p_margin:0.5 (load 0.9 10.) in
+  Alcotest.(check bool) "p clamped at 1" true (clamped.Interval.upper.Prob.p <= 1.);
+  match Interval.of_load ~p_margin:(-0.1) (load 0.5 10.) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative margin accepted"
+
+let test_waiting_interval_brackets_point () =
+  let loads = [ load 0.3 20.; load 0.5 10.; load 0.2 35. ] in
+  let bounds = List.map (Interval.of_load ~p_margin:0.15 ~mu_margin:0.15) loads in
+  List.iter
+    (fun est ->
+      let lo, hi = Interval.waiting_interval est bounds in
+      let point = Analysis.waiting_time_for est loads in
+      Alcotest.(check bool)
+        (Analysis.estimator_name est ^ " brackets point")
+        true
+        (lo <= point +. 1e-9 && point <= hi +. 1e-9 && lo <= hi +. 1e-9))
+    [ Analysis.Worst_case; Analysis.Order 2; Analysis.Order 4; Analysis.Composability;
+      Analysis.Exact ]
+
+let test_zero_margin_degenerate () =
+  let loads = [ load 0.4 15.; load 0.3 25. ] in
+  let bounds = List.map (Interval.of_load ~p_margin:0. ~mu_margin:0.) loads in
+  let lo, hi = Interval.waiting_interval Analysis.Exact bounds in
+  Fixtures.check_float "degenerate interval" lo hi;
+  Fixtures.check_float "equals point" (Exact.waiting_time loads) lo
+
+let test_period_interval () =
+  let a = Analysis.app (Fixtures.graph_a ()) ~mapping:[| 0; 1; 2 |] in
+  let b = Analysis.app (Fixtures.graph_b ()) ~mapping:[| 0; 1; 2 |] in
+  let with_margin m (app : Analysis.app) =
+    Array.map (Interval.of_load ~p_margin:m ~mu_margin:m) (Analysis.loads app)
+  in
+  let result =
+    Interval.period_interval Analysis.Exact
+      [ (a, with_margin 0.1 a); (b, with_margin 0.1 b) ]
+  in
+  let point =
+    List.map (fun (r : Analysis.estimate) -> r.period) (Analysis.estimate Analysis.Exact [ a; b ])
+  in
+  List.iteri
+    (fun i (_, (lo, hi)) ->
+      let p = List.nth point i in
+      Alcotest.(check bool) "point within" true (lo <= p +. 1e-9 && p <= hi +. 1e-9);
+      (* The contention surcharge is bounded, not the whole period: the lower
+         bound still exceeds the isolation period. *)
+      Alcotest.(check bool) "above isolation" true (lo +. 1e-9 >= 300.))
+    result;
+  match
+    Interval.period_interval Analysis.Exact [ (a, [| Interval.of_load (load 0.1 1.) |]) ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "short bounds accepted"
+
+(* Wider margins produce nested (weaker) intervals. *)
+let prop_monotone_in_margin =
+  Fixtures.qcheck_case ~count:100 "intervals nest with margin" (Fixtures.load_gen ())
+    (fun loads ->
+      match loads with
+      | [] -> true
+      | loads ->
+          let interval m =
+            Interval.waiting_interval Analysis.Exact
+              (List.map (Interval.of_load ~p_margin:m ~mu_margin:m) loads)
+          in
+          let lo1, hi1 = interval 0.05 and lo2, hi2 = interval 0.2 in
+          lo2 <= lo1 +. 1e-9 && hi1 <= hi2 +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "of_load margins" `Quick test_of_load_margins;
+    Alcotest.test_case "waiting interval brackets" `Quick test_waiting_interval_brackets_point;
+    Alcotest.test_case "zero margin" `Quick test_zero_margin_degenerate;
+    Alcotest.test_case "period interval" `Quick test_period_interval;
+    prop_monotone_in_margin;
+  ]

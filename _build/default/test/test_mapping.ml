@@ -1,0 +1,65 @@
+open Contention
+
+let test_modulo () =
+  let g = Sdfgen.Generator.generate (Sdfgen.Rng.create 5) ~name:"M" in
+  let m = Mapping.modulo ~procs:3 g in
+  Array.iteri (fun j p -> Alcotest.(check int) "j mod 3" (j mod 3) p) m;
+  Mapping.validate ~procs:3 g m
+
+let test_dedicated () =
+  let g = Fixtures.graph_a () in
+  Alcotest.(check (array int)) "identity" [| 0; 1; 2 |] (Mapping.dedicated g)
+
+let test_balanced_spreads_load () =
+  let g = Fixtures.graph_a () in
+  (* Work: a0 = 100, a1 = 100 (2 x 50), a2 = 100; three procs get one each. *)
+  let m = Mapping.balanced ~procs:3 g in
+  let sorted = Array.copy m in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "perfect spread" [| 0; 1; 2 |] sorted
+
+let test_balanced_two_procs () =
+  let g =
+    Sdf.Graph.create ~name:"w"
+      ~actors:[| ("x", 10.); ("y", 6.); ("z", 4.) |]
+      ~channels:[| (0, 1, 1, 1, 1); (1, 2, 1, 1, 1); (2, 0, 1, 1, 1) |]
+  in
+  let m = Mapping.balanced ~procs:2 g in
+  (* x (10) alone, y+z (10) together: loads balance exactly. *)
+  Alcotest.(check bool) "y,z same proc" true (m.(1) = m.(2));
+  Alcotest.(check bool) "x separate" true (m.(0) <> m.(1))
+
+let test_validate () =
+  let g = Fixtures.graph_a () in
+  (match Mapping.validate ~procs:2 g [| 0; 1; 2 |] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "out-of-range processor accepted");
+  (match Mapping.validate ~procs:3 g [| 0; 1 |] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "short mapping accepted");
+  match Mapping.modulo ~procs:0 g with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "0 procs accepted"
+
+let prop_modulo_valid =
+  Fixtures.qcheck_case ~count:50 "modulo always validates" Fixtures.graph_gen (fun g ->
+      let m = Mapping.modulo ~procs:4 g in
+      Mapping.validate ~procs:4 g m;
+      true)
+
+let prop_balanced_valid =
+  Fixtures.qcheck_case ~count:50 "balanced always validates" Fixtures.graph_gen (fun g ->
+      let m = Mapping.balanced ~procs:3 g in
+      Mapping.validate ~procs:3 g m;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "modulo" `Quick test_modulo;
+    Alcotest.test_case "dedicated" `Quick test_dedicated;
+    Alcotest.test_case "balanced spreads" `Quick test_balanced_spreads_load;
+    Alcotest.test_case "balanced two procs" `Quick test_balanced_two_procs;
+    Alcotest.test_case "validate" `Quick test_validate;
+    prop_modulo_valid;
+    prop_balanced_valid;
+  ]

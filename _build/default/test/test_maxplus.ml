@@ -1,0 +1,91 @@
+let test_identity_multiply () =
+  let i3 = Maxplus.identity 3 in
+  let m = Maxplus.matrix 3 in
+  m.(0).(1) <- 5.;
+  m.(2).(0) <- 2.;
+  let left = Maxplus.multiply i3 m and right = Maxplus.multiply m i3 in
+  for r = 0 to 2 do
+    for c = 0 to 2 do
+      Alcotest.(check bool) "left identity" true (left.(r).(c) = m.(r).(c));
+      Alcotest.(check bool) "right identity" true (right.(r).(c) = m.(r).(c))
+    done
+  done;
+  match Maxplus.multiply i3 (Maxplus.identity 2) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "dimension mismatch accepted"
+
+let test_apply () =
+  let m = Maxplus.matrix 2 in
+  m.(0).(0) <- 1.;
+  m.(0).(1) <- 3.;
+  m.(1).(0) <- 2.;
+  let y = Maxplus.apply m [| 0.; 10. |] in
+  Alcotest.(check (array (float 1e-9))) "apply" [| 13.; 2. |] y
+
+let test_closure () =
+  (* Acyclic: 0 -> 1 -> 2 with weights 1 and 2; closure gives the longest
+     paths. *)
+  let m = Maxplus.matrix 3 in
+  m.(1).(0) <- 1.;
+  m.(2).(1) <- 2.;
+  (match Maxplus.closure m with
+  | None -> Alcotest.fail "acyclic closure diverged"
+  | Some star ->
+      Fixtures.check_float "0->2 path" 3. star.(2).(0);
+      Fixtures.check_float "diagonal" 0. star.(0).(0));
+  (* A positive cycle diverges. *)
+  let cyc = Maxplus.matrix 2 in
+  cyc.(1).(0) <- 1.;
+  cyc.(0).(1) <- 1.;
+  Alcotest.(check bool) "positive cycle diverges" true (Maxplus.closure cyc = None)
+
+let test_eigenvalue_simple_cycle () =
+  (* Two-node cycle with weights 3 and 7: eigenvalue (3+7)/2 = 5. *)
+  let m = Maxplus.matrix 2 in
+  m.(1).(0) <- 3.;
+  m.(0).(1) <- 7.;
+  match Maxplus.eigenvalue m with
+  | Some l -> Fixtures.check_float "cycle mean" 5. l
+  | None -> Alcotest.fail "no eigenvalue"
+
+let test_eigenvalue_empty () =
+  Alcotest.(check bool) "empty" true (Maxplus.eigenvalue (Maxplus.matrix 0) = None)
+
+let test_paper_graph_period () =
+  Fixtures.check_float ~eps:1e-9 "Per(A)" 300. (Maxplus.period (Fixtures.graph_a ()));
+  Fixtures.check_float ~eps:1e-9 "Per(B)" 300. (Maxplus.period (Fixtures.graph_b ()))
+
+let test_deadlocked_rejected () =
+  match Maxplus.of_graph (Fixtures.deadlocked ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero-delay cycle accepted"
+
+let test_multi_delay_registers () =
+  (* A channel with three initial tokens spans three iterations: the matrix
+     grows registers and the eigenvalue is period = max(tau)/... here the
+     ring can overlap three deep, so the period is the bottleneck. *)
+  let g =
+    Sdf.Graph.create ~name:"deep"
+      ~actors:[| ("x", 4.); ("y", 9.) |]
+      ~channels:[| (0, 1, 1, 1, 0); (1, 0, 1, 1, 3) |]
+  in
+  Fixtures.check_float "statespace" 9. (Sdf.Statespace.period_exn g);
+  Fixtures.check_float ~eps:1e-9 "maxplus" 9. (Maxplus.period g)
+
+(* The fourth engine agrees with the other three on random graphs. *)
+let prop_agrees_with_other_engines =
+  Fixtures.qcheck_case ~count:60 "maxplus = statespace" Fixtures.graph_gen (fun g ->
+      Fixtures.float_eq ~eps:1e-6 (Sdf.Statespace.period_exn g) (Maxplus.period g))
+
+let suite =
+  [
+    Alcotest.test_case "identity/multiply" `Quick test_identity_multiply;
+    Alcotest.test_case "apply" `Quick test_apply;
+    Alcotest.test_case "closure" `Quick test_closure;
+    Alcotest.test_case "eigenvalue cycle" `Quick test_eigenvalue_simple_cycle;
+    Alcotest.test_case "eigenvalue empty" `Quick test_eigenvalue_empty;
+    Alcotest.test_case "paper periods" `Quick test_paper_graph_period;
+    Alcotest.test_case "deadlock rejected" `Quick test_deadlocked_rejected;
+    Alcotest.test_case "multi-delay registers" `Quick test_multi_delay_registers;
+    prop_agrees_with_other_engines;
+  ]

@@ -1,0 +1,82 @@
+open Sdf
+
+let test_pipeline () =
+  match Metrics.analyse ~iterations:3 (Fixtures.pipeline ()) with
+  | None -> Alcotest.fail "pipeline deadlocked"
+  | Some m ->
+      (* tau0 = 3, tau1 = 5: first iteration (both actors once) ends at 8;
+         three iterations take 24 (no overlap with one feedback token). *)
+      Fixtures.check_float "latency" 8. m.latency;
+      Fixtures.check_float "makespan" 24. m.makespan;
+      Alcotest.(check int) "channels" 2 (Array.length m.buffer_peaks);
+      (* One token in flight at a time on each channel. *)
+      Alcotest.(check (array int)) "peaks" [| 1; 1 |] m.buffer_peaks;
+      Alcotest.(check int) "total bound" 2 (Metrics.buffer_bound_total m)
+
+let test_paper_graph () =
+  match Metrics.analyse (Fixtures.graph_a ()) with
+  | None -> Alcotest.fail "graph A deadlocked"
+  | Some m ->
+      (* Per(A) = 300 with no pipelining: k iterations take k * 300. *)
+      Fixtures.check_float "latency = one period" 300. m.latency;
+      Fixtures.check_float "makespan = 3 periods" 900. m.makespan;
+      (* a0 produces 2 tokens consumed one per a1 firing: peak 2. *)
+      Alcotest.(check bool) "a0->a1 peak" true (m.buffer_peaks.(0) = 2)
+
+let test_overlapped_pipeline_latency_vs_period () =
+  (* With 2 feedback tokens, iterations overlap: makespan/iteration < latency
+     of the first. *)
+  let g =
+    Graph.create ~name:"pipe2"
+      ~actors:[| ("p0", 3.); ("p1", 5.) |]
+      ~channels:[| (0, 1, 1, 1, 0); (1, 0, 1, 1, 2) |]
+  in
+  match Metrics.analyse ~iterations:10 g with
+  | None -> Alcotest.fail "deadlock"
+  | Some m ->
+      let period = Statespace.period_exn g in
+      Fixtures.check_float "steady period" 5. period;
+      Alcotest.(check bool) "makespan amortises to period" true
+        (m.makespan < 10. *. 8. && m.makespan >= 10. *. period -. 8.)
+
+let test_deadlock_returns_none () =
+  Alcotest.(check bool) "deadlock" true (Metrics.analyse (Fixtures.deadlocked ()) = None)
+
+let test_invalid_iterations () =
+  match Metrics.analyse ~iterations:0 (Fixtures.pipeline ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "0 iterations accepted"
+
+(* Buffer peaks never fall below the initial token counts, and the makespan
+   grows linearly-at-most with the iteration count. *)
+let prop_peaks_bound_initial =
+  Fixtures.qcheck_case ~count:60 "peaks >= initial tokens" Fixtures.graph_gen (fun g ->
+      match Metrics.analyse g with
+      | None -> false
+      | Some m ->
+          Array.for_all2
+            (fun peak (c : Graph.channel) -> peak >= c.tokens)
+            m.buffer_peaks g.channels)
+
+let prop_makespan_vs_period =
+  (* k iterations self-timed never take longer than k sequential periods plus
+     one transient period, and at least (k-1) periods. *)
+  Fixtures.qcheck_case ~count:40 "makespan brackets" Fixtures.graph_gen (fun g ->
+      let k = 4 in
+      match Metrics.analyse ~iterations:k g with
+      | None -> false
+      | Some m ->
+          let per = Statespace.period_exn g in
+          m.makespan <= (float_of_int (k + 1) *. per) +. 1e-6
+          && m.makespan +. 1e-6 >= float_of_int (k - 1) *. per)
+
+let suite =
+  [
+    Alcotest.test_case "pipeline" `Quick test_pipeline;
+    Alcotest.test_case "paper graph" `Quick test_paper_graph;
+    Alcotest.test_case "overlap" `Quick test_overlapped_pipeline_latency_vs_period;
+    Alcotest.test_case "deadlock" `Quick test_deadlock_returns_none;
+    Alcotest.test_case "invalid iterations" `Quick test_invalid_iterations;
+    prop_peaks_bound_initial;
+    prop_makespan_vs_period;
+  ]

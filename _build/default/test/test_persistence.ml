@@ -1,0 +1,134 @@
+(* Multi-graph text format, capacity minimisation and workload save/load. *)
+
+let test_many_roundtrip () =
+  let graphs = [ Fixtures.graph_a (); Fixtures.graph_b (); Fixtures.pipeline () ] in
+  match Sdf.Text.of_string_many (Sdf.Text.to_string_many graphs) with
+  | Error msg -> Alcotest.failf "parse: %s" msg
+  | Ok parsed ->
+      Alcotest.(check int) "count" 3 (List.length parsed);
+      List.iter2
+        (fun g g' ->
+          Alcotest.(check bool) "structure" true (Sdf.Graph.equal_structure g g'))
+        graphs parsed
+
+let test_many_empty_and_bad () =
+  (match Sdf.Text.of_string_many "# just a comment\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "no sections accepted");
+  match Sdf.Text.of_string_many "graph \"x\"\nactor a 1\ngraph \"y\"\nwibble\n" with
+  | Error msg -> Alcotest.(check bool) "error propagated" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "bad section accepted"
+
+let test_workload_save_load () =
+  let w = Exp.Workload.make ~seed:5 ~num_apps:3 ~procs:4
+      ~params:{ Sdfgen.Generator.default_params with actors_min = 3; actors_max = 4 } ()
+  in
+  let path = Filename.temp_file "workload" ".sdfw" in
+  Exp.Workload.save w path;
+  (match Exp.Workload.load path with
+  | Error msg -> Alcotest.failf "load: %s" msg
+  | Ok w' ->
+      Alcotest.(check int) "apps" (Exp.Workload.num_apps w) (Exp.Workload.num_apps w');
+      Alcotest.(check (array string)) "names" (Exp.Workload.names w) (Exp.Workload.names w');
+      Alcotest.(check (array (float 1e-9))) "isolation periods"
+        (Exp.Workload.isolation_periods w)
+        (Exp.Workload.isolation_periods w');
+      Alcotest.(check int) "procs" w.Exp.Workload.procs w'.Exp.Workload.procs);
+  Sys.remove path
+
+let test_workload_load_errors () =
+  (match Exp.Workload.load "/nonexistent/file.sdfw" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file accepted");
+  let path = Filename.temp_file "notworkload" ".sdfw" in
+  let oc = open_out path in
+  output_string oc "graph \"x\"\nactor a 1\n";
+  close_out oc;
+  (match Exp.Workload.load path with
+  | Error msg -> Alcotest.(check bool) "header required" true
+      (Fixtures.contains ~affix:"header" msg)
+  | Ok _ -> Alcotest.fail "headerless file accepted");
+  Sys.remove path
+
+let test_capacity_minimise () =
+  (* Overlapping pipeline: period 5 needs capacity 2 on the forward channel;
+     relaxing to period 8 lets it shrink to 1. *)
+  let g =
+    Sdf.Graph.create ~name:"pipe2"
+      ~actors:[| ("p0", 3.); ("p1", 5.) |]
+      ~channels:[| (0, 1, 1, 1, 0); (1, 0, 1, 1, 2) |]
+  in
+  (match Sdf.Capacity.minimise g ~max_period:5. with
+  | None -> Alcotest.fail "constraint unreachable"
+  | Some caps ->
+      (match Sdf.Capacity.throughput_with g ~capacities:caps with
+      | Some p -> Alcotest.(check bool) "meets constraint" true (p <= 5. +. 1e-6)
+      | None -> Alcotest.fail "minimised deadlocks");
+      (* Local minimum: no channel can shrink further. *)
+      Array.iteri
+        (fun i _ ->
+          let c = g.Sdf.Graph.channels.(i) in
+          let least = Int.max c.tokens (Int.max c.produce c.consume) in
+          if caps.(i) > least then begin
+            let tighter = Array.copy caps in
+            tighter.(i) <- tighter.(i) - 1;
+            match Sdf.Capacity.throughput_with g ~capacities:tighter with
+            | Some p -> Alcotest.(check bool) "locally minimal" true (p > 5. +. 1e-9)
+            | None -> ()
+          end)
+        caps);
+  (match Sdf.Capacity.minimise g ~max_period:8. with
+  | None -> Alcotest.fail "relaxed constraint unreachable"
+  | Some caps ->
+      (* Total buffering shrinks when the constraint relaxes. *)
+      let strict = Option.get (Sdf.Capacity.minimise g ~max_period:5.) in
+      Alcotest.(check bool) "relaxed <= strict" true
+        (Array.fold_left ( + ) 0 caps <= Array.fold_left ( + ) 0 strict));
+  (* An unreachable constraint (below the intrinsic period) yields None. *)
+  Alcotest.(check bool) "unreachable" true (Sdf.Capacity.minimise g ~max_period:1. = None);
+  match Sdf.Capacity.minimise g ~max_period:0. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-positive period accepted"
+
+(* Minimised capacities always meet the constraint and are locally minimal
+   on random graphs. *)
+let prop_minimise_sound =
+  Fixtures.qcheck_case ~count:25 "minimise sound" Fixtures.graph_gen (fun g ->
+      let target = Sdf.Statespace.period_exn g *. 1.2 in
+      match Sdf.Capacity.minimise g ~max_period:target with
+      | None -> false
+      | Some caps -> (
+          match Sdf.Capacity.throughput_with g ~capacities:caps with
+          | Some p -> p <= target +. 1e-6
+          | None -> false))
+
+let test_report () =
+  let w = Exp.Workload.make ~seed:9 ~num_apps:3 ~procs:6
+      ~params:{ Sdfgen.Generator.default_params with actors_min = 4; actors_max = 6 } ()
+  in
+  let usecase = Contention.Usecase.full ~napps:3 in
+  let report = Exp.Report.build ~horizon:100_000. w usecase in
+  let rendered = Exp.Report.render ~napps:3 report in
+  Alcotest.(check bool) "has period table" true
+    (Fixtures.contains ~affix:"Estimated" rendered);
+  Alcotest.(check bool) "has utilisation" true
+    (Fixtures.contains ~affix:"Observed" rendered);
+  (* Definition 4 validated: predicted busy fraction tracks the observed one
+     on every processor (within 10 points on this light workload). *)
+  Array.iteri
+    (fun p predicted ->
+      let observed = report.observed_utilisation.(p) in
+      if not (Float.abs (predicted -. observed) < 0.10) then
+        Alcotest.failf "proc %d: predicted %.3f vs observed %.3f" p predicted observed)
+    report.predicted_utilisation
+
+let suite =
+  [
+    Alcotest.test_case "many roundtrip" `Quick test_many_roundtrip;
+    Alcotest.test_case "many errors" `Quick test_many_empty_and_bad;
+    Alcotest.test_case "workload save/load" `Quick test_workload_save_load;
+    Alcotest.test_case "workload load errors" `Quick test_workload_load_errors;
+    Alcotest.test_case "capacity minimise" `Quick test_capacity_minimise;
+    prop_minimise_sound;
+    Alcotest.test_case "report" `Slow test_report;
+  ]

@@ -1,0 +1,115 @@
+open Desim
+
+let ticker name ~pacer_proc =
+  ( Sdf.Graph.create ~name
+      ~actors:[| (name ^ "w", 5.); (name ^ "p", 5.) |]
+      ~channels:[| (0, 1, 1, 1, 0); (1, 0, 1, 1, 1) |],
+    [| 0; pacer_proc |] )
+
+let test_slice_of () =
+  Fixtures.check_float "equal slices" 25. (Preemptive.slice_of ~wheel:100. ~sharers:4);
+  (match Preemptive.slice_of ~wheel:0. ~sharers:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wheel 0 accepted");
+  match Preemptive.slice_of ~wheel:10. ~sharers:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "0 sharers accepted"
+
+let test_single_owner_full_wheel () =
+  (* One application per processor: TDMA degenerates to dedicated
+     processors; the period equals the self-timed one. *)
+  let g = Fixtures.graph_a () in
+  let apps = [| { Engine.graph = g; mapping = [| 0; 1; 2 |] } |] in
+  let results, _ = Preemptive.run ~horizon:30_000. ~wheel:100. ~procs:3 apps in
+  Fixtures.check_float ~eps:1e-6 "isolation period" 300. results.(0).Engine.avg_period
+
+let test_two_tickers_tdma_period () =
+  (* Two tickers (worker tau 5, isolation period 10) sharing proc 0 under a
+     wheel of 10 (slice 5 each): each worker gets exactly one slice per
+     wheel, so both settle at period 10 here (the phases align with the
+     wheel). *)
+  let gx, mx = ticker "X" ~pacer_proc:1 and gy, my = ticker "Y" ~pacer_proc:2 in
+  let apps =
+    [| { Engine.graph = gx; mapping = mx }; { Engine.graph = gy; mapping = my } |]
+  in
+  let results, stats = Preemptive.run ~horizon:50_000. ~wheel:10. ~procs:3 apps in
+  Array.iter
+    (fun (r : Engine.result) ->
+      Alcotest.(check bool) "period within TDMA bound" true
+        (r.avg_period <= 10. +. Contention.Tdma.response_time ~exec:5. ~slice:5. ~wheel:10.))
+    results;
+  Alcotest.(check bool) "made progress" true (stats.Engine.total_firings > 1000)
+
+let test_tdma_wastes_idle_slices () =
+  (* A single ticker that must share the wheel with a second application
+     whose shared-node actor is rarely ready: strict TDMA burns the idle
+     slice, so the ticker locks to the wheel cadence instead of its own
+     period.  (With a perfectly harmonic wheel — e.g. wheel 10 here — the
+     loss can vanish; a misaligned wheel shows the systematic cost.) *)
+  let gx, mx = ticker "X" ~pacer_proc:1 in
+  let slow =
+    Sdf.Graph.create ~name:"S"
+      ~actors:[| ("sw", 1.); ("sp", 99.) |]
+      ~channels:[| (0, 1, 1, 1, 0); (1, 0, 1, 1, 1) |]
+  in
+  let apps =
+    [| { Engine.graph = gx; mapping = mx }; { Engine.graph = slow; mapping = [| 0; 2 |] } |]
+  in
+  let fcfs, _ = Engine.run ~horizon:60_000. ~procs:3 apps in
+  let tdma16, _ = Preemptive.run ~horizon:60_000. ~wheel:16. ~procs:3 apps in
+  let tdma40, _ = Preemptive.run ~horizon:60_000. ~wheel:40. ~procs:3 apps in
+  Alcotest.(check bool) "FCFS barely affected" true (fcfs.(0).Engine.avg_period < 11.);
+  (* The ticker (isolation period 10) locks to the 16-wheel. *)
+  Fixtures.check_float ~eps:1e-3 "locks to the wheel" 16. tdma16.(0).Engine.avg_period;
+  Alcotest.(check bool) "coarser wheel, worse period" true
+    (tdma40.(0).Engine.avg_period > tdma16.(0).Engine.avg_period +. 1.)
+
+let test_validation () =
+  let gx, mx = ticker "X" ~pacer_proc:1 in
+  let apps = [| { Engine.graph = gx; mapping = mx } |] in
+  (match Preemptive.run ~wheel:0. ~procs:2 apps with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wheel 0 accepted");
+  (match Preemptive.run ~wheel:10. ~procs:2 [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "no apps accepted");
+  match Preemptive.run ~wheel:10. ~procs:1 apps with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad mapping accepted"
+
+(* The analytical TDMA worst case (Contention.Tdma, the related-work bound)
+   is sound with respect to the simulated TDMA system: estimated period >=
+   simulated period, for random two-application workloads. *)
+let prop_tdma_bound_sound =
+  Fixtures.qcheck_case ~count:20 "TDMA bound >= TDMA simulation"
+    QCheck2.Gen.(pair Fixtures.graph_gen Fixtures.graph_gen)
+    (fun (g1, g2) ->
+      let procs = 3 and wheel = 40. in
+      let a1 = Contention.Analysis.app g1 ~mapping:(Contention.Mapping.modulo ~procs g1) in
+      let a2 = Contention.Analysis.app g2 ~mapping:(Contention.Mapping.modulo ~procs g2) in
+      let bound =
+        List.map
+          (fun (r : Contention.Analysis.estimate) -> r.period)
+          (Contention.Tdma.estimate ~wheel [ a1; a2 ])
+      in
+      let simulated, _ =
+        Preemptive.run ~horizon:60_000. ~wheel ~procs
+          [| { Engine.graph = g1; mapping = a1.Contention.Analysis.mapping };
+             { Engine.graph = g2; mapping = a2.Contention.Analysis.mapping } |]
+      in
+      Array.for_all Fun.id
+        (Array.mapi
+           (fun i (r : Engine.result) ->
+             Float.is_nan r.avg_period
+             || r.avg_period <= List.nth bound i +. 1e-6)
+           simulated))
+
+let suite =
+  [
+    Alcotest.test_case "slice_of" `Quick test_slice_of;
+    Alcotest.test_case "single owner" `Quick test_single_owner_full_wheel;
+    Alcotest.test_case "two tickers" `Quick test_two_tickers_tdma_period;
+    Alcotest.test_case "idle slices wasted" `Quick test_tdma_wastes_idle_slices;
+    Alcotest.test_case "validation" `Quick test_validation;
+    prop_tdma_bound_sound;
+  ]

@@ -1,0 +1,108 @@
+let test_ring () =
+  let g = Sdfgen.Presets.ring ~name:"r" [| 3.; 4.; 5. |] in
+  Fixtures.check_float "period = sum" 12. (Sdf.Statespace.period_exn g);
+  match Sdfgen.Presets.ring ~name:"r" [| 1. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "single-actor ring accepted"
+
+let test_pipeline_overlap () =
+  let serial = Sdfgen.Presets.pipeline ~name:"p" [| 3.; 7.; 5. |] in
+  Fixtures.check_float "no overlap" 15. (Sdf.Statespace.period_exn serial);
+  let deep = Sdfgen.Presets.pipeline ~name:"p" ~frames_in_flight:3 [| 3.; 7.; 5. |] in
+  Fixtures.check_float "bottleneck" 7. (Sdf.Statespace.period_exn deep);
+  match Sdfgen.Presets.pipeline ~name:"p" ~frames_in_flight:0 [| 1.; 2. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "0 frames accepted"
+
+let test_media_presets_well_formed () =
+  Array.iter
+    (fun g ->
+      Alcotest.(check bool)
+        (g.Sdf.Graph.name ^ " clean")
+        true (Sdf.Validate.is_clean g);
+      Alcotest.(check bool)
+        (g.Sdf.Graph.name ^ " has period")
+        true
+        (Sdf.Statespace.period_exn g > 0.))
+    (Sdfgen.Presets.media_set ())
+
+let test_preset_scaling () =
+  let base = Sdf.Statespace.period_exn (Sdfgen.Presets.h263_decoder ()) in
+  let doubled = Sdf.Statespace.period_exn (Sdfgen.Presets.h263_decoder ~scale:2. ()) in
+  Fixtures.check_float "scaled" (2. *. base) doubled
+
+let test_h263_multirate () =
+  let g = Sdfgen.Presets.h263_decoder () in
+  let q = Sdf.Repetition.compute_exn g in
+  (* 99 block-level firings per frame. *)
+  Alcotest.(check (array int)) "repetition" [| 1; 99; 99; 1 |] q
+
+let test_validate_clean_graph () =
+  Alcotest.(check (list int)) "no findings" []
+    (List.map (fun _ -> 0) (Sdf.Validate.check (Fixtures.graph_a ())));
+  Alcotest.(check bool) "is_clean" true (Sdf.Validate.is_clean (Fixtures.graph_a ()))
+
+let test_validate_findings () =
+  let has pred g = List.exists pred (Sdf.Validate.check g) in
+  Alcotest.(check bool) "deadlock found" true
+    (has (function Sdf.Validate.Deadlocks -> true | _ -> false) (Fixtures.deadlocked ()));
+  Alcotest.(check bool) "inconsistency found" true
+    (has
+       (function Sdf.Validate.Inconsistent _ -> true | _ -> false)
+       (Fixtures.inconsistent ()));
+  let chain =
+    Sdf.Graph.create ~name:"chain"
+      ~actors:[| ("x", 1.); ("y", 1.) |]
+      ~channels:[| (0, 1, 1, 1, 0) |]
+  in
+  Alcotest.(check bool) "weak connectivity flagged" true
+    (has (function Sdf.Validate.Not_strongly_connected -> true | _ -> false) chain);
+  let disconnected =
+    Sdf.Graph.create ~name:"disc"
+      ~actors:[| ("x", 1.); ("y", 1.) |]
+      ~channels:[| (0, 0, 1, 1, 1); (1, 1, 1, 1, 1) |]
+  in
+  Alcotest.(check bool) "disconnection flagged" true
+    (has (function Sdf.Validate.Disconnected -> true | _ -> false) disconnected);
+  let starved =
+    Sdf.Graph.create ~name:"starved"
+      ~actors:[| ("x", 1.) |]
+      ~channels:[| (0, 0, 1, 2, 1) |]
+  in
+  Alcotest.(check bool) "starved self-loop flagged" true
+    (has (function Sdf.Validate.Dead_self_loop 0 -> true | _ -> false) starved)
+
+let test_validate_huge_repetition () =
+  let g =
+    Sdf.Graph.create ~name:"big"
+      ~actors:[| ("x", 1.); ("y", 1.) |]
+      ~channels:[| (0, 1, 500, 1, 0); (1, 0, 1, 500, 500) |]
+  in
+  let findings = Sdf.Validate.check ~repetition_limit:100 g in
+  Alcotest.(check bool) "huge repetition flagged" true
+    (List.exists
+       (function Sdf.Validate.Huge_repetition (_, 500) -> true | _ -> false)
+       findings)
+
+let test_finding_printer () =
+  let s = Format.asprintf "%a" Sdf.Validate.pp_finding Sdf.Validate.Deadlocks in
+  Alcotest.(check bool) "mentions deadlock" true (Fixtures.contains ~affix:"deadlock" s)
+
+(* Generated graphs always lint clean. *)
+let prop_generated_clean =
+  Fixtures.qcheck_case ~count:60 "generated graphs are clean" Fixtures.graph_gen
+    Sdf.Validate.is_clean
+
+let suite =
+  [
+    Alcotest.test_case "ring" `Quick test_ring;
+    Alcotest.test_case "pipeline overlap" `Quick test_pipeline_overlap;
+    Alcotest.test_case "media presets" `Quick test_media_presets_well_formed;
+    Alcotest.test_case "preset scaling" `Quick test_preset_scaling;
+    Alcotest.test_case "h263 multirate" `Quick test_h263_multirate;
+    Alcotest.test_case "clean graph" `Quick test_validate_clean_graph;
+    Alcotest.test_case "findings" `Quick test_validate_findings;
+    Alcotest.test_case "huge repetition" `Quick test_validate_huge_repetition;
+    Alcotest.test_case "finding printer" `Quick test_finding_printer;
+    prop_generated_clean;
+  ]

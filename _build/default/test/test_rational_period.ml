@@ -1,0 +1,71 @@
+open Sdf
+
+let test_paper_exact () =
+  let p = Hsdf.period_rational (Fixtures.graph_a ()) in
+  Alcotest.(check string) "Per(A) exact" "300" (Rational.to_string p);
+  let p = Hsdf.period_rational (Fixtures.graph_b ()) in
+  Alcotest.(check string) "Per(B) exact" "300" (Rational.to_string p)
+
+let test_fractional_optimum () =
+  (* Two nested cycles: ratios 10/1 and 21/2; the exact optimum is the
+     fraction 21/2, which the float engine only approximates. *)
+  let edges = [| (0, 1, 10, 1); (1, 0, 0, 0); (0, 2, 10, 1); (2, 0, 11, 1) |] in
+  match Mcm.max_cycle_ratio_rational ~nodes:3 edges with
+  | Some r -> Alcotest.(check string) "21/2" "21/2" (Rational.to_string r)
+  | None -> Alcotest.fail "no cycle"
+
+let test_non_integer_rejected () =
+  let g =
+    Graph.create ~name:"frac"
+      ~actors:[| ("x", 2.5); ("y", 3.5) |]
+      ~channels:[| (0, 1, 1, 1, 0); (1, 0, 1, 1, 1) |]
+  in
+  match Hsdf.period_rational g with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-integer times accepted"
+
+let test_acyclic_none () =
+  Alcotest.(check bool) "acyclic" true
+    (Mcm.max_cycle_ratio_rational ~nodes:2 [| (0, 1, 5, 1) |] = None)
+
+let test_zero_delay_cycle () =
+  match Mcm.max_cycle_ratio_rational ~nodes:2 [| (0, 1, 1, 0); (1, 0, 1, 0) |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero-delay cycle accepted"
+
+let test_int_positive_cycle () =
+  Alcotest.(check bool) "positive" true
+    (Mcm.has_positive_cycle_int ~nodes:2 [| (0, 1, 1); (1, 0, 0) |]);
+  Alcotest.(check bool) "zero cycle not positive" false
+    (Mcm.has_positive_cycle_int ~nodes:2 [| (0, 1, 1); (1, 0, -1) |]);
+  Alcotest.(check bool) "empty" false (Mcm.has_positive_cycle_int ~nodes:0 [||])
+
+(* The rational engine agrees exactly with the float engines on integer-time
+   graphs (the generator produces only those). *)
+let prop_matches_float_engines =
+  Fixtures.qcheck_case ~count:60 "rational = float = statespace" Fixtures.graph_gen
+    (fun g ->
+      let exact = Rational.to_float (Hsdf.period_rational g) in
+      Fixtures.float_eq ~eps:1e-6 exact (Hsdf.period g)
+      && Fixtures.float_eq ~eps:1e-6 exact (Statespace.period_exn g))
+
+(* Scaling the execution times scales the exact period, exactly. *)
+let prop_integer_scaling =
+  Fixtures.qcheck_case ~count:40 "integer scaling" Fixtures.graph_gen (fun g ->
+      let p = Hsdf.period_rational g in
+      let tripled =
+        Graph.with_exec_times g (Array.map (fun t -> 3. *. t) (Graph.exec_times g))
+      in
+      Rational.equal (Rational.mul p (Rational.of_int 3)) (Hsdf.period_rational tripled))
+
+let suite =
+  [
+    Alcotest.test_case "paper exact" `Quick test_paper_exact;
+    Alcotest.test_case "fractional optimum" `Quick test_fractional_optimum;
+    Alcotest.test_case "non-integer rejected" `Quick test_non_integer_rejected;
+    Alcotest.test_case "acyclic" `Quick test_acyclic_none;
+    Alcotest.test_case "zero-delay cycle" `Quick test_zero_delay_cycle;
+    Alcotest.test_case "integer positive cycle" `Quick test_int_positive_cycle;
+    prop_matches_float_engines;
+    prop_integer_scaling;
+  ]

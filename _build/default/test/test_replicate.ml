@@ -1,0 +1,77 @@
+let pipeline_app () =
+  let g = Fixtures.pipeline ~tau0:10. ~tau1:14. () in
+  { Desim.Engine.graph = g; mapping = [| 0; 1 |] }
+
+let test_constant_distributions_zero_variance () =
+  let app = pipeline_app () in
+  let dists = [| [| Contention.Dist.Constant 10.; Contention.Dist.Constant 14. |] |] in
+  let summaries =
+    Exp.Replicate.run ~replications:5 ~horizon:20_000. ~procs:2 ~distributions:dists
+      [| app |]
+  in
+  Alcotest.(check int) "one summary" 1 (Array.length summaries);
+  let s = summaries.(0) in
+  Alcotest.(check int) "all replications measured" 5 s.Exp.Replicate.samples;
+  Fixtures.check_float "deterministic mean" 24. s.Exp.Replicate.mean;
+  Fixtures.check_float "zero spread" 0. s.Exp.Replicate.stddev;
+  Fixtures.check_float "zero ci" 0. s.Exp.Replicate.ci95
+
+let test_stochastic_ci_brackets_mean_model () =
+  let app = pipeline_app () in
+  let dists =
+    [| [| Contention.Dist.Uniform { lo = 5.; hi = 15. };
+          Contention.Dist.Uniform { lo = 7.; hi = 21. } |] |]
+  in
+  let summaries =
+    Exp.Replicate.run ~replications:15 ~horizon:50_000. ~procs:2 ~distributions:dists
+      [| app |]
+  in
+  let s = summaries.(0) in
+  Alcotest.(check int) "all measured" 15 s.Exp.Replicate.samples;
+  Alcotest.(check bool) "positive spread" true (s.Exp.Replicate.stddev > 0.);
+  (* The stochastic mean period exceeds the deterministic mean-time period
+     (Jensen) but stays well below the sum of worst cases. *)
+  Alcotest.(check bool) "above mean model" true (s.Exp.Replicate.mean >= 24.);
+  Alcotest.(check bool) "below worst case" true (s.Exp.Replicate.mean <= 36.);
+  Alcotest.(check bool) "ci sane" true
+    (s.Exp.Replicate.ci95 > 0. && s.Exp.Replicate.ci95 < 5.)
+
+let test_determinism_in_seed () =
+  let app = pipeline_app () in
+  let dists = [| [| Contention.Dist.Uniform { lo = 5.; hi = 15. };
+                    Contention.Dist.Constant 14. |] |] in
+  let go () =
+    (Exp.Replicate.run ~replications:3 ~horizon:10_000. ~seed:7 ~procs:2
+       ~distributions:dists [| app |]).(0)
+  in
+  let a = go () and b = go () in
+  Fixtures.check_float "same mean" a.Exp.Replicate.mean b.Exp.Replicate.mean;
+  Fixtures.check_float "same stddev" a.Exp.Replicate.stddev b.Exp.Replicate.stddev
+
+let test_validation () =
+  let app = pipeline_app () in
+  (match
+     Exp.Replicate.run ~replications:0 ~procs:2
+       ~distributions:[| [| Contention.Dist.Constant 1.; Contention.Dist.Constant 1. |] |]
+       [| app |]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "0 replications accepted");
+  (match Exp.Replicate.run ~procs:2 ~distributions:[||] [| app |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing distributions accepted");
+  match
+    Exp.Replicate.run ~procs:2
+      ~distributions:[| [| Contention.Dist.Constant 1. |] |]
+      [| app |]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "shape mismatch accepted"
+
+let suite =
+  [
+    Alcotest.test_case "constant = deterministic" `Quick test_constant_distributions_zero_variance;
+    Alcotest.test_case "stochastic ci" `Quick test_stochastic_ci_brackets_mean_model;
+    Alcotest.test_case "seed determinism" `Quick test_determinism_in_seed;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

@@ -1,0 +1,96 @@
+let sweep_fixture =
+  lazy
+    (let w =
+       Exp.Workload.make ~seed:21 ~num_apps:3 ~procs:6
+         ~params:
+           {
+             Sdfgen.Generator.default_params with
+             actors_min = 3;
+             actors_max = 5;
+             exec_min = 2;
+             exec_max = 15;
+           }
+         ()
+     in
+     (w, Exp.Sweep.run ~horizon:20_000. w))
+
+let test_probability_product_form () =
+  let s = Exp.Scenario.make [| 0.5; 0.25; 1.0 |] in
+  Fixtures.check_float "only C" (0.5 *. 0.75 *. 1.0)
+    (Exp.Scenario.probability s (Contention.Usecase.of_list [ 2 ]));
+  Fixtures.check_float "A and C" (0.5 *. 0.75)
+    (Exp.Scenario.probability s (Contention.Usecase.of_list [ 0; 2 ]));
+  Fixtures.check_float "all" (0.5 *. 0.25)
+    (Exp.Scenario.probability s (Contention.Usecase.of_list [ 0; 1; 2 ]));
+  (* Probabilities over all subsets (incl. empty) sum to one. *)
+  let total =
+    List.fold_left
+      (fun acc u -> acc +. Exp.Scenario.probability s u)
+      (Exp.Scenario.probability s 0)
+      (Contention.Usecase.all ~napps:3)
+  in
+  Fixtures.check_float "normalised" 1. total
+
+let test_validation () =
+  match Exp.Scenario.make [| 1.5 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "probability > 1 accepted"
+
+let test_always_on_equals_full_usecase () =
+  let _, sweep = Lazy.force sweep_fixture in
+  let s = Exp.Scenario.uniform ~napps:3 1. in
+  (* With everyone always on, the expectation is the full use-case value. *)
+  let full = Contention.Usecase.full ~napps:3 in
+  let full_sim =
+    List.find_map
+      (fun (o : Exp.Sweep.observation) ->
+        if o.usecase = full && o.app_index = 0 then Some o.simulated_period else None)
+      sweep.observations
+  in
+  Fixtures.check_float "E = full use-case" (Option.get full_sim)
+    (Exp.Scenario.expected_period s sweep ~app:0 Exp.Scenario.Simulated)
+
+let test_rarely_on_tends_to_isolation () =
+  let w, sweep = Lazy.force sweep_fixture in
+  let s = Exp.Scenario.uniform ~napps:3 0.01 in
+  let expected = Exp.Scenario.expected_period s sweep ~app:0 Exp.Scenario.Simulated in
+  let isolation = (Exp.Workload.isolation_periods w).(0) in
+  (* With partners almost never active, the conditional expectation is close
+     to the isolation period. *)
+  Alcotest.(check bool) "near isolation" true
+    (Float.abs (expected -. isolation) /. isolation < 0.10)
+
+let test_estimated_source_and_errors () =
+  let _, sweep = Lazy.force sweep_fixture in
+  let s = Exp.Scenario.uniform ~napps:3 0.5 in
+  let est =
+    Exp.Scenario.expected_period s sweep ~app:1
+      (Exp.Scenario.Estimated (Contention.Analysis.Order 2))
+  in
+  Alcotest.(check bool) "finite" true (Float.is_finite est);
+  (match Exp.Scenario.expected_period s sweep ~app:9 Exp.Scenario.Simulated with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad app index accepted");
+  match
+    Exp.Scenario.expected_period s sweep ~app:0
+      (Exp.Scenario.Estimated (Contention.Analysis.Order 9))
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown estimator accepted"
+
+let test_render () =
+  let _, sweep = Lazy.force sweep_fixture in
+  let s = Exp.Scenario.uniform ~napps:3 0.5 in
+  let out = Exp.Scenario.render s sweep in
+  Alcotest.(check bool) "has apps" true (Fixtures.contains ~affix:"A" out);
+  Alcotest.(check bool) "has sim column" true (Fixtures.contains ~affix:"sim" out)
+
+let suite =
+  [
+    Alcotest.test_case "product form" `Quick test_probability_product_form;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "always on" `Slow test_always_on_equals_full_usecase;
+    Alcotest.test_case "rarely on" `Slow test_rarely_on_tends_to_isolation;
+    Alcotest.test_case "estimated source" `Slow test_estimated_source_and_errors;
+    Alcotest.test_case "render" `Slow test_render;
+  ]

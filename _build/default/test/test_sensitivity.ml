@@ -1,0 +1,71 @@
+open Contention
+
+let apps () =
+  [
+    Analysis.app (Fixtures.graph_a ()) ~mapping:[| 0; 1; 2 |];
+    Analysis.app (Fixtures.graph_b ()) ~mapping:[| 0; 1; 2 |];
+  ]
+
+let test_two_apps_full_relief () =
+  (* With only two applications, removing the other returns the victim to
+     isolation: relief = (358.33 - 300) / 358.33. *)
+  let impacts = Sensitivity.leave_one_out (apps ()) in
+  Alcotest.(check int) "two ordered pairs" 2 (List.length impacts);
+  List.iter
+    (fun (i : Sensitivity.impact) ->
+      Fixtures.check_float ~eps:1e-6 "with" (1075. /. 3.) i.period_with;
+      Fixtures.check_float ~eps:1e-6 "without" 300. i.period_without;
+      Fixtures.check_float ~eps:1e-4 "relief"
+        (100. *. ((1075. /. 3.) -. 300.) /. (1075. /. 3.))
+        i.relief_pct)
+    impacts
+
+let test_rank_orders_by_relief () =
+  (* Three tickers sharing a node: the heavier interferer relieves more. *)
+  let ticker name tau ~pacer_proc =
+    Analysis.app
+      (Sdf.Graph.create ~name
+         ~actors:[| (name ^ "w", tau); (name ^ "p", 3. *. tau) |]
+         ~channels:[| (0, 1, 1, 1, 0); (1, 0, 1, 1, 1) |])
+      ~mapping:[| 0; pacer_proc |]
+  in
+  let apps = [ ticker "V" 5. ~pacer_proc:1; ticker "Big" 9. ~pacer_proc:2;
+               ticker "Small" 2. ~pacer_proc:3 ] in
+  let ranked = Sensitivity.rank_for ~victim:"V" apps in
+  Alcotest.(check int) "two interferers" 2 (List.length ranked);
+  (match ranked with
+  | first :: second :: _ ->
+      Alcotest.(check string) "heavy first" "Big" first.Sensitivity.removed;
+      Alcotest.(check string) "light second" "Small" second.Sensitivity.removed;
+      Alcotest.(check bool) "ordered" true
+        (first.Sensitivity.relief_pct >= second.Sensitivity.relief_pct)
+  | _ -> Alcotest.fail "arity");
+  match Sensitivity.rank_for ~victim:"Nope" apps with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown victim accepted"
+
+let test_relief_non_negative () =
+  let impacts = Sensitivity.leave_one_out (apps ()) in
+  List.iter
+    (fun (i : Sensitivity.impact) ->
+      Alcotest.(check bool) "non-negative relief" true (i.relief_pct >= -1e-9))
+    impacts
+
+let test_render () =
+  let out = Sensitivity.render (Sensitivity.leave_one_out (apps ())) in
+  Alcotest.(check bool) "header" true (Fixtures.contains ~affix:"Victim" out);
+  Alcotest.(check bool) "apps named" true
+    (Fixtures.contains ~affix:"A" out && Fixtures.contains ~affix:"B" out)
+
+let test_single_app_no_impacts () =
+  Alcotest.(check int) "no pairs" 0
+    (List.length (Sensitivity.leave_one_out [ List.hd (apps ()) ]))
+
+let suite =
+  [
+    Alcotest.test_case "two apps full relief" `Quick test_two_apps_full_relief;
+    Alcotest.test_case "rank by relief" `Quick test_rank_orders_by_relief;
+    Alcotest.test_case "relief non-negative" `Quick test_relief_non_negative;
+    Alcotest.test_case "render" `Quick test_render;
+    Alcotest.test_case "single app" `Quick test_single_app_no_impacts;
+  ]

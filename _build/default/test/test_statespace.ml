@@ -1,0 +1,112 @@
+open Sdf
+
+let test_paper_periods () =
+  Fixtures.check_float "Per(A)" 300. (Statespace.period_exn (Fixtures.graph_a ()));
+  Fixtures.check_float "Per(B)" 300. (Statespace.period_exn (Fixtures.graph_b ()))
+
+let test_response_time_period () =
+  (* Figure 3: response times [116.67; 66.67; 108.33] give Per = 1075/3. *)
+  let adjusted =
+    Graph.with_exec_times (Fixtures.graph_a ())
+      [| 100. +. (25. /. 3.); 50. +. (50. /. 3.); 100. +. (50. /. 3.) |]
+  in
+  Fixtures.check_float ~eps:1e-4 "Per(A')" (1075. /. 3.) (Statespace.period_exn adjusted)
+
+let test_simple_shapes () =
+  Fixtures.check_float "pipeline" 8. (Statespace.period_exn (Fixtures.pipeline ()));
+  Fixtures.check_float "single" 7. (Statespace.period_exn (Fixtures.single ()));
+  (* Two tokens on the feedback edge let the pipeline overlap: the period
+     halves to the bottleneck actor. *)
+  let overlapped =
+    Graph.create ~name:"pipe2"
+      ~actors:[| ("p0", 3.); ("p1", 5.) |]
+      ~channels:[| (0, 1, 1, 1, 0); (1, 0, 1, 1, 2) |]
+  in
+  Fixtures.check_float "overlapped pipeline" 5. (Statespace.period_exn overlapped)
+
+let test_deadlock () =
+  Alcotest.(check bool) "deadlock detected" true
+    (Statespace.period (Fixtures.deadlocked ()) = None);
+  Alcotest.(check bool) "is_live false" false (Statespace.is_live (Fixtures.deadlocked ()));
+  Alcotest.(check bool) "is_live true" true (Statespace.is_live (Fixtures.graph_a ()));
+  match Statespace.period_exn (Fixtures.deadlocked ()) with
+  | exception Invalid_argument _ -> ()
+  | p -> Alcotest.failf "deadlocked graph returned period %g" p
+
+let test_multirate () =
+  (* q = [2; 1]; actor x fires twice per iteration serially: Per = max cycle.
+     Cycle x->y->x: 2*tau_x + tau_y with both firings of x in sequence. *)
+  let g =
+    Graph.create ~name:"mr"
+      ~actors:[| ("x", 4.); ("y", 6.) |]
+      ~channels:[| (0, 1, 1, 2, 0); (1, 0, 2, 1, 2) |]
+  in
+  Fixtures.check_float "multirate period" 14. (Statespace.period_exn g)
+
+let test_fractional_times () =
+  let g =
+    Graph.create ~name:"frac"
+      ~actors:[| ("x", 2.5); ("y", 3.25) |]
+      ~channels:[| (0, 1, 1, 1, 0); (1, 0, 1, 1, 1) |]
+  in
+  Fixtures.check_float "fractional period" 5.75 (Statespace.period_exn g)
+
+let test_invalid_inputs () =
+  (match Statespace.run (Fixtures.inconsistent ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "inconsistent graph accepted");
+  (* A tiny max_steps triggers the safety bound. *)
+  match Statespace.run ~max_steps:1 (Fixtures.graph_a ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "max_steps not enforced"
+
+(* Self-timed execution is rate-monotone: scaling every execution time by k
+   scales the period by k. *)
+let prop_time_scaling =
+  Fixtures.qcheck_case ~count:60 "time scaling" Fixtures.graph_gen (fun g ->
+      let p = Statespace.period_exn g in
+      let doubled =
+        Graph.with_exec_times g (Array.map (fun t -> 2. *. t) (Graph.exec_times g))
+      in
+      Fixtures.float_eq ~eps:1e-6 (2. *. p) (Statespace.period_exn doubled))
+
+(* The period is bounded below by every actor's serialised work per
+   iteration: Per >= q(a) * tau(a). *)
+let prop_actor_bound =
+  Fixtures.qcheck_case ~count:60 "actor work bound" Fixtures.graph_gen (fun g ->
+      let p = Statespace.period_exn g in
+      let q = Repetition.compute_exn g in
+      Array.for_all
+        (fun (a : Graph.actor) ->
+          p +. 1e-6 >= float_of_int q.(a.id) *. a.exec_time)
+        g.actors)
+
+let suite =
+  [
+    Alcotest.test_case "paper periods" `Quick test_paper_periods;
+    Alcotest.test_case "figure 3 period" `Quick test_response_time_period;
+    Alcotest.test_case "simple shapes" `Quick test_simple_shapes;
+    Alcotest.test_case "deadlock" `Quick test_deadlock;
+    Alcotest.test_case "multirate" `Quick test_multirate;
+    Alcotest.test_case "fractional times" `Quick test_fractional_times;
+    Alcotest.test_case "invalid inputs" `Quick test_invalid_inputs;
+    prop_time_scaling;
+    prop_actor_bound;
+  ]
+
+(* The integer scaling parameter does not change the computed period beyond
+   its quantisation, and undersized max_steps fails loudly rather than
+   returning a wrong period. *)
+let test_scale_parameter () =
+  let g = Fixtures.graph_a () in
+  Fixtures.check_float "scale 1" 300. (Statespace.period_exn ~scale:1. g);
+  Fixtures.check_float "scale 1e3" 300. (Statespace.period_exn ~scale:1e3 g);
+  (* A fractional time rounds at coarse scale: 2.5 at scale 1 rounds to 3
+     (guard band: rounded result differs, never silently wrong shape). *)
+  let frac =
+    Graph.create ~name:"f" ~actors:[| ("x", 2.5) |] ~channels:[| (0, 0, 1, 1, 1) |]
+  in
+  Fixtures.check_float "coarse rounding" 3. (Statespace.period_exn ~scale:1. frac);
+  Fixtures.check_float "fine scale" 2.5 (Statespace.period_exn ~scale:10. frac)
+
+let suite = suite @ [ Alcotest.test_case "scale parameter" `Quick test_scale_parameter ]

@@ -1,0 +1,155 @@
+(* Variable execution times: the Section 6 extension end to end — the
+   firing_time hook in the simulator and distribution-based loads in the
+   analysis. *)
+
+open Contention
+
+let test_constant_hook_is_identity () =
+  let g = Fixtures.graph_a () in
+  let app = { Desim.Engine.graph = g; mapping = Mapping.dedicated g } in
+  let static, _ = Desim.Engine.run ~horizon:50_000. ~procs:3 [| app |] in
+  let hooked, _ =
+    Desim.Engine.run ~horizon:50_000.
+      ~firing_time:(fun ~app:_ ~actor -> (Sdf.Graph.actor g actor).exec_time)
+      ~procs:3 [| app |]
+  in
+  Fixtures.check_float "identical period" static.(0).Desim.Engine.avg_period
+    hooked.(0).Desim.Engine.avg_period
+
+let test_scaled_hook_scales_period () =
+  let g = Fixtures.graph_a () in
+  let app = { Desim.Engine.graph = g; mapping = Mapping.dedicated g } in
+  let results, _ =
+    Desim.Engine.run ~horizon:100_000.
+      ~firing_time:(fun ~app:_ ~actor -> 2. *. (Sdf.Graph.actor g actor).exec_time)
+      ~procs:3 [| app |]
+  in
+  Fixtures.check_float ~eps:1e-6 "doubled period" 600. results.(0).Desim.Engine.avg_period
+
+let test_invalid_firing_time () =
+  let g = Fixtures.graph_a () in
+  let app = { Desim.Engine.graph = g; mapping = Mapping.dedicated g } in
+  match
+    Desim.Engine.run ~firing_time:(fun ~app:_ ~actor:_ -> 0.) ~procs:3 [| app |]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero firing time accepted"
+
+let stochastic_hook rng dists =
+  fun ~app:_ ~actor -> Dist.sample dists.(actor) ~u:(Sdfgen.Rng.float rng 1.)
+
+let test_stochastic_period_near_mean_model () =
+  (* Uniform +-50% around the constant times: the simulated mean period of a
+     single pipeline stays close to the deterministic mean-time period
+     (it is lower-bounded by it for a single cycle by Jensen). *)
+  let g = Fixtures.pipeline ~tau0:10. ~tau1:14. () in
+  let dists =
+    [| Dist.Uniform { lo = 5.; hi = 15. }; Dist.Uniform { lo = 7.; hi = 21. } |]
+  in
+  let rng = Sdfgen.Rng.create 99 in
+  let app = { Desim.Engine.graph = g; mapping = Mapping.dedicated g } in
+  let results, _ =
+    Desim.Engine.run ~horizon:200_000. ~firing_time:(stochastic_hook rng dists)
+      ~procs:2 [| app |]
+  in
+  let simulated = results.(0).Desim.Engine.avg_period in
+  (* Deterministic mean-time period is 24; the stochastic mean period equals
+     E[max of the two stage sums] >= 24 but well under 24 + both spreads. *)
+  Alcotest.(check bool) "above mean-model" true (simulated >= 24. -. 0.5);
+  Alcotest.(check bool) "below worst case" true (simulated <= 36.)
+
+let test_analysis_app_with_distributions () =
+  let g = Fixtures.graph_a () in
+  let dists =
+    [|
+      Dist.Uniform { lo = 50.; hi = 150. };
+      Dist.Constant 50.;
+      Dist.Exponential { mean = 100. };
+    |]
+  in
+  let a = Analysis.app g ~mapping:[| 0; 1; 2 |] ~distributions:dists in
+  (* Means equal the base times, so the isolation period is unchanged. *)
+  Fixtures.check_float "isolation period" 300. a.isolation_period;
+  let loads = Analysis.loads a in
+  Fixtures.check_float "P unchanged" (1. /. 3.) loads.(0).Prob.p;
+  (* mu comes from the residual: uniform > constant's 50, exp = mean. *)
+  Alcotest.(check bool) "uniform residual > tau/2" true (loads.(0).Prob.mu > 50.);
+  Fixtures.check_float "constant residual" 25. loads.(1).Prob.mu;
+  Fixtures.check_float "exponential residual" 100. loads.(2).Prob.mu
+
+let test_distributions_length_mismatch () =
+  match
+    Analysis.app (Fixtures.graph_a ()) ~mapping:[| 0; 1; 2 |]
+      ~distributions:[| Contention.Dist.Constant 1. |]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong distributions length accepted"
+
+let test_variance_raises_estimate () =
+  (* Same means, increasing variance => larger estimated waiting, larger
+     estimated period (the inspection paradox made quantitative). *)
+  let g1 = Fixtures.graph_a () and g2 = Fixtures.graph_b () in
+  let period_with spread =
+    let mk_dists g =
+      Array.map
+        (fun (a : Sdf.Graph.actor) ->
+          if spread = 0. then Dist.Constant a.exec_time
+          else
+            Dist.Uniform
+              { lo = a.exec_time *. (1. -. spread); hi = a.exec_time *. (1. +. spread) })
+        g.Sdf.Graph.actors
+    in
+    let a = Analysis.app g1 ~mapping:[| 0; 1; 2 |] ~distributions:(mk_dists g1) in
+    let b = Analysis.app g2 ~mapping:[| 0; 1; 2 |] ~distributions:(mk_dists g2) in
+    match Analysis.estimate Analysis.Exact [ a; b ] with
+    | r :: _ -> r.Analysis.period
+    | [] -> assert false
+  in
+  let p0 = period_with 0. and p05 = period_with 0.5 and p09 = period_with 0.9 in
+  Fixtures.check_float ~eps:1e-6 "zero spread = base model" (1075. /. 3.) p0;
+  Alcotest.(check bool) "variance increases estimate" true (p05 > p0 && p09 > p05)
+
+let test_stochastic_vs_estimate_integration () =
+  (* Two shared tickers with uniform times: estimated period must stay within
+     the isolation..worst-case bracket of the simulated one. *)
+  let mk name =
+    Sdf.Graph.create ~name
+      ~actors:[| (name ^ "w", 5.); (name ^ "p", 5.) |]
+      ~channels:[| (0, 1, 1, 1, 0); (1, 0, 1, 1, 1) |]
+  in
+  let dists = [| Dist.Uniform { lo = 2.; hi = 8. }; Dist.Constant 5. |] in
+  let gx = mk "X" and gy = mk "Y" in
+  let ax = Analysis.app gx ~mapping:[| 0; 1 |] ~distributions:dists in
+  let ay = Analysis.app gy ~mapping:[| 0; 2 |] ~distributions:dists in
+  let estimated =
+    match Analysis.estimate Analysis.Exact [ ax; ay ] with
+    | r :: _ -> r.Analysis.period
+    | [] -> assert false
+  in
+  let rng = Sdfgen.Rng.create 5 in
+  let hook ~app:_ ~actor = Dist.sample dists.(actor) ~u:(Sdfgen.Rng.float rng 1.) in
+  let results, _ =
+    Desim.Engine.run ~horizon:100_000. ~firing_time:hook ~procs:3
+      [|
+        { Desim.Engine.graph = gx; mapping = [| 0; 1 |] };
+        { Desim.Engine.graph = gy; mapping = [| 0; 2 |] };
+      |]
+  in
+  let simulated = results.(0).Desim.Engine.avg_period in
+  Alcotest.(check bool) "estimate above isolation" true (estimated > 10.);
+  Alcotest.(check bool) "simulated within 2x of estimate" true
+    (simulated < 2. *. estimated && estimated < 2. *. simulated)
+
+let suite =
+  [
+    Alcotest.test_case "constant hook identity" `Quick test_constant_hook_is_identity;
+    Alcotest.test_case "scaled hook" `Quick test_scaled_hook_scales_period;
+    Alcotest.test_case "invalid firing time" `Quick test_invalid_firing_time;
+    Alcotest.test_case "stochastic pipeline period" `Quick
+      test_stochastic_period_near_mean_model;
+    Alcotest.test_case "analysis with distributions" `Quick
+      test_analysis_app_with_distributions;
+    Alcotest.test_case "distributions length" `Quick test_distributions_length_mismatch;
+    Alcotest.test_case "variance raises estimate" `Quick test_variance_raises_estimate;
+    Alcotest.test_case "stochastic integration" `Quick test_stochastic_vs_estimate_integration;
+  ]

@@ -1,0 +1,76 @@
+open Contention
+
+let test_known_values () =
+  let es = Sympoly.all [| 1.; 2.; 3. |] in
+  Alcotest.(check (array (float 1e-9))) "e of {1,2,3}" [| 1.; 6.; 11.; 6. |] es
+
+let test_empty () =
+  Alcotest.(check (array (float 1e-9))) "empty" [| 1. |] (Sympoly.all [||]);
+  Alcotest.(check (array (float 1e-9))) "up_to empty" [| 1. |] (Sympoly.up_to 3 [||])
+
+let test_up_to_truncation () =
+  let xs = [| 0.1; 0.2; 0.3; 0.4 |] in
+  let full = Sympoly.all xs in
+  let trunc = Sympoly.up_to 2 xs in
+  Alcotest.(check int) "length" 3 (Array.length trunc);
+  for j = 0 to 2 do
+    Fixtures.check_float "prefix agrees" full.(j) trunc.(j)
+  done;
+  (* up_to beyond n clamps. *)
+  Alcotest.(check int) "clamped" 5 (Array.length (Sympoly.up_to 99 xs))
+
+let test_without () =
+  let xs = [| 0.3; 0.5; 0.7 |] in
+  let es = Sympoly.all xs in
+  let no_mid = Sympoly.without es 0.5 in
+  let expected = Sympoly.all [| 0.3; 0.7 |] in
+  Alcotest.(check int) "length" (Array.length expected) (Array.length no_mid);
+  Array.iteri (fun j e -> Fixtures.check_float "deconvolution" e no_mid.(j)) expected
+
+let test_brute_force_small () =
+  Fixtures.check_float "e_2 {1,2,3}" 11. (Sympoly.brute_force 2 [| 1.; 2.; 3. |]);
+  Fixtures.check_float "e_0" 1. (Sympoly.brute_force 0 [| 1.; 2. |]);
+  Fixtures.check_float "degree beyond n" 0. (Sympoly.brute_force 3 [| 1.; 2. |]);
+  match Sympoly.brute_force (-1) [| 1. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative degree accepted"
+
+let probs_gen =
+  QCheck2.Gen.(list_size (int_range 0 8) (float_bound_inclusive 1.))
+
+let prop_matches_brute_force =
+  Fixtures.qcheck_case "all = brute force" probs_gen (fun xs ->
+      let arr = Array.of_list xs in
+      let es = Sympoly.all arr in
+      Array.for_all Fun.id
+        (Array.mapi (fun j e -> Fixtures.float_eq ~eps:1e-9 (Sympoly.brute_force j arr) e) es))
+
+let prop_without_roundtrip =
+  Fixtures.qcheck_case "without inverts extension"
+    QCheck2.Gen.(pair probs_gen (float_bound_inclusive 1.))
+    (fun (xs, x) ->
+      let arr = Array.of_list xs in
+      let extended = Array.append arr [| x |] in
+      let removed = Sympoly.without (Sympoly.all extended) x in
+      let direct = Sympoly.all arr in
+      Array.length removed = Array.length direct
+      && Array.for_all Fun.id
+           (Array.mapi (fun j e -> Fixtures.float_eq ~eps:1e-7 direct.(j) e) removed))
+
+let prop_sum_bound =
+  (* For probabilities, e_1 = sum and all e_j are non-negative. *)
+  Fixtures.qcheck_case "non-negative on probabilities" probs_gen (fun xs ->
+      let es = Sympoly.all (Array.of_list xs) in
+      Array.for_all (fun e -> e >= -1e-12) es)
+
+let suite =
+  [
+    Alcotest.test_case "known values" `Quick test_known_values;
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "up_to truncation" `Quick test_up_to_truncation;
+    Alcotest.test_case "without" `Quick test_without;
+    Alcotest.test_case "brute force" `Quick test_brute_force_small;
+    prop_matches_brute_force;
+    prop_without_roundtrip;
+    prop_sum_bound;
+  ]

@@ -1,0 +1,78 @@
+open Repro_stats
+
+let test_table_render () =
+  let out =
+    Table.render ~header:[ "name"; "value" ] [ [ "alpha"; "1.0" ]; [ "b"; "22.5" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+  | header :: rule :: _ ->
+      Alcotest.(check bool) "header" true (Fixtures.contains ~affix:"name" header);
+      Alcotest.(check bool) "rule" true (Fixtures.contains ~affix:"---" rule)
+  | _ -> Alcotest.fail "too few lines");
+  (* All data lines have the same width. *)
+  let widths =
+    List.filter_map
+      (fun l -> if String.length l = 0 then None else Some (String.length l))
+      lines
+  in
+  Alcotest.(check int) "uniform width" 1 (List.length (List.sort_uniq Int.compare widths))
+
+let test_table_validation () =
+  (match Table.render ~header:[ "a"; "b" ] [ [ "only-one" ] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ragged row accepted");
+  match Table.render ~align:[ Table.Left ] ~header:[ "a"; "b" ] [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad align accepted"
+
+let test_float_cell () =
+  Alcotest.(check string) "value" "3.1" (Table.float_cell 3.14);
+  Alcotest.(check string) "decimals" "3.14" (Table.float_cell ~decimals:2 3.14159);
+  Alcotest.(check string) "nan" "-" (Table.float_cell Float.nan)
+
+let test_grouped_bars () =
+  let out =
+    Chart.grouped_bars ~labels:[ "A"; "B" ]
+      ~series:[ ("sim", [| 1.; 2. |]); ("est", [| 2.; 4. |]) ]
+      ()
+  in
+  Alcotest.(check bool) "labels present" true
+    (Fixtures.contains ~affix:"A" out && Fixtures.contains ~affix:"B" out);
+  Alcotest.(check bool) "bars drawn" true (Fixtures.contains ~affix:"#" out);
+  (* nan values render as zero-length bars, not crashes. *)
+  let with_nan = Chart.grouped_bars ~labels:[ "A" ] ~series:[ ("s", [| Float.nan |]) ] () in
+  Alcotest.(check bool) "nan ok" true (String.length with_nan > 0);
+  match Chart.grouped_bars ~labels:[ "A" ] ~series:[ ("s", [| 1.; 2. |]) ] () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch accepted"
+
+let test_lines_chart () =
+  let out =
+    Chart.lines ~x_label:"apps" ~y_label:"inaccuracy"
+      ~xs:[| 1.; 2.; 3. |]
+      ~series:[ ("wc", [| 0.; 50.; 100. |]); ("o2", [| 0.; 5.; 10. |]) ]
+      ()
+  in
+  Alcotest.(check bool) "axis labels" true
+    (Fixtures.contains ~affix:"apps" out && Fixtures.contains ~affix:"inaccuracy" out);
+  Alcotest.(check bool) "legend" true (Fixtures.contains ~affix:"wc" out);
+  Alcotest.(check bool) "glyphs plotted" true
+    (Fixtures.contains ~affix:"*" out && Fixtures.contains ~affix:"+" out);
+  (match Chart.lines ~x_label:"x" ~y_label:"y" ~xs:[||] ~series:[] () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty xs accepted");
+  match
+    Chart.lines ~x_label:"x" ~y_label:"y" ~xs:[| 1. |] ~series:[ ("s", [| 1.; 2. |]) ] ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mismatch accepted"
+
+let suite =
+  [
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table validation" `Quick test_table_validation;
+    Alcotest.test_case "float cell" `Quick test_float_cell;
+    Alcotest.test_case "grouped bars" `Quick test_grouped_bars;
+    Alcotest.test_case "line chart" `Quick test_lines_chart;
+  ]

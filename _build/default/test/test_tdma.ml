@@ -1,0 +1,84 @@
+open Contention
+
+let test_response_time_formula () =
+  (* exec 30, slice 25, wheel 100: two slices needed, each wait 75. *)
+  Fixtures.check_float "two slices" (30. +. (2. *. 75.))
+    (Tdma.response_time ~exec:30. ~slice:25. ~wheel:100.);
+  (* Fits in one slice. *)
+  Fixtures.check_float "one slice" (10. +. 75.)
+    (Tdma.response_time ~exec:10. ~slice:25. ~wheel:100.);
+  (* Whole wheel owned: no waiting. *)
+  Fixtures.check_float "full wheel" 10.
+    (Tdma.response_time ~exec:10. ~slice:100. ~wheel:100.)
+
+let test_response_time_validation () =
+  let invalid f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "invalid input accepted"
+  in
+  invalid (fun () -> Tdma.response_time ~exec:0. ~slice:10. ~wheel:100.);
+  invalid (fun () -> Tdma.response_time ~exec:10. ~slice:0. ~wheel:100.);
+  invalid (fun () -> Tdma.response_time ~exec:10. ~slice:200. ~wheel:100.)
+
+let test_single_app_keeps_isolation () =
+  let a = Analysis.app (Fixtures.graph_a ()) ~mapping:[| 0; 1; 2 |] in
+  match Tdma.estimate [ a ] with
+  | [ r ] ->
+      Fixtures.check_float "no sharers, no slicing" 300. r.Analysis.period;
+      Alcotest.(check (array (float 1e-9))) "no waits" [| 0.; 0.; 0. |]
+        r.Analysis.waiting_times
+  | _ -> Alcotest.fail "arity"
+
+let test_two_apps_more_pessimistic_than_probabilistic () =
+  let a = Analysis.app (Fixtures.graph_a ()) ~mapping:[| 0; 1; 2 |] in
+  let b = Analysis.app (Fixtures.graph_b ()) ~mapping:[| 0; 1; 2 |] in
+  match (Tdma.estimate ~wheel:100. [ a; b ], Analysis.estimate Analysis.Exact [ a; b ]) with
+  | [ t; _ ], [ p; _ ] ->
+      (* Half the wheel each: exec 100 needs 2 slices -> R = 100 + 100 = 200;
+         TDMA blows past both the probabilistic estimate and the simulated
+         300. *)
+      Fixtures.check_float "a0 response" 200. t.Analysis.response_times.(0);
+      Alcotest.(check bool) "TDMA > probabilistic" true
+        (t.Analysis.period > p.Analysis.period)
+  | _ -> Alcotest.fail "arity"
+
+let test_empty () = Alcotest.(check int) "no apps" 0 (List.length (Tdma.estimate []))
+
+let test_wheel_validation () =
+  match Tdma.estimate ~wheel:0. [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wheel 0 accepted"
+
+(* TDMA scales worse than the probabilistic estimate: its period grows at
+   least linearly with the number of sharing applications. *)
+let test_scaling_pessimism () =
+  let mk name =
+    Sdf.Graph.create ~name
+      ~actors:[| (name ^ "w", 10.); (name ^ "p", 10.) |]
+      ~channels:[| (0, 1, 1, 1, 0); (1, 0, 1, 1, 1) |]
+  in
+  let period_with k =
+    let apps =
+      List.init k (fun i ->
+          Analysis.app (mk (Printf.sprintf "T%d" i)) ~mapping:[| 0; 1 + i |])
+    in
+    match Tdma.estimate ~wheel:40. apps with
+    | r :: _ -> r.Analysis.period
+    | [] -> assert false
+  in
+  let p1 = period_with 1 and p2 = period_with 2 and p4 = period_with 4 in
+  Alcotest.(check bool) "grows" true (p1 < p2 && p2 < p4);
+  (* With 4 sharers, slice 10 fits exec 10 in one slice: R = 10 + 30 = 40;
+     period = 40 + 10 = 50 vs isolation 20. *)
+  Fixtures.check_float "4-sharer period" 50. p4
+
+let suite =
+  [
+    Alcotest.test_case "response time formula" `Quick test_response_time_formula;
+    Alcotest.test_case "response time validation" `Quick test_response_time_validation;
+    Alcotest.test_case "single app" `Quick test_single_app_keeps_isolation;
+    Alcotest.test_case "vs probabilistic" `Quick test_two_apps_more_pessimistic_than_probabilistic;
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "wheel validation" `Quick test_wheel_validation;
+    Alcotest.test_case "scaling pessimism" `Quick test_scaling_pessimism;
+  ]

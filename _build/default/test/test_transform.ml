@@ -1,0 +1,72 @@
+open Sdf
+
+let test_single_rate_structure () =
+  let g = Fixtures.graph_a () in
+  let sr = Transform.single_rate g in
+  (* q = [1;2;1] -> 4 actors, all rates 1. *)
+  Alcotest.(check int) "actors" 4 (Graph.num_actors sr);
+  Array.iter
+    (fun (c : Graph.channel) ->
+      Alcotest.(check int) "produce 1" 1 c.produce;
+      Alcotest.(check int) "consume 1" 1 c.consume)
+    sr.Graph.channels;
+  Alcotest.(check (array int)) "homogeneous q" [| 1; 1; 1; 1 |]
+    (Repetition.compute_exn sr);
+  (* Copies carry the original names. *)
+  Alcotest.(check bool) "named copies" true
+    (Array.exists (fun (a : Graph.actor) -> a.name = "a1#1") sr.Graph.actors)
+
+let test_single_rate_period_preserved () =
+  let g = Fixtures.graph_a () in
+  Fixtures.check_float "same period" (Statespace.period_exn g)
+    (Statespace.period_exn (Transform.single_rate g))
+
+let test_scale_times () =
+  let g = Fixtures.pipeline () in
+  let doubled = Transform.scale_times 2. g in
+  Fixtures.check_float "scaled period" 16. (Statespace.period_exn doubled);
+  match Transform.scale_times 0. g with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero factor accepted"
+
+let test_reverse_structure () =
+  let g = Fixtures.graph_a () in
+  let r = Transform.reverse g in
+  Alcotest.(check int) "channels preserved" (Graph.num_channels g) (Graph.num_channels r);
+  let c = r.Graph.channels.(0) and orig = g.Graph.channels.(0) in
+  Alcotest.(check int) "flipped src" orig.dst c.src;
+  Alcotest.(check int) "flipped dst" orig.src c.dst;
+  Alcotest.(check int) "swapped produce" orig.consume c.produce;
+  Alcotest.(check int) "tokens kept" orig.tokens c.tokens
+
+let test_rename () =
+  let g = Transform.rename ~prefix:"x_" (Fixtures.graph_a ()) in
+  Alcotest.(check string) "graph name" "x_A" g.Graph.name;
+  Alcotest.(check string) "actor name" "x_a0" (Graph.actor g 0).name;
+  Fixtures.check_float "period untouched" 300. (Statespace.period_exn g)
+
+let prop_single_rate_period =
+  Fixtures.qcheck_case ~count:50 "single-rate preserves period" Fixtures.graph_gen
+    (fun g ->
+      Fixtures.float_eq ~eps:1e-6 (Statespace.period_exn g)
+        (Statespace.period_exn (Transform.single_rate g)))
+
+let prop_reverse_preserves_period =
+  Fixtures.qcheck_case ~count:50 "reversal preserves period" Fixtures.graph_gen (fun g ->
+      let r = Transform.reverse g in
+      Repetition.compute_exn g = Repetition.compute_exn r
+      &&
+      match Statespace.period r with
+      | Some p -> Fixtures.float_eq ~eps:1e-6 (Statespace.period_exn g) p
+      | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "single-rate structure" `Quick test_single_rate_structure;
+    Alcotest.test_case "single-rate period" `Quick test_single_rate_period_preserved;
+    Alcotest.test_case "scale times" `Quick test_scale_times;
+    Alcotest.test_case "reverse structure" `Quick test_reverse_structure;
+    Alcotest.test_case "rename" `Quick test_rename;
+    prop_single_rate_period;
+    prop_reverse_preserves_period;
+  ]

@@ -1,0 +1,85 @@
+let traced_pipeline () =
+  let g = Fixtures.pipeline () in
+  let apps = [| { Desim.Engine.graph = g; mapping = [| 0; 1 |] } |] in
+  let trace = Desim.Trace.create () in
+  let _ =
+    Desim.Engine.run ~horizon:40. ~on_event:(Desim.Trace.on_event trace) ~procs:2 apps
+  in
+  (trace, apps)
+
+let test_structure () =
+  let trace, apps = traced_pipeline () in
+  let vcd = Desim.Vcd.of_trace trace ~apps ~procs:2 () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (Fixtures.contains ~affix:needle vcd))
+    [
+      "$timescale"; "$enddefinitions"; "$scope module pipe"; "$var wire 1";
+      "p0"; "p1"; "proc0"; "proc1"; "#0";
+    ]
+
+let test_events_balanced () =
+  let trace, apps = traced_pipeline () in
+  let vcd = Desim.Vcd.of_trace trace ~apps ~procs:2 () in
+  (* Every completed firing contributes one rising and one falling edge. *)
+  let count prefix =
+    List.length
+      (List.filter
+         (fun line ->
+           String.length line >= String.length prefix
+           && String.sub line 0 (String.length prefix) = prefix)
+         (String.split_on_char '\n' vcd))
+  in
+  let records = Desim.Trace.num_records trace in
+  Alcotest.(check bool) "some records" true (records > 0);
+  (* Initial zeros are also '0'-prefixed lines: 2 actors' worth. *)
+  Alcotest.(check int) "falling edges" (records + 2) (count "0");
+  Alcotest.(check int) "rising edges" records (count "1")
+
+let test_resolution () =
+  let trace, apps = traced_pipeline () in
+  (match Desim.Vcd.of_trace trace ~apps ~procs:2 ~resolution:0. () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "resolution 0 accepted");
+  let fine = Desim.Vcd.of_trace trace ~apps ~procs:2 ~resolution:0.5 () in
+  (* Halving the resolution doubles the timestamps: time 8 -> #16. *)
+  Alcotest.(check bool) "scaled stamps" true (Fixtures.contains ~affix:"#16" fine)
+
+let test_write_file () =
+  let trace, apps = traced_pipeline () in
+  let path = Filename.temp_file "trace" ".vcd" in
+  Desim.Vcd.write_file path trace ~apps ~procs:2 ();
+  let ic = open_in path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "file has header" true
+    (Fixtures.contains ~affix:"$timescale" contents)
+
+let test_identifier_codes () =
+  (* Identifiers stay printable and unique across many signals. *)
+  let graphs =
+    Array.init 30 (fun i ->
+        { Desim.Engine.graph =
+            Sdf.Graph.create ~name:(Printf.sprintf "g%d" i)
+              ~actors:[| (Printf.sprintf "s%d" i, 1.) |]
+              ~channels:[| (0, 0, 1, 1, 1) |];
+          mapping = [| 0 |] })
+  in
+  let trace = Desim.Trace.create () in
+  let _ =
+    Desim.Engine.run ~horizon:10. ~on_event:(Desim.Trace.on_event trace) ~procs:1 graphs
+  in
+  let vcd = Desim.Vcd.of_trace trace ~apps:graphs ~procs:1 () in
+  String.iter
+    (fun c -> Alcotest.(check bool) "printable" true (c = '\n' || (c >= ' ' && c <= '~')))
+    vcd
+
+let suite =
+  [
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "events balanced" `Quick test_events_balanced;
+    Alcotest.test_case "resolution" `Quick test_resolution;
+    Alcotest.test_case "write file" `Quick test_write_file;
+    Alcotest.test_case "identifier codes" `Quick test_identifier_codes;
+  ]
