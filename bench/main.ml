@@ -24,7 +24,10 @@
      CONTENTION_HORIZON   simulation horizon       (default 500000)
      CONTENTION_APPS      number of applications   (default 10)
      CONTENTION_QUOTA     bechamel quota seconds   (default 0.5)
-     CONTENTION_SWEEP     "full" or a divisor N to sample every Nth use-case *)
+     CONTENTION_SWEEP     "full" or a divisor N to sample every Nth use-case
+     CONTENTION_JOBS      domains for the use-case sweep (default: recommended
+                          domain count - 1; the TIMING section also re-runs
+                          the sweep sequentially to report the speedup) *)
 
 open Bechamel
 
@@ -57,22 +60,24 @@ let () =
 (* ------------------------------------------------------------------ *)
 (* The sweep behind Table 1 and Figure 6                               *)
 
-let sweep =
+let jobs = Exp.Pool.default_jobs ()
+
+let sweep_usecases =
+  let all = Contention.Usecase.all ~napps:num_apps in
+  match Sys.getenv_opt "CONTENTION_SWEEP" with
+  | None | Some "full" -> all
+  | Some divisor ->
+      (* Sample uniformly: a strided slice of the mask list would always
+         contain the same low-index applications. *)
+      let d = int_of_string divisor in
+      let arr = Array.of_list all in
+      Sdfgen.Rng.shuffle (Sdfgen.Rng.create seed) arr;
+      List.filteri (fun i _ -> i mod d = 0) (Array.to_list arr)
+
+let sweep, parallel_wall_s =
   section "SWEEP";
-  let usecases =
-    let all = Contention.Usecase.all ~napps:num_apps in
-    match Sys.getenv_opt "CONTENTION_SWEEP" with
-    | None | Some "full" -> all
-    | Some divisor ->
-        (* Sample uniformly: a strided slice of the mask list would always
-           contain the same low-index applications. *)
-        let d = int_of_string divisor in
-        let arr = Array.of_list all in
-        Sdfgen.Rng.shuffle (Sdfgen.Rng.create seed) arr;
-        List.filteri (fun i _ -> i mod d = 0) (Array.to_list arr)
-  in
-  Printf.printf "sweeping %d use-cases (simulation horizon %.0f)...\n%!"
-    (List.length usecases) horizon;
+  Printf.printf "sweeping %d use-cases (simulation horizon %.0f, %d domains)...\n%!"
+    (List.length sweep_usecases) horizon jobs;
   let last = ref 0 in
   let progress done_ total =
     let pct = 100 * done_ / total in
@@ -81,7 +86,9 @@ let sweep =
       Printf.printf "  %d%% (%d/%d)\n%!" pct done_ total
     end
   in
-  Exp.Sweep.run ~horizon ~usecases ~progress workload
+  let t0 = Unix.gettimeofday () in
+  let s = Exp.Sweep.run ~horizon ~usecases:sweep_usecases ~progress ~jobs workload in
+  (s, Unix.gettimeofday () -. t0)
 
 let () =
   section "TABLE1";
@@ -89,7 +96,23 @@ let () =
   section "FIG6";
   print_string (Exp.Figures.render_fig6 (Exp.Figures.fig6 sweep));
   section "TIMING";
-  print_string (Exp.Figures.render_timing sweep)
+  print_string (Exp.Figures.render_timing sweep);
+  (* Sequential re-run of the identical sweep for the parallel speedup row.
+     The observations must agree bit for bit — the sweep is deterministic in
+     the number of domains.  Structural [compare] rather than [<>]: a
+     use-case whose simulation completes no iteration records a NaN period
+     (a valid observation filtered later), and NaN <> NaN would cry wolf. *)
+  let t0 = Unix.gettimeofday () in
+  let sequential = Exp.Sweep.run ~horizon ~usecases:sweep_usecases ~jobs:1 workload in
+  let sequential_wall_s = Unix.gettimeofday () -. t0 in
+  if compare sequential.observations sweep.observations <> 0 then
+    print_endline "  WARNING: sequential and parallel observations differ!";
+  Printf.printf
+    "\n  sweep wall-clock, sequential (jobs=1) : %.2f s\n\
+     \  sweep wall-clock, parallel   (jobs=%d): %.2f s\n\
+     \  parallel sweep speedup               : %.2fx\n"
+    sequential_wall_s jobs parallel_wall_s
+    (sequential_wall_s /. Float.max 1e-9 parallel_wall_s)
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: order of the Equation 5 truncation                        *)

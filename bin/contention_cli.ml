@@ -64,6 +64,14 @@ let estimator_arg =
     & opt estimator_conv (Contention.Analysis.Order 2)
     & info [ "method" ] ~docv:"METHOD" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Domains to run the use-case sweep on (default: the machine's recommended \
+     domain count minus one; also settable via $(b,CONTENTION_JOBS)). The \
+     results are identical for every value — 1 disables parallelism."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let load_arg =
   let doc = "Load the workload from a file written by $(b,generate --save)." in
   Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE" ~doc)
@@ -214,7 +222,7 @@ let experiment_cmd =
     in
     Arg.(value & pos_all string [ "all" ] & info [] ~docv:"SECTION" ~doc)
   in
-  let run seed num_apps procs horizon sections =
+  let run seed num_apps procs horizon jobs sections =
     let wants s = List.mem "all" sections || List.mem s sections in
     let w = workload seed num_apps procs in
     if wants "fig5" then
@@ -228,7 +236,7 @@ let experiment_cmd =
           Printf.eprintf "  sweep: %d%% (%d/%d use-cases)\n%!" pct done_ total
         end
       in
-      let sweep = Exp.Sweep.run ~horizon ~progress w in
+      let sweep = Exp.Sweep.run ~horizon ~progress ?jobs w in
       if wants "table1" then
         print_string (Exp.Figures.render_table1 (Exp.Figures.table1 sweep));
       if wants "fig6" then print_string (Exp.Figures.render_fig6 (Exp.Figures.fig6 sweep));
@@ -236,7 +244,9 @@ let experiment_cmd =
     end
   in
   let term =
-    Term.(const run $ seed_arg $ num_apps_arg $ procs_arg $ horizon_arg $ sections)
+    Term.(
+      const run $ seed_arg $ num_apps_arg $ procs_arg $ horizon_arg $ jobs_arg
+      $ sections)
   in
   Cmd.v
     (Cmd.info "experiment"
@@ -362,7 +372,7 @@ let export_cmd =
     let doc = "Directory for the CSV files (created if missing)." in
     Arg.(value & opt string "results" & info [ "out" ] ~docv:"DIR" ~doc)
   in
-  let run seed num_apps procs horizon out_dir =
+  let run seed num_apps procs horizon jobs out_dir =
     let w = workload seed num_apps procs in
     if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
     let save name contents =
@@ -372,13 +382,15 @@ let export_cmd =
     in
     save "fig5.csv" (Exp.Export.fig5_csv (Exp.Figures.fig5 ~horizon w));
     Printf.printf "sweeping all use-cases...\n%!";
-    let sweep = Exp.Sweep.run ~horizon w in
+    let sweep = Exp.Sweep.run ~horizon ?jobs w in
     save "table1.csv" (Exp.Export.table1_csv (Exp.Figures.table1 sweep));
     save "fig6.csv" (Exp.Export.fig6_csv (Exp.Figures.fig6 sweep));
     save "observations.csv" (Exp.Export.observations_csv sweep)
   in
   let term =
-    Term.(const run $ seed_arg $ num_apps_arg $ procs_arg $ horizon_arg $ out_dir)
+    Term.(
+      const run $ seed_arg $ num_apps_arg $ procs_arg $ horizon_arg $ jobs_arg
+      $ out_dir)
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Export the evaluation data (Fig. 5/6, Table 1, raw sweep) as CSV")

@@ -80,13 +80,24 @@ let waiting_time_for est others =
   | Composability -> Compose.waiting_time others
   | Exact -> Exact.waiting_time others
 
-let compute_period engine graph =
-  match engine with
-  | Mcm -> Sdf.Hsdf.period graph
-  | Statespace -> Sdf.Statespace.period_exn graph
+type cache = { cached_loads : Prob.t array; expansion : Sdf.Hsdf.t }
+
+let prepare a = { cached_loads = loads a; expansion = Sdf.Hsdf.expand a.graph }
+
+(* Period of [a] with response times as execution times.  A cached HSDF
+   expansion short-circuits the expensive part of the MCM engine: the
+   expansion topology is execution-time-invariant, only the node weights
+   change between passes. *)
+let compute_period engine expansion (a : app) response_times =
+  match (engine, expansion) with
+  | Mcm, Some h -> Sdf.Hsdf.period_of_expansion h ~exec_times:response_times
+  | Mcm, None -> Sdf.Hsdf.period (Sdf.Graph.with_exec_times a.graph response_times)
+  | Statespace, _ ->
+      Sdf.Statespace.period_exn (Sdf.Graph.with_exec_times a.graph response_times)
 
 (* One pass of the Figure 4 algorithm given per-app loads. *)
-let one_pass engine est (apps : app array) (app_loads : Prob.t array array) =
+let one_pass engine est (apps : app array) (app_loads : Prob.t array array)
+    (expansions : Sdf.Hsdf.t option array) =
   (* Node occupancy: which (app, actor) pairs share each processor. *)
   let by_node = Hashtbl.create 16 in
   Array.iteri
@@ -116,11 +127,15 @@ let one_pass engine est (apps : app array) (app_loads : Prob.t array array) =
       Array.init n (fun actor ->
           (Sdf.Graph.actor a.graph actor).exec_time +. waiting_times.(actor))
     in
-    let adjusted = Sdf.Graph.with_exec_times a.graph response_times in
-    let period = compute_period engine adjusted in
+    let period = compute_period engine expansions.(ai) a response_times in
     { for_app = a; waiting_times; response_times; period }
   in
   Array.mapi estimate_one apps
+
+let expansions_for engine apps =
+  match engine with
+  | Mcm -> Array.map (fun (a : app) -> Some (Sdf.Hsdf.expand a.graph)) apps
+  | Statespace -> Array.map (fun _ -> None) apps
 
 let estimate ?(engine = Mcm) ?(iterations = 1) est apps =
   if iterations < 1 then invalid_arg "Contention.Analysis.estimate: iterations < 1";
@@ -128,8 +143,9 @@ let estimate ?(engine = Mcm) ?(iterations = 1) est apps =
   | [] -> []
   | apps ->
       let apps = Array.of_list apps in
+      let expansions = expansions_for engine apps in
       let rec refine pass loads_now =
-        let results = one_pass engine est apps loads_now in
+        let results = one_pass engine est apps loads_now expansions in
         if pass >= iterations then results
         else
           (* Fixed-point refinement: blocking probabilities from the newly
@@ -140,6 +156,25 @@ let estimate ?(engine = Mcm) ?(iterations = 1) est apps =
           refine (pass + 1) next
       in
       Array.to_list (refine 1 (Array.map loads apps))
+
+let estimate_prepared ?(engine = Mcm) est pairs =
+  match pairs with
+  | [] -> []
+  | pairs ->
+      let apps = Array.of_list (List.map fst pairs) in
+      let caches = Array.of_list (List.map snd pairs) in
+      Array.iteri
+        (fun i (a : app) ->
+          if Array.length caches.(i).cached_loads <> Sdf.Graph.num_actors a.graph then
+            invalid_arg "Contention.Analysis.estimate_prepared: cache/app mismatch")
+        apps;
+      let loads = Array.map (fun c -> c.cached_loads) caches in
+      let expansions =
+        match engine with
+        | Mcm -> Array.map (fun c -> Some c.expansion) caches
+        | Statespace -> Array.map (fun _ -> None) caches
+      in
+      Array.to_list (one_pass engine est apps loads expansions)
 
 let estimate_with_loads ?(engine = Mcm) est pairs =
   match pairs with
@@ -155,7 +190,7 @@ let estimate_with_loads ?(engine = Mcm) est pairs =
                loads)
              pairs)
       in
-      Array.to_list (one_pass engine est apps loads)
+      Array.to_list (one_pass engine est apps loads (expansions_for engine apps))
 
 let estimate_calibrated ?engine est measured =
   estimate_with_loads ?engine est

@@ -100,6 +100,26 @@ val estimate :
     makes no distinction); a lone application whose actors all have dedicated
     processors therefore keeps its isolation period exactly. *)
 
+type cache
+(** Use-case-invariant per-application precomputation: the isolation-period
+    load descriptors ({!loads}) and the HSDF expansion of the application
+    graph (reused through {!Sdf.Hsdf.period_of_expansion} by the MCM engine).
+    A cache depends only on the [app] it was prepared from, so it can be
+    computed once per workload, shared read-only across domains, and reused
+    by every use-case the application appears in. *)
+
+val prepare : app -> cache
+
+val estimate_prepared :
+  ?engine:period_engine -> estimator -> (app * cache) list -> estimate list
+(** Exactly {!estimate} with [iterations = 1], but with the per-app
+    isolation work supplied by the caller instead of being recomputed: the
+    results are bit-identical to [estimate est apps].  This is the hot path
+    of {!Exp.Sweep}, where each application's cache is hit by up to
+    [2^(n-1)] use-cases.
+    @raise Invalid_argument when a cache was prepared from a different
+    application than the one it is paired with. *)
+
 val waiting_time_for : estimator -> Prob.t list -> float
 (** The raw per-actor waiting-time kernel used by {!estimate}: expected wait
     inflicted by the given co-mapped loads. *)

@@ -1,0 +1,53 @@
+let default_jobs () =
+  match Sys.getenv_opt "CONTENTION_JOBS" with
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some j when j >= 1 -> j
+      | Some _ | None ->
+          invalid_arg
+            (Printf.sprintf "CONTENTION_JOBS must be a positive integer, got %S" v))
+  | None -> Int.max 1 (Domain.recommended_domain_count () - 1)
+
+let map_range ?jobs n f =
+  if n < 0 then invalid_arg "Exp.Pool.map_range: negative range";
+  let jobs =
+    match jobs with
+    | Some j when j < 1 -> invalid_arg "Exp.Pool.map_range: jobs < 1"
+    | Some j -> j
+    | None -> default_jobs ()
+  in
+  let jobs = Int.min jobs n in
+  if n = 0 then [||]
+  else if jobs <= 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failure <> None then continue := false
+        else
+          match f i with
+          | v -> results.(i) <- Some v
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              (* Keep the first observed failure; later ones lose the race.
+                 The flag also stops idle workers from claiming new tasks. *)
+              ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+      done
+    in
+    let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+    Array.iter Domain.join domains;
+    match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.map
+          (function Some v -> v | None -> assert false (* every index claimed *))
+          results
+  end
+
+let map_list ?jobs f xs =
+  let arr = Array.of_list xs in
+  Array.to_list (map_range ?jobs (Array.length arr) (fun i -> f arr.(i)))

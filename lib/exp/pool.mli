@@ -1,0 +1,34 @@
+(** A fixed pool of OCaml 5 domains evaluating a function over an index
+    range — the executor behind the parallel use-case sweep ({!Sweep}).
+
+    Design constraints, in order:
+    - {e determinism}: results are collected in index order, so a pool of any
+      size returns exactly what the sequential loop would;
+    - {e work stealing by atomic counter}: domains pull the next free index
+      from a shared [Atomic.t], so uneven task costs (small vs large
+      use-cases) balance automatically;
+    - {e exception propagation}: a task that raises stops the pool from
+      claiming further work, and the exception is re-raised (with its
+      backtrace) on the calling domain after all workers have joined.
+
+    Tasks must be thread-safe with respect to each other: they run
+    concurrently on separate domains and must not share mutable state
+    (read-only sharing is fine). *)
+
+val default_jobs : unit -> int
+(** The [CONTENTION_JOBS] environment variable if set, otherwise
+    [Domain.recommended_domain_count () - 1] (one slot is left for the
+    calling domain), never less than [1].
+    @raise Invalid_argument if [CONTENTION_JOBS] is set but is not a positive
+    integer. *)
+
+val map_range : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [map_range n f] is [[| f 0; f 1; ...; f (n-1) |]], the calls distributed
+    over [min jobs n] domains.  [jobs] defaults to {!default_jobs}; with
+    [jobs = 1] (or [n <= 1]) everything runs sequentially on the calling
+    domain, spawning nothing.  [n = 0] returns [[||]] without spawning.
+    @raise Invalid_argument if [n] is negative or [jobs < 1];
+    re-raises the first exception observed in a worker. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map_range} over the elements of a list, preserving order. *)

@@ -18,62 +18,103 @@ type t = {
   timing : timing;
 }
 
-let timed acc f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  acc := !acc +. (Unix.gettimeofday () -. t0);
-  r
+(* Per-use-case outcome: the observations plus this task's own wall-clock
+   shares.  Timings are accumulated per task and merged after the pool joins,
+   so the sums stay meaningful (total CPU seconds across domains) without any
+   shared mutable accumulator. *)
+type task_result = {
+  task_observations : observation list;
+  task_sim_s : float;
+  task_analysis_s : float array;  (** Aligned with the estimator list. *)
+}
 
-let run ?(horizon = 500_000.) ?estimators ?usecases ?progress (w : Workload.t) =
+let run ?(horizon = 500_000.) ?estimators ?usecases ?progress ?jobs
+    (w : Workload.t) =
   let estimators =
     Option.value ~default:Contention.Analysis.all_paper_estimators estimators
   in
+  let estimators_arr = Array.of_list estimators in
   let usecases =
     Option.value ~default:(Contention.Usecase.all ~napps:(Workload.num_apps w)) usecases
   in
-  let total = List.length usecases in
-  let sim_time = ref 0. in
-  let analysis_times = List.map (fun e -> (e, ref 0.)) estimators in
+  let ucs = Array.of_list usecases in
+  let total = Array.length ucs in
+  (* Use-case-invariant per-application work (load descriptors, HSDF
+     expansion), hoisted out of the sweep: computed once per workload and
+     shared read-only by every task. *)
+  let caches = Array.map Contention.Analysis.prepare w.apps in
+  let progress_mutex = Mutex.create () in
   let completed = ref 0 in
-  let observe usecase =
-    let indices = Contention.Usecase.to_list usecase in
-    let sim_results, _ =
-      timed sim_time (fun () ->
-          Desim.Engine.run ~horizon ~procs:w.procs (Workload.sim_apps w usecase))
-    in
-    let apps = Workload.analysis_apps w usecase in
-    let per_estimator =
-      List.map
-        (fun (est, acc) ->
-          let results =
-            timed acc (fun () -> Contention.Analysis.estimate est apps)
-          in
-          (est, List.map (fun (r : Contention.Analysis.estimate) -> r.period) results))
-        analysis_times
-    in
-    incr completed;
-    (match progress with Some f -> f !completed total | None -> ());
-    List.mapi
-      (fun pos app_index ->
-        {
-          usecase;
-          app_index;
-          simulated_period = sim_results.(pos).Desim.Engine.avg_period;
-          simulated_worst = sim_results.(pos).Desim.Engine.max_period;
-          estimated_periods =
-            List.map (fun (est, periods) -> (est, List.nth periods pos)) per_estimator;
-        })
-      indices
+  let tick () =
+    match progress with
+    | None -> ()
+    | Some f ->
+        (* The counter and the callback share one mutex, so [f] observes
+           strictly increasing counts even when tasks finish concurrently. *)
+        Mutex.lock progress_mutex;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock progress_mutex)
+          (fun () ->
+            incr completed;
+            f !completed total)
   in
-  let observations = List.concat_map observe usecases in
+  let observe idx =
+    let usecase = ucs.(idx) in
+    let indices = Contention.Usecase.to_list usecase in
+    let t0 = Unix.gettimeofday () in
+    let sim_results, _ =
+      Desim.Engine.run ~horizon
+        ?firing_time:(Workload.sim_firing_time w usecase)
+        ~procs:w.procs (Workload.sim_apps w usecase)
+    in
+    let task_sim_s = Unix.gettimeofday () -. t0 in
+    let pairs = List.map (fun i -> (w.apps.(i), caches.(i))) indices in
+    let task_analysis_s = Array.make (Array.length estimators_arr) 0. in
+    let per_estimator =
+      Array.to_list
+        (Array.mapi
+           (fun k est ->
+             let t0 = Unix.gettimeofday () in
+             let results = Contention.Analysis.estimate_prepared est pairs in
+             task_analysis_s.(k) <- Unix.gettimeofday () -. t0;
+             ( est,
+               List.map (fun (r : Contention.Analysis.estimate) -> r.period) results ))
+           estimators_arr)
+    in
+    let task_observations =
+      List.mapi
+        (fun pos app_index ->
+          {
+            usecase;
+            app_index;
+            simulated_period = sim_results.(pos).Desim.Engine.avg_period;
+            simulated_worst = sim_results.(pos).Desim.Engine.max_period;
+            estimated_periods =
+              List.map
+                (fun (est, periods) -> (est, List.nth periods pos))
+                per_estimator;
+          })
+        indices
+    in
+    tick ();
+    { task_observations; task_sim_s; task_analysis_s }
+  in
+  let tasks = Pool.map_range ?jobs total observe in
+  let observations =
+    List.concat_map (fun t -> t.task_observations) (Array.to_list tasks)
+  in
   {
     workload = w;
     estimators;
     observations;
     timing =
       {
-        simulation_s = !sim_time;
-        analysis_s = List.map (fun (e, acc) -> (e, !acc)) analysis_times;
+        simulation_s = Array.fold_left (fun acc t -> acc +. t.task_sim_s) 0. tasks;
+        analysis_s =
+          List.mapi
+            (fun k est ->
+              (est, Array.fold_left (fun acc t -> acc +. t.task_analysis_s.(k)) 0. tasks))
+            estimators;
       };
   }
 

@@ -28,12 +28,29 @@ val run :
   ?estimators:Contention.Analysis.estimator list ->
   ?usecases:Contention.Usecase.t list ->
   ?progress:(int -> int -> unit) ->
+  ?jobs:int ->
   Workload.t ->
   t
 (** [run w] sweeps all [2^n - 1] use-cases (or the given subset) with the
     paper's four estimators by default.  [horizon] defaults to the paper's
-    [500_000.] cycles.  [progress done total] is called after each
-    use-case. *)
+    [500_000.] cycles.
+
+    [jobs] is the number of domains use-cases are distributed over
+    ({!Pool.map_range}; default {!Pool.default_jobs}, i.e. the machine's
+    recommended domain count minus one, overridable with the
+    [CONTENTION_JOBS] environment variable).  The sweep is deterministic in
+    [jobs]: every use-case is simulated and analysed from state that is a
+    pure function of [(w, usecase)] — stochastic firing times draw from an
+    RNG seeded per use-case ({!Workload.sim_firing_time}) — and observations
+    are collected in use-case order, so [run ~jobs:k w] returns results
+    bit-identical to [run ~jobs:1 w] for every [k].
+
+    [progress done total] is called after each use-case, serialised under a
+    mutex with strictly increasing [done] counts; the callback must therefore
+    be fast and must not itself call back into the sweep.  {!timing} fields
+    are per-task CPU-second sums merged after the pool joins, so they remain
+    comparable across [jobs] values (they exceed wall-clock time when
+    [jobs > 1]). *)
 
 val inaccuracy_period : t -> Contention.Analysis.estimator -> float
 (** Mean absolute percent difference between estimated and simulated period,

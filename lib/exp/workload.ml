@@ -1,13 +1,29 @@
 type t = { seed : int; procs : int; apps : Contention.Analysis.app array }
 
-let make ?(seed = 2007) ?(num_apps = 10) ?(procs = 10) ?params () =
+let make ?(seed = 2007) ?(num_apps = 10) ?(procs = 10) ?params ?(spread = 0.) () =
   if num_apps < 1 then invalid_arg "Exp.Workload.make: num_apps < 1";
   if num_apps > 26 then invalid_arg "Exp.Workload.make: more than 26 applications";
+  if spread < 0. || spread >= 1. then
+    invalid_arg "Exp.Workload.make: spread must be in [0, 1)";
   let graphs = Sdfgen.Generator.generate_many ?params ~seed num_apps in
   let apps =
     Array.map
-      (fun g ->
-        Contention.Analysis.app ~procs g ~mapping:(Contention.Mapping.modulo ~procs g))
+      (fun (g : Sdf.Graph.t) ->
+        let distributions =
+          if spread = 0. then None
+          else
+            Some
+              (Array.map
+                 (fun (a : Sdf.Graph.actor) ->
+                   Contention.Dist.Uniform
+                     {
+                       lo = a.exec_time *. (1. -. spread);
+                       hi = a.exec_time *. (1. +. spread);
+                     })
+                 g.actors)
+        in
+        Contention.Analysis.app ~procs ?distributions g
+          ~mapping:(Contention.Mapping.modulo ~procs g))
       graphs
   in
   { seed; procs; apps }
@@ -30,6 +46,28 @@ let sim_apps t usecase =
          { Desim.Engine.graph = a.Contention.Analysis.graph;
            mapping = a.Contention.Analysis.mapping })
        (Contention.Usecase.to_list usecase))
+
+let sim_firing_time t usecase =
+  let indices = Contention.Usecase.to_list usecase in
+  let selected = Array.of_list (List.map (fun i -> t.apps.(i)) indices) in
+  if
+    Array.for_all
+      (fun (a : Contention.Analysis.app) -> Option.is_none a.distributions)
+      selected
+  then None
+  else
+    (* One RNG per use-case, seeded from (workload seed, use-case id): every
+       use-case draws an identical firing-time stream no matter which domain
+       simulates it or in which order, so parallel sweeps stay bit-identical
+       to sequential ones. *)
+    let rng = Sdfgen.Rng.create ((t.seed * 1_000_003) + usecase) in
+    Some
+      (fun ~app ~actor ->
+        let a = selected.(app) in
+        match a.Contention.Analysis.distributions with
+        | Some dists ->
+            Contention.Dist.sample dists.(actor) ~u:(Sdfgen.Rng.float rng 1.)
+        | None -> (Sdf.Graph.actor a.Contention.Analysis.graph actor).exec_time)
 
 let app_index t name =
   let found = ref None in

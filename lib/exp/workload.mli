@@ -13,11 +13,18 @@ val make :
   ?num_apps:int ->
   ?procs:int ->
   ?params:Sdfgen.Generator.params ->
+  ?spread:float ->
   unit ->
   t
 (** Defaults: [seed = 2007] (the paper's year — any seed reproduces a valid
     instance of the experiment), [num_apps = 10], [procs = 10],
-    [params = Sdfgen.Generator.default_params]. *)
+    [params = Sdfgen.Generator.default_params].
+
+    [spread] (default [0.], must be in [[0, 1)]) switches the workload to the
+    paper's Section 6 variable-execution-time extension: every actor's firing
+    time becomes [Uniform [tau*(1-spread), tau*(1+spread)]].  The mean (and
+    hence the isolation period) is unchanged; simulations sample per firing
+    through {!sim_firing_time}.  {!save} persists only the mean times. *)
 
 val num_apps : t -> int
 val names : t -> string array
@@ -28,6 +35,16 @@ val analysis_apps : t -> Contention.Usecase.t -> Contention.Analysis.app list
 
 val sim_apps : t -> Contention.Usecase.t -> Desim.Engine.app array
 (** Same subset as simulator inputs. *)
+
+val sim_firing_time :
+  t -> Contention.Usecase.t -> (app:int -> actor:int -> float) option
+(** The [firing_time] hook for {!Desim.Engine.run} over {!sim_apps}: [None]
+    when no selected application carries execution-time distributions (the
+    engine's constant-time default applies), otherwise a sampler drawing from
+    each actor's distribution.  The sampler's RNG is seeded from
+    [(seed, usecase)], so the stream is a pure function of the use-case —
+    independent of the order use-cases are simulated in, and of which domain
+    runs them. *)
 
 val app_index : t -> string -> int
 (** @raise Not_found for an unknown application name. *)

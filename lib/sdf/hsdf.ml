@@ -73,11 +73,13 @@ let expand (g : Graph.t) =
   in
   { nodes; edges = Array.of_list edges; source = g }
 
-let period g =
-  let h = expand g in
+let period_of_expansion h ~exec_times =
+  if Array.length exec_times <> Graph.num_actors h.source then
+    invalid_arg "Sdf.Hsdf.period_of_expansion: one execution time per actor";
   let edges =
     Array.map
-      (fun e -> (e.from_node, e.to_node, h.nodes.(e.from_node).exec_time, e.delay))
+      (fun e ->
+        (e.from_node, e.to_node, exec_times.(h.nodes.(e.from_node).actor), e.delay))
       h.edges
   in
   match Mcm.max_cycle_ratio ~nodes:(num_nodes h) edges with
@@ -86,6 +88,11 @@ let period g =
       invalid_arg
         (Printf.sprintf "Sdf.Hsdf.period: graph %S has no cycle (unbounded rate)"
            h.source.name)
+
+let period g =
+  let h = expand g in
+  period_of_expansion h
+    ~exec_times:(Array.map (fun (a : Graph.actor) -> a.exec_time) g.actors)
 
 let period_rational g =
   let h = expand g in

@@ -30,6 +30,18 @@ val expand : Graph.t -> t
 
 val num_nodes : t -> int
 
+val period_of_expansion : t -> exec_times:float array -> float
+(** Maximum cycle ratio of an existing expansion, with the node weights
+    overridden by [exec_times.(actor)].  The expansion's topology (repetition
+    vector, dependency edges) only depends on the graph's rates and initial
+    tokens, never on execution times — so one expansion can be reused to
+    recompute the period under many response-time assignments, which is the
+    hot path of the contention analysis when sweeping use-cases.
+    Equivalent (bit for bit) to expanding [Graph.with_exec_times] and calling
+    {!period} on it.
+    @raise Invalid_argument unless [exec_times] has exactly one entry per
+    source-graph actor, or as {!period}. *)
+
 val period : Graph.t -> float
 (** Maximum cycle ratio of the expansion: the exact iteration period of the
     graph under self-timed execution.  Cross-validates {!Statespace.period}.

@@ -1,0 +1,52 @@
+(* Golden regression pin for the Table-1-style numbers of a fixed-seed
+   4-app sweep.  The values below were produced by this very code at the
+   time the parallel sweep was introduced; any later performance work
+   (parallelism, caching, kernel rewrites) must reproduce them to 1e-9 —
+   the sweep is deterministic, so a drift means the estimator algebra or
+   the simulator semantics changed, not just the schedule. *)
+
+let golden_workload () =
+  Exp.Workload.make ~seed:7 ~num_apps:4 ~procs:6
+    ~params:
+      {
+        Sdfgen.Generator.default_params with
+        actors_min = 4;
+        actors_max = 6;
+        exec_min = 2;
+        exec_max = 20;
+      }
+    ()
+
+(* (estimator, inaccuracy_period %, inaccuracy_throughput %) *)
+let golden : (Contention.Analysis.estimator * float * float) list =
+  [
+    (Contention.Analysis.Worst_case, 91.736779427545059, 42.044833021279665);
+    (Contention.Analysis.Order 4, 6.6365505367169462, 6.8657367878937858);
+    (Contention.Analysis.Order 2, 6.6511314322944148, 6.873673014153014);
+    (Contention.Analysis.Composability, 6.6502160641490553, 6.8723201748649485);
+  ]
+
+let golden_isolation_periods = [| 66.; 67.; 66.; 118. |]
+
+let check msg expected actual =
+  if Float.abs (expected -. actual) > 1e-9 then
+    Alcotest.failf "%s: expected %.17g, got %.17g (drift %.3g)" msg expected actual
+      (actual -. expected)
+
+let test_golden_sweep () =
+  let w = golden_workload () in
+  Array.iteri
+    (fun i p -> check (Printf.sprintf "isolation period %d" i) golden_isolation_periods.(i) p)
+    (Exp.Workload.isolation_periods w);
+  let s = Exp.Sweep.run ~horizon:20_000. w in
+  List.iter
+    (fun (est, period_pct, throughput_pct) ->
+      let name = Contention.Analysis.estimator_name est in
+      check (name ^ " period inaccuracy") period_pct (Exp.Sweep.inaccuracy_period s est);
+      check
+        (name ^ " throughput inaccuracy")
+        throughput_pct
+        (Exp.Sweep.inaccuracy_throughput s est))
+    golden
+
+let suite = [ Alcotest.test_case "fixed-seed sweep inaccuracies" `Slow test_golden_sweep ]

@@ -1,0 +1,99 @@
+(* The domain-pool executor behind the parallel sweep: results must be
+   deterministic in the pool size, exceptions must surface on the caller, and
+   degenerate inputs (empty range, more domains than work) must be safe. *)
+
+exception Boom of int
+
+let collatz_steps i =
+  (* A task with index-dependent cost, so domains finish out of order. *)
+  let rec go n steps =
+    if n <= 1 then steps
+    else if n mod 2 = 0 then go (n / 2) (steps + 1)
+    else go ((3 * n) + 1) (steps + 1)
+  in
+  go (i + 27) 0
+
+let test_matches_sequential () =
+  let n = 100 in
+  let expected = Array.init n collatz_steps in
+  for jobs = 1 to 8 do
+    let got = Exp.Pool.map_range ~jobs n collatz_steps in
+    Alcotest.(check (array int))
+      (Printf.sprintf "jobs=%d identical in-order results" jobs)
+      expected got
+  done
+
+let test_default_jobs () =
+  let got = Exp.Pool.map_range 10 (fun i -> i * i) in
+  Alcotest.(check (array int)) "default jobs" (Array.init 10 (fun i -> i * i)) got
+
+let test_empty_range () =
+  Alcotest.(check (array int)) "n = 0" [||] (Exp.Pool.map_range ~jobs:4 0 (fun i -> i));
+  match Exp.Pool.map_range ~jobs:4 (-1) (fun i -> i) with
+  | _ -> Alcotest.fail "negative range accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_more_jobs_than_items () =
+  let got = Exp.Pool.map_range ~jobs:8 3 (fun i -> 10 * i) in
+  Alcotest.(check (array int)) "jobs > items" [| 0; 10; 20 |] got;
+  let got = Exp.Pool.map_range ~jobs:8 1 (fun i -> i + 1) in
+  Alcotest.(check (array int)) "single item" [| 1 |] got
+
+let test_invalid_jobs () =
+  match Exp.Pool.map_range ~jobs:0 4 (fun i -> i) with
+  | _ -> Alcotest.fail "jobs = 0 accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_exception_propagates () =
+  for jobs = 1 to 6 do
+    match
+      Exp.Pool.map_range ~jobs 50 (fun i -> if i = 17 then raise (Boom i) else i)
+    with
+    | _ -> Alcotest.failf "jobs=%d: worker exception swallowed" jobs
+    | exception Boom 17 -> ()
+    | exception e ->
+        Alcotest.failf "jobs=%d: unexpected exception %s" jobs (Printexc.to_string e)
+  done
+
+let test_exception_stops_claiming () =
+  (* After the failure flag is set, workers stop pulling work, so strictly
+     fewer than n tasks run.  The stop is guaranteed only eventually (the
+     other domain may claim a few tasks before it sees the flag), so allow a
+     handful of scheduling-dependent attempts before declaring failure. *)
+  let attempt () =
+    let ran = Atomic.make 0 in
+    (match
+       Exp.Pool.map_range ~jobs:2 10_000 (fun i ->
+           Atomic.incr ran;
+           if i = 0 then raise (Boom 0))
+     with
+    | _ -> Alcotest.fail "exception swallowed"
+    | exception Boom 0 -> ());
+    Atomic.get ran < 10_000
+  in
+  let rec try_up_to n = attempt () || (n > 1 && try_up_to (n - 1)) in
+  Alcotest.(check bool) "pool drained early at least once" true (try_up_to 5)
+
+let test_map_list () =
+  let xs = [ "a"; "bb"; "ccc"; "dddd"; "" ] in
+  Alcotest.(check (list int))
+    "map_list preserves order" [ 1; 2; 3; 4; 0 ]
+    (Exp.Pool.map_list ~jobs:3 String.length xs);
+  Alcotest.(check (list int)) "map_list empty" [] (Exp.Pool.map_list ~jobs:3 String.length [])
+
+let test_default_jobs_positive () =
+  Alcotest.(check bool) "default_jobs >= 1" true (Exp.Pool.default_jobs () >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "matches sequential for 1..8 domains" `Quick
+      test_matches_sequential;
+    Alcotest.test_case "default jobs" `Quick test_default_jobs;
+    Alcotest.test_case "empty and negative range" `Quick test_empty_range;
+    Alcotest.test_case "more jobs than items" `Quick test_more_jobs_than_items;
+    Alcotest.test_case "invalid jobs" `Quick test_invalid_jobs;
+    Alcotest.test_case "worker exception re-raised" `Quick test_exception_propagates;
+    Alcotest.test_case "failure stops the queue" `Quick test_exception_stops_claiming;
+    Alcotest.test_case "map_list" `Quick test_map_list;
+    Alcotest.test_case "default_jobs positive" `Quick test_default_jobs_positive;
+  ]

@@ -1,0 +1,125 @@
+(* The parallel sweep must be indistinguishable from the sequential one:
+   identical observations (periods compared with exact float equality),
+   identical inaccuracy summaries, and a thread-safe monotone progress
+   callback.  Exercised on a small fixed-seed workload (4 apps, short
+   horizon) in both the constant-time and the stochastic (spread > 0)
+   regimes. *)
+
+let small_workload ?spread () =
+  Exp.Workload.make ~seed:7 ~num_apps:4 ~procs:6
+    ~params:
+      {
+        Sdfgen.Generator.default_params with
+        actors_min = 4;
+        actors_max = 6;
+        exec_min = 2;
+        exec_max = 20;
+      }
+    ?spread ()
+
+let check_same_observation i (a : Exp.Sweep.observation) (b : Exp.Sweep.observation) =
+  let ctx fmt = Printf.sprintf ("observation %d: " ^^ fmt) i in
+  Alcotest.(check int) (ctx "usecase") a.usecase b.usecase;
+  Alcotest.(check int) (ctx "app_index") a.app_index b.app_index;
+  (* Exact equality, not a tolerance: the parallel path must run the very
+     same float operations in the very same order. *)
+  let exactly msg x y =
+    if not (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)) then
+      Alcotest.failf "%s: %h <> %h" msg x y
+  in
+  exactly (ctx "simulated_period") a.simulated_period b.simulated_period;
+  exactly (ctx "simulated_worst") a.simulated_worst b.simulated_worst;
+  Alcotest.(check int)
+    (ctx "estimator count")
+    (List.length a.estimated_periods)
+    (List.length b.estimated_periods);
+  List.iter2
+    (fun (ea, pa) (eb, pb) ->
+      Alcotest.(check string)
+        (ctx "estimator order")
+        (Contention.Analysis.estimator_name ea)
+        (Contention.Analysis.estimator_name eb);
+      exactly (ctx "estimated period") pa pb)
+    a.estimated_periods b.estimated_periods
+
+let check_equal_sweeps (seq : Exp.Sweep.t) (par : Exp.Sweep.t) =
+  Alcotest.(check int) "observation count"
+    (List.length seq.observations)
+    (List.length par.observations);
+  List.iteri
+    (fun i (a, b) -> check_same_observation i a b)
+    (List.combine seq.observations par.observations);
+  List.iter
+    (fun est ->
+      let a = Exp.Sweep.inaccuracy_period seq est
+      and b = Exp.Sweep.inaccuracy_period par est in
+      if not (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)) then
+        Alcotest.failf "inaccuracy_period (%s): %h <> %h"
+          (Contention.Analysis.estimator_name est)
+          a b)
+    seq.estimators
+
+let test_parallel_equals_sequential () =
+  let w = small_workload () in
+  let seq = Exp.Sweep.run ~horizon:10_000. ~jobs:1 w in
+  let par = Exp.Sweep.run ~horizon:10_000. ~jobs:4 w in
+  check_equal_sweeps seq par
+
+let test_parallel_equals_sequential_stochastic () =
+  (* With spread > 0 every firing draws from a use-case-seeded RNG; the
+     draws must not depend on domain scheduling. *)
+  let w = small_workload ~spread:0.4 () in
+  let seq = Exp.Sweep.run ~horizon:10_000. ~jobs:1 w in
+  let par = Exp.Sweep.run ~horizon:10_000. ~jobs:4 w in
+  check_equal_sweeps seq par
+
+let test_stochastic_differs_from_constant () =
+  (* Sanity: the spread path actually changes the simulation (otherwise the
+     stochastic determinism test above would be vacuous). *)
+  let uc = [ Contention.Usecase.of_list [ 0; 1; 2; 3 ] ] in
+  let constant = Exp.Sweep.run ~horizon:10_000. ~usecases:uc ~jobs:1 (small_workload ()) in
+  let spread =
+    Exp.Sweep.run ~horizon:10_000. ~usecases:uc ~jobs:1 (small_workload ~spread:0.4 ())
+  in
+  let periods (s : Exp.Sweep.t) =
+    List.map (fun (o : Exp.Sweep.observation) -> o.simulated_period) s.observations
+  in
+  Alcotest.(check bool) "spread changes simulated periods" true
+    (periods constant <> periods spread)
+
+let test_progress_monotone_parallel () =
+  let w = small_workload () in
+  let seen = ref [] in
+  let sweep =
+    Exp.Sweep.run ~horizon:5_000. ~jobs:4
+      ~progress:(fun done_ total -> seen := (done_, total) :: !seen)
+      w
+  in
+  let calls = List.rev !seen in
+  let total = 15 (* 2^4 - 1 use-cases *) in
+  Alcotest.(check int) "one call per use-case" total (List.length calls);
+  List.iteri
+    (fun i (done_, t) ->
+      Alcotest.(check int) (Printf.sprintf "call %d strictly increasing" i) (i + 1) done_;
+      Alcotest.(check int) "constant total" total t)
+    calls;
+  Alcotest.(check int) "all use-cases observed" 32 (List.length sweep.observations)
+
+let test_jobs_validation () =
+  let w = small_workload () in
+  match Exp.Sweep.run ~horizon:1_000. ~jobs:0 w with
+  | _ -> Alcotest.fail "jobs = 0 accepted"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "jobs=4 equals jobs=1 (constant times)" `Slow
+      test_parallel_equals_sequential;
+    Alcotest.test_case "jobs=4 equals jobs=1 (stochastic times)" `Slow
+      test_parallel_equals_sequential_stochastic;
+    Alcotest.test_case "spread changes the simulation" `Quick
+      test_stochastic_differs_from_constant;
+    Alcotest.test_case "progress is monotone under domains" `Quick
+      test_progress_monotone_parallel;
+    Alcotest.test_case "jobs validation" `Quick test_jobs_validation;
+  ]
