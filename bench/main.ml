@@ -17,6 +17,7 @@
      ARBITRATION         FCFS vs fixed priority vs static order ([2])
      TDMA                the preemptive TDMA worst-case baseline ([3])
      EXPLORE             estimator-in-the-loop mapping search
+     SERVE               request throughput of the in-process serve daemon
      MICRO   Bechamel OLS estimates for kernels and full-path operations
 
    Environment knobs:
@@ -553,6 +554,60 @@ let () =
      %d estimator evaluations in %.2f s\n"
     outcome.initial_score outcome.final_score outcome.moves outcome.evaluations
     (Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* The serve daemon: request throughput against an in-process server    *)
+
+let () =
+  section "SERVE";
+  let reqs = env_int "CONTENTION_SERVE_REQS" 2_000 in
+  let config =
+    {
+      Serve.Server.default_config with
+      port = Some 0;
+      unix_path = None;
+      jobs = Some 2;
+    }
+  in
+  let server = Serve.Server.start ~config () in
+  let port = Option.get (Serve.Server.tcp_port server) in
+  let fail msg = failwith ("bench serve: " ^ msg) in
+  let client =
+    match Serve.Client.connect ~port () with
+    | Ok c -> c
+    | Error msg -> fail msg
+  in
+  let small = Exp.Workload.make ~seed ~num_apps:3 ~procs:2 () in
+  let digest =
+    match Serve.Client.upload client ~payload:(Exp.Workload.to_string small) with
+    | Ok (up : Serve.Protocol.upload_reply) -> up.digest
+    | Error msg -> fail msg
+  in
+  let time_reqs name f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reqs do
+      match f () with Ok _ -> () | Error msg -> fail msg
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "%-28s %8.0f req/s  (%.1f us/req over %d requests)\n" name
+      (float_of_int reqs /. dt)
+      (dt /. float_of_int reqs *. 1e6)
+      reqs
+  in
+  time_reqs "ping" (fun () -> Serve.Client.ping client);
+  time_reqs "estimate (cached)" (fun () ->
+      Serve.Client.estimate client ~digest
+        ~estimator:(Contention.Analysis.Order 2) ());
+  (match Serve.Client.stats client with
+  | Ok (s : Serve.Protocol.stats_reply) ->
+      Printf.printf
+        "server counters: %d requests, cache hit rate %.1f%%, p99 latency %.0f us\n"
+        s.requests_total
+        (100. *. Serve.Protocol.cache_hit_rate s)
+        s.latency_p99_us
+  | Error msg -> fail msg);
+  Serve.Client.close client;
+  Serve.Server.stop server
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)

@@ -8,7 +8,9 @@
      export      the same evaluation data as CSV files
      inspect     periods, latency, buffer bounds and text export of one graph
      report      estimated vs simulated periods + processor utilisation
-     sensitivity leave-one-out interference ranking *)
+     sensitivity leave-one-out interference ranking
+     serve       online resource-manager daemon (TCP / Unix socket)
+     query       one-shot client for a running daemon *)
 
 open Cmdliner
 
@@ -39,17 +41,9 @@ let usecase_arg =
   Arg.(value & opt (some string) None & info [ "usecase" ] ~docv:"APPS" ~doc)
 
 let estimator_conv =
+  (* One estimator grammar for the CLI and the wire protocol. *)
   let parse s =
-    match String.lowercase_ascii s with
-    | "worst-case" | "wc" -> Ok Contention.Analysis.Worst_case
-    | "second-order" | "o2" -> Ok (Contention.Analysis.Order 2)
-    | "fourth-order" | "o4" -> Ok (Contention.Analysis.Order 4)
-    | "composability" | "comp" -> Ok Contention.Analysis.Composability
-    | "exact" -> Ok Contention.Analysis.Exact
-    | s -> (
-        match int_of_string_opt s with
-        | Some m when m >= 2 -> Ok (Contention.Analysis.Order m)
-        | _ -> Error (`Msg (Printf.sprintf "unknown estimator %S" s)))
+    Result.map_error (fun msg -> `Msg msg) (Serve.Protocol.estimator_of_string s)
   in
   let print ppf e = Format.pp_print_string ppf (Contention.Analysis.estimator_name e) in
   Arg.conv (parse, print)
@@ -257,20 +251,20 @@ let experiment_cmd =
 (* report                                                              *)
 
 let report_cmd =
-  let run seed num_apps procs usecase horizon load =
+  let run seed num_apps procs usecase horizon jobs load =
     let w = workload ~load seed num_apps procs in
     match parse_usecase w usecase with
     | Error msg ->
         prerr_endline msg;
         exit 2
     | Ok uc ->
-        let report = Exp.Report.build ~horizon w uc in
+        let report = Exp.Report.build ~horizon ?jobs w uc in
         print_string (Exp.Report.render ~napps:(Exp.Workload.num_apps w) report)
   in
   let term =
     Term.(
       const run $ seed_arg $ num_apps_arg $ procs_arg $ usecase_arg $ horizon_arg
-      $ load_arg)
+      $ jobs_arg $ load_arg)
   in
   Cmd.v
     (Cmd.info "report"
@@ -285,7 +279,7 @@ let sensitivity_cmd =
     let doc = "Rank interferers of this application only." in
     Arg.(value & opt (some string) None & info [ "victim" ] ~docv:"APP" ~doc)
   in
-  let run seed num_apps procs usecase estimator victim load =
+  let run seed num_apps procs usecase estimator victim jobs load =
     let w = workload ~load seed num_apps procs in
     match parse_usecase w usecase with
     | Error msg ->
@@ -293,13 +287,17 @@ let sensitivity_cmd =
         exit 2
     | Ok uc -> (
         let apps = Exp.Workload.analysis_apps w uc in
+        (* Each leave-one-out column is a pure task: fan them out. *)
+        let pmap f xs = Exp.Pool.map_list ?jobs f xs in
         match victim with
         | None ->
             print_string
               (Contention.Sensitivity.render
-                 (Contention.Sensitivity.leave_one_out ~estimator apps))
+                 (Contention.Sensitivity.leave_one_out ~pmap ~estimator apps))
         | Some name -> (
-            match Contention.Sensitivity.rank_for ~estimator ~victim:name apps with
+            match
+              Contention.Sensitivity.rank_for ~pmap ~estimator ~victim:name apps
+            with
             | ranked -> print_string (Contention.Sensitivity.render ranked)
             | exception Not_found ->
                 Printf.eprintf "application %S is not in the use-case\n" name;
@@ -308,7 +306,7 @@ let sensitivity_cmd =
   let term =
     Term.(
       const run $ seed_arg $ num_apps_arg $ procs_arg $ usecase_arg $ estimator_arg
-      $ victim $ load_arg)
+      $ victim $ jobs_arg $ load_arg)
   in
   Cmd.v
     (Cmd.info "sensitivity"
@@ -396,11 +394,218 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Export the evaluation data (Fig. 5/6, Table 1, raw sweep) as CSV")
     term
 
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+let host_arg =
+  let doc = "Address the daemon binds / the client connects to." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+
+let port_arg =
+  let doc = "TCP port (0 picks an ephemeral port; the daemon prints it)." in
+  Arg.(value & opt int 4557 & info [ "port" ] ~docv:"PORT" ~doc)
+
+let unix_arg =
+  let doc = "Also (serve) or instead (query) use a Unix-domain socket at $(docv)." in
+  Arg.(value & opt (some string) None & info [ "unix" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let cache_arg =
+    let doc = "Estimate-cache capacity in entries." in
+    Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let run host port unix_path jobs cache =
+    if cache < 1 then begin
+      prerr_endline "cache capacity must be at least 1";
+      exit 2
+    end;
+    let config =
+      {
+        Serve.Server.default_config with
+        host;
+        port = Some port;
+        unix_path;
+        jobs;
+        cache_capacity = cache;
+      }
+    in
+    let server =
+      try Serve.Server.start ~config ()
+      with Unix.Unix_error (err, _, _) ->
+        Printf.eprintf "cannot start server: %s\n" (Unix.error_message err);
+        exit 1
+    in
+    (match Serve.Server.tcp_port server with
+    | Some p -> Printf.printf "contention serve: listening on %s:%d\n%!" host p
+    | None -> ());
+    Option.iter
+      (fun path -> Printf.printf "contention serve: listening on %s\n%!" path)
+      unix_path;
+    let interrupted = Atomic.make false in
+    let on_signal _ = Atomic.set interrupted true in
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+     with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+     with Invalid_argument _ -> ());
+    Serve.Server.run_until_stopped
+      ~should_stop:(fun () -> Atomic.get interrupted)
+      server;
+    Printf.printf "contention serve: drained in-flight requests, stopped\n%!"
+  in
+  let term =
+    Term.(const run $ host_arg $ port_arg $ unix_arg $ jobs_arg $ cache_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the online resource-manager daemon (upload / estimate / admit / \
+          release / stats over newline-delimited JSON)")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* query                                                               *)
+
+let query_cmd =
+  let session_arg =
+    let doc = "Admission session the admit/release applies to." in
+    Arg.(
+      value
+      & opt string Serve.Protocol.default_session
+      & info [ "session" ] ~docv:"NAME" ~doc)
+  in
+  let min_tp_arg =
+    let doc = "Throughput requirement for admit (0 = best effort)." in
+    Arg.(value & opt float 0. & info [ "min-throughput" ] ~docv:"TP" ~doc)
+  in
+  let words_arg =
+    let doc =
+      "Command: ping | upload FILE | estimate DIGEST | admit DIGEST APP | \
+       release APP | stats | shutdown."
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"COMMAND" ~doc)
+  in
+  let fail fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt in
+  let print_estimate (r : Serve.Protocol.estimate_reply) =
+    Printf.printf "estimator %s%s:\n" r.estimator
+      (if r.cached then " (cached)" else "");
+    List.iter
+      (fun (row : Serve.Protocol.estimate_row) ->
+        Printf.printf
+          "  %s: period %.1f (isolation %.1f, +%.1f%%), throughput %.6f\n"
+          row.app row.period row.isolation_period
+          (100. *. ((row.period /. row.isolation_period) -. 1.))
+          row.throughput)
+      r.rows
+  in
+  let print_stats (s : Serve.Protocol.stats_reply) =
+    Printf.printf "uptime %.1fs, %d connections, %d requests\n" s.uptime_s
+      s.connections s.requests_total;
+    List.iter (fun (cmd, n) -> Printf.printf "  %-10s %d\n" cmd n) s.requests;
+    Printf.printf "workloads %d, sessions %d\n" s.workloads s.sessions;
+    Printf.printf "cache: %d/%d entries, %d hits, %d misses (hit rate %.1f%%)\n"
+      s.cache_entries s.cache_capacity s.cache_hits s.cache_misses
+      (100. *. Serve.Protocol.cache_hit_rate s);
+    Printf.printf "admission: %d admitted, %d rejected (candidate), %d rejected \
+                   (victim), %d released\n"
+      s.admitted s.rejected_candidate s.rejected_victim s.released;
+    Printf.printf
+      "latency: mean %.0fus, p50 %.0fus, p90 %.0fus, p99 %.0fus, max %.0fus \
+       over %d requests\n"
+      s.latency_mean_us s.latency_p50_us s.latency_p90_us s.latency_p99_us
+      s.latency_max_us s.latency_samples
+  in
+  let run host port unix_path usecase estimator session min_tp words =
+    let client =
+      match
+        match unix_path with
+        | Some path -> Serve.Client.connect_unix path
+        | None -> Serve.Client.connect ~host ~port ()
+      with
+      | Ok c -> c
+      | Error msg -> fail "cannot connect: %s" msg
+    in
+    Fun.protect
+      ~finally:(fun () -> Serve.Client.close client)
+      (fun () ->
+        let check = function Ok v -> v | Error msg -> fail "%s" msg in
+        match words with
+        | [ "ping" ] ->
+            check (Serve.Client.ping client);
+            print_endline "pong"
+        | [ "upload"; file ] ->
+            let payload =
+              match open_in file with
+              | exception Sys_error msg -> fail "cannot read %s: %s" file msg
+              | ic ->
+                  Fun.protect
+                    ~finally:(fun () -> close_in ic)
+                    (fun () -> really_input_string ic (in_channel_length ic))
+            in
+            let r = check (Serve.Client.upload client ~payload) in
+            Printf.printf "digest %s (%d apps on %d processors: %s)\n" r.digest
+              (List.length r.apps) r.procs
+              (String.concat "," r.apps)
+        | [ "estimate"; digest ] ->
+            let usecase =
+              Option.map
+                (fun spec ->
+                  List.map String.trim (String.split_on_char ',' spec))
+                usecase
+            in
+            print_estimate
+              (check
+                 (Serve.Client.estimate client ~digest ?usecase ~estimator ()))
+        | [ "admit"; digest; app ] -> (
+            match
+              check
+                (Serve.Client.admit client ~session ~digest ~app
+                   ~min_throughput:min_tp ())
+            with
+            | Serve.Protocol.Admitted { throughput } ->
+                Printf.printf "admitted %s (estimated throughput %.6f)\n" app
+                  throughput
+            | Serve.Protocol.Rejected_candidate { estimated; required } ->
+                Printf.printf
+                  "rejected: %s itself would achieve %.6f < required %.6f\n" app
+                  estimated required
+            | Serve.Protocol.Rejected_victim { victim; estimated; required } ->
+                Printf.printf
+                  "rejected: admitting %s would push %s to %.6f < required %.6f\n"
+                  app victim estimated required)
+        | [ "release"; app ] ->
+            check (Serve.Client.release client ~session ~app ());
+            Printf.printf "released %s\n" app
+        | [ "stats" ] -> print_stats (check (Serve.Client.stats client))
+        | [ "shutdown" ] ->
+            check (Serve.Client.shutdown client);
+            print_endline "server stopping"
+        | words -> fail "unknown query %S" (String.concat " " words))
+  in
+  let term =
+    Term.(
+      const run $ host_arg $ port_arg $ unix_arg $ usecase_arg $ estimator_arg
+      $ session_arg $ min_tp_arg $ words_arg)
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Query a running $(b,contention serve) daemon (one command per call)")
+    term
+
 let () =
+  (* Fail malformed CONTENTION_JOBS here, once, with a clean message — not
+     as an uncaught Invalid_argument from deep inside a sweep. *)
+  (match Sys.getenv_opt "CONTENTION_JOBS" with
+  | None -> ()
+  | Some _ -> (
+      match Exp.Pool.default_jobs () with
+      | _ -> ()
+      | exception Invalid_argument msg ->
+          Printf.eprintf "contention: %s\n" msg;
+          exit 2));
   let doc = "Probabilistic resource-contention performance estimation (DAC 2007)" in
   let info = Cmd.info "contention" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; analyze_cmd; simulate_cmd; experiment_cmd; export_cmd;
-            inspect_cmd; report_cmd; sensitivity_cmd ]))
+            inspect_cmd; report_cmd; sensitivity_cmd; serve_cmd; query_cmd ]))

@@ -14,10 +14,11 @@ let period_of results name =
       if name_of r.for_app = name then Some r.period else None)
     results
 
-let leave_one_out ?(estimator = Analysis.Order 2) apps =
+let leave_one_out ?(pmap = List.map) ?(estimator = Analysis.Order 2) apps =
   let full = Analysis.estimate estimator apps in
-  List.concat_map
-    (fun (removed : Analysis.app) ->
+  List.concat
+  @@ pmap
+       (fun (removed : Analysis.app) ->
       let rest = List.filter (fun a -> a != removed) apps in
       let partial = Analysis.estimate estimator rest in
       List.filter_map
@@ -38,11 +39,11 @@ let leave_one_out ?(estimator = Analysis.Order 2) apps =
                   }
             | _ -> None)
         apps)
-    apps
+       apps
 
-let rank_for ?estimator ~victim apps =
+let rank_for ?pmap ?estimator ~victim apps =
   if not (List.exists (fun a -> name_of a = victim) apps) then raise Not_found;
-  leave_one_out ?estimator apps
+  leave_one_out ?pmap ?estimator apps
   |> List.filter (fun i -> i.victim = victim)
   |> List.sort (fun a b -> Float.compare b.relief_pct a.relief_pct)
 

@@ -17,12 +17,25 @@ type impact = {
 }
 
 val leave_one_out :
-  ?estimator:Analysis.estimator -> Analysis.app list -> impact list
+  ?pmap:((Analysis.app -> impact list) -> Analysis.app list -> impact list list) ->
+  ?estimator:Analysis.estimator ->
+  Analysis.app list ->
+  impact list
 (** All ordered (victim, removed) pairs, [removed <> victim].  Default
-    estimator [Order 2].  O(n²) estimator invocations. *)
+    estimator [Order 2].  O(n²) estimator invocations.
+
+    [pmap] (default [List.map]) maps the per-removed-application work over
+    the application list; every per-removal task is pure, so passing a
+    parallel map — e.g. [Exp.Pool.map_list ?jobs] (this library does not
+    depend on [Exp], hence the hook) — changes only the wall-clock, never
+    the result or its order. *)
 
 val rank_for :
-  ?estimator:Analysis.estimator -> victim:string -> Analysis.app list -> impact list
+  ?pmap:((Analysis.app -> impact list) -> Analysis.app list -> impact list list) ->
+  ?estimator:Analysis.estimator ->
+  victim:string ->
+  Analysis.app list ->
+  impact list
 (** The impacts on one victim, sorted by decreasing relief — its dominant
     interferer first.  @raise Not_found if no application has that name. *)
 

@@ -6,14 +6,29 @@ type t = {
   observed_utilisation : float array;
 }
 
-let build ?(horizon = 200_000.) (w : Workload.t) usecase =
+let build ?(horizon = 200_000.) ?jobs (w : Workload.t) usecase =
   let apps = Workload.analysis_apps w usecase in
-  let estimates = Contention.Analysis.estimate (Contention.Analysis.Order 2) apps in
+  (* Estimation and simulation are independent, so with two or more domains
+     they run concurrently (the simulation dominates the wall-clock); both
+     tasks are pure, hence the result is identical for every [jobs]. *)
+  let estimates, (results, stats) =
+    match
+      Pool.map_range ?jobs 2 (fun i ->
+          if i = 0 then
+            `Estimates
+              (Contention.Analysis.estimate (Contention.Analysis.Order 2) apps)
+          else
+            `Simulation
+              (Desim.Engine.run ~horizon ~procs:w.procs
+                 (Workload.sim_apps w usecase)))
+    with
+    | [| `Estimates e; `Simulation s |] -> (e, s)
+    | _ -> assert false
+  in
   let name_of (a : Contention.Analysis.app) = a.graph.Sdf.Graph.name in
   let estimated =
     List.map (fun (r : Contention.Analysis.estimate) -> (name_of r.for_app, r.period)) estimates
   in
-  let results, stats = Desim.Engine.run ~horizon ~procs:w.procs (Workload.sim_apps w usecase) in
   let simulated =
     Array.to_list
       (Array.map (fun (r : Desim.Engine.result) -> (r.app_name, r.avg_period)) results)

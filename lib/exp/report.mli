@@ -15,5 +15,10 @@ type t = {
   observed_utilisation : float array;
 }
 
-val build : ?horizon:float -> Workload.t -> Contention.Usecase.t -> t
+val build :
+  ?horizon:float -> ?jobs:int -> Workload.t -> Contention.Usecase.t -> t
+(** [jobs] (default {!Pool.default_jobs}, capped at the two independent
+    tasks) runs the estimation and the simulation on separate domains; the
+    report is identical for every value. *)
+
 val render : napps:int -> t -> string

@@ -79,15 +79,18 @@ let app_index t name =
 
 let header_prefix = "# contention-workload"
 
-let save t path =
+let to_string t =
   let header = Printf.sprintf "%s procs=%d seed=%d\n" header_prefix t.procs t.seed in
   let graphs =
     List.map (fun (a : Contention.Analysis.app) -> a.graph) (Array.to_list t.apps)
   in
+  header ^ Sdf.Text.to_string_many graphs
+
+let save t path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (header ^ Sdf.Text.to_string_many graphs))
+    (fun () -> output_string oc (to_string t))
 
 let parse_header line =
   let fields = String.split_on_char ' ' line in
@@ -103,6 +106,33 @@ let parse_header line =
   | Some procs, Some seed when procs > 0 -> Some (procs, seed)
   | _ -> None
 
+let of_string contents =
+  let first_line =
+    match String.index_opt contents '\n' with
+    | Some i -> String.sub contents 0 i
+    | None -> contents
+  in
+  if not (String.length first_line >= String.length header_prefix
+          && String.sub first_line 0 (String.length header_prefix) = header_prefix)
+  then Error "not a contention workload file (missing header)"
+  else (
+    match parse_header first_line with
+    | None -> Error "malformed workload header"
+    | Some (procs, seed) -> (
+        match Sdf.Text.of_string_many contents with
+        | Error _ as e -> e
+        | Ok [] -> Error "workload carries no graphs"
+        | Ok graphs ->
+            (match
+               List.map
+                 (fun g ->
+                   Contention.Analysis.app ~procs g
+                     ~mapping:(Contention.Mapping.modulo ~procs g))
+                 graphs
+             with
+            | apps -> Ok { seed; procs; apps = Array.of_list apps }
+            | exception Invalid_argument msg -> Error msg)))
+
 let load path =
   match open_in path with
   | exception Sys_error msg -> Error msg
@@ -112,27 +142,4 @@ let load path =
           ~finally:(fun () -> close_in ic)
           (fun () -> really_input_string ic (in_channel_length ic))
       in
-      let first_line =
-        match String.index_opt contents '\n' with
-        | Some i -> String.sub contents 0 i
-        | None -> contents
-      in
-      if not (String.length first_line >= String.length header_prefix
-              && String.sub first_line 0 (String.length header_prefix) = header_prefix)
-      then Error "not a contention workload file (missing header)"
-      else (
-        match parse_header first_line with
-        | None -> Error "malformed workload header"
-        | Some (procs, seed) -> (
-            match Sdf.Text.of_string_many contents with
-            | Error _ as e -> e
-            | Ok graphs ->
-                (match
-                   List.map
-                     (fun g ->
-                       Contention.Analysis.app ~procs g
-                         ~mapping:(Contention.Mapping.modulo ~procs g))
-                     graphs
-                 with
-                | apps -> Ok { seed; procs; apps = Array.of_list apps }
-                | exception Invalid_argument msg -> Error msg)))
+      of_string contents

@@ -49,10 +49,19 @@ val sim_firing_time :
 val app_index : t -> string -> int
 (** @raise Not_found for an unknown application name. *)
 
+val to_string : t -> string
+(** The workload (graphs plus a [# contention-workload] header carrying seed
+    and processor count) in the {!Sdf.Text} format — the canonical
+    serialization: also the upload payload and content-digest input of the
+    {!Serve} daemon. *)
+
+val of_string : string -> (t, string) result
+(** Parse a {!to_string} payload; mappings are reconstructed with the modulo
+    policy and isolation periods recomputed.  Total: truncated or otherwise
+    malformed payloads yield [Error], never an exception. *)
+
 val save : t -> string -> unit
-(** Persist the workload (graphs plus a [# contention-workload] header
-    carrying seed and processor count) in the {!Sdf.Text} format. *)
+(** Write {!to_string} to a file. *)
 
 val load : string -> (t, string) result
-(** Reload a file written by {!save}; mappings are reconstructed with the
-    modulo policy and isolation periods recomputed. *)
+(** Reload a file written by {!save} via {!of_string}. *)

@@ -1,0 +1,74 @@
+type t = { fd : Unix.file_descr; reader : Wire.reader }
+
+let wrap_transport f =
+  match f () with
+  | v -> Ok v
+  | exception Unix.Unix_error (err, fn, _) ->
+      Error (Printf.sprintf "transport: %s (%s)" (Unix.error_message err) fn)
+
+let connect ?(host = "127.0.0.1") ~port () =
+  wrap_transport (fun () ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      try
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+        { fd; reader = Wire.reader fd }
+      with e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e)
+
+let connect_unix path =
+  wrap_transport (fun () ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      try
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        { fd; reader = Wire.reader fd }
+      with e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let ( let* ) = Result.bind
+
+let request t json =
+  let* () =
+    match Wire.write_line t.fd (Json.to_string json) with
+    | () -> Ok ()
+    | exception Unix.Unix_error (err, _, _) ->
+        Error (Printf.sprintf "transport: %s" (Unix.error_message err))
+  in
+  match Wire.read_frame t.reader with
+  | Wire.Eof -> Error "transport: connection closed by server"
+  | Wire.Too_long -> Error "transport: oversized reply"
+  | Wire.Line line ->
+      let* reply =
+        Result.map_error (Printf.sprintf "transport: bad reply frame: %s")
+          (Json.of_string line)
+      in
+      Protocol.unwrap_reply reply
+
+let typed t req decode =
+  let* payload = request t (Protocol.request_to_json req) in
+  decode payload
+
+let ping t = typed t Protocol.Ping (fun _ -> Ok ())
+
+let upload t ~payload =
+  typed t (Protocol.Upload { payload }) Protocol.upload_reply_of_json
+
+let estimate t ~digest ?usecase ~estimator () =
+  typed t
+    (Protocol.Estimate { digest; usecase; estimator })
+    Protocol.estimate_reply_of_json
+
+let admit t ?(session = Protocol.default_session) ~digest ~app ~min_throughput
+    () =
+  typed t
+    (Protocol.Admit { session; digest; app; min_throughput })
+    Protocol.verdict_of_json
+
+let release t ?(session = Protocol.default_session) ~app () =
+  typed t (Protocol.Release { session; app }) (fun _ -> Ok ())
+
+let stats t = typed t Protocol.Stats Protocol.stats_reply_of_json
+let shutdown t = typed t Protocol.Shutdown (fun _ -> Ok ())

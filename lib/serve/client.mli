@@ -1,0 +1,50 @@
+(** Blocking client for the {!Server} protocol — used by
+    [contention query] and by the integration tests, so the wire format is
+    exercised end-to-end from both sides.
+
+    One request/reply round-trip per call; replies are decoded into the
+    {!Protocol} payload types.  Transport failures surface as
+    [Error "transport: …"]; protocol-level failures carry the server's
+    message. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> (t, string) result
+(** TCP to [host] (default 127.0.0.1). *)
+
+val connect_unix : string -> (t, string) result
+(** Unix-domain socket at the given path. *)
+
+val close : t -> unit
+
+val request : t -> Json.t -> (Json.t, string) result
+(** Raw round-trip: send one frame, read one frame, unwrap the ok/error
+    envelope.  The typed helpers below are built on this. *)
+
+val ping : t -> (unit, string) result
+val upload : t -> payload:string -> (Protocol.upload_reply, string) result
+
+val estimate :
+  t ->
+  digest:string ->
+  ?usecase:string list ->
+  estimator:Contention.Analysis.estimator ->
+  unit ->
+  (Protocol.estimate_reply, string) result
+
+val admit :
+  t ->
+  ?session:string ->
+  digest:string ->
+  app:string ->
+  min_throughput:float ->
+  unit ->
+  (Protocol.verdict, string) result
+
+val release :
+  t -> ?session:string -> app:string -> unit -> (unit, string) result
+
+val stats : t -> (Protocol.stats_reply, string) result
+
+val shutdown : t -> (unit, string) result
+(** Ask the daemon to stop; the reply arrives before it does. *)

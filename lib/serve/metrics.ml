@@ -1,0 +1,104 @@
+let reservoir_size = 4096
+
+type t = {
+  mutex : Mutex.t;
+  started : float;
+  mutable connections : int;
+  per_cmd : (string, int) Hashtbl.t;
+  mutable total : int;
+  mutable admitted : int;
+  mutable rejected_candidate : int;
+  mutable rejected_victim : int;
+  mutable released : int;
+  reservoir : float array;  (* seconds; ring buffer of recent latencies *)
+  mutable samples : int;  (* total recorded; ring index = samples mod size *)
+  mutable latency_sum : float;
+  mutable latency_max : float;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    started = Unix.gettimeofday ();
+    connections = 0;
+    per_cmd = Hashtbl.create 8;
+    total = 0;
+    admitted = 0;
+    rejected_candidate = 0;
+    rejected_victim = 0;
+    released = 0;
+    reservoir = Array.make reservoir_size 0.;
+    samples = 0;
+    latency_sum = 0.;
+    latency_max = 0.;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let incr_connections t = locked t (fun () -> t.connections <- t.connections + 1)
+
+let record t ~cmd ~latency_s =
+  locked t (fun () ->
+      Hashtbl.replace t.per_cmd cmd
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_cmd cmd));
+      t.total <- t.total + 1;
+      t.reservoir.(t.samples mod reservoir_size) <- latency_s;
+      t.samples <- t.samples + 1;
+      t.latency_sum <- t.latency_sum +. latency_s;
+      t.latency_max <- Float.max t.latency_max latency_s)
+
+let record_admission_verdict t verdict =
+  locked t (fun () ->
+      match (verdict : Protocol.verdict) with
+      | Protocol.Admitted _ -> t.admitted <- t.admitted + 1
+      | Protocol.Rejected_candidate _ ->
+          t.rejected_candidate <- t.rejected_candidate + 1
+      | Protocol.Rejected_victim _ ->
+          t.rejected_victim <- t.rejected_victim + 1)
+
+let incr_released t = locked t (fun () -> t.released <- t.released + 1)
+
+type snapshot = {
+  uptime_s : float;
+  connections : int;
+  requests : (string * int) list;
+  requests_total : int;
+  admitted : int;
+  rejected_candidate : int;
+  rejected_victim : int;
+  released : int;
+  latency_mean_us : float;
+  latency_p50_us : float;
+  latency_p90_us : float;
+  latency_p99_us : float;
+  latency_max_us : float;
+  latency_samples : int;
+}
+
+let snapshot t =
+  locked t (fun () ->
+      let us x = 1e6 *. x in
+      let n = Int.min t.samples reservoir_size in
+      let recent = Array.to_list (Array.sub t.reservoir 0 n) in
+      let pct q = if n = 0 then 0. else us (Repro_stats.Stats.percentile q recent) in
+      {
+        uptime_s = Unix.gettimeofday () -. t.started;
+        connections = t.connections;
+        requests =
+          List.sort compare
+            (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.per_cmd []);
+        requests_total = t.total;
+        admitted = t.admitted;
+        rejected_candidate = t.rejected_candidate;
+        rejected_victim = t.rejected_victim;
+        released = t.released;
+        latency_mean_us =
+          (if t.total = 0 then 0. else us (t.latency_sum /. float_of_int t.total));
+        latency_p50_us = pct 50.;
+        latency_p90_us = pct 90.;
+        latency_p99_us = pct 99.;
+        latency_max_us = us t.latency_max;
+        latency_samples = t.samples;
+      })

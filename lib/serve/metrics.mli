@@ -1,0 +1,40 @@
+(** Server-side counters and request-latency statistics.
+
+    Latencies are kept in a fixed-size reservoir of the most recent samples
+    (large enough for stable p50/p90/p99, bounded so a long-lived daemon
+    cannot grow without limit); mean and max are tracked over {e all}
+    requests.  Percentiles come from {!Repro_stats.Stats.percentile}.
+    Thread-safe. *)
+
+type t
+
+val create : unit -> t
+
+val incr_connections : t -> unit
+
+val record : t -> cmd:string -> latency_s:float -> unit
+(** One served request: bumps the per-command counter and folds the latency
+    into the reservoir and the running mean/max. *)
+
+val record_admission_verdict : t -> Protocol.verdict -> unit
+val incr_released : t -> unit
+
+type snapshot = {
+  uptime_s : float;
+  connections : int;
+  requests : (string * int) list;  (** Per command, sorted by name. *)
+  requests_total : int;
+  admitted : int;
+  rejected_candidate : int;
+  rejected_victim : int;
+  released : int;
+  latency_mean_us : float;
+  latency_p50_us : float;
+  latency_p90_us : float;
+  latency_p99_us : float;
+  latency_max_us : float;
+  latency_samples : int;  (** Total requests timed (not reservoir size). *)
+}
+
+val snapshot : t -> snapshot
+(** Latency fields are [0.] before the first request. *)

@@ -1,0 +1,409 @@
+type request =
+  | Ping
+  | Upload of { payload : string }
+  | Estimate of {
+      digest : string;
+      usecase : string list option;
+      estimator : Contention.Analysis.estimator;
+    }
+  | Admit of {
+      session : string;
+      digest : string;
+      app : string;
+      min_throughput : float;
+    }
+  | Release of { session : string; app : string }
+  | Stats
+  | Shutdown
+
+let default_session = "default"
+
+let estimator_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "worst-case" | "wc" -> Ok Contention.Analysis.Worst_case
+  | "second-order" | "o2" -> Ok (Contention.Analysis.Order 2)
+  | "fourth-order" | "o4" -> Ok (Contention.Analysis.Order 4)
+  | "composability" | "comp" -> Ok Contention.Analysis.Composability
+  | "exact" -> Ok Contention.Analysis.Exact
+  | s -> (
+      let order m =
+        if m >= 2 then Ok (Contention.Analysis.Order m)
+        else Error (Printf.sprintf "estimator order must be >= 2, got %d" m)
+      in
+      match int_of_string_opt s with
+      | Some m -> order m
+      | None -> (
+          (* The canonical name of Order m for m outside {2, 4}. *)
+          match String.index_opt s '-' with
+          | Some i
+            when String.sub s 0 i = "order" -> (
+              match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+              | Some m -> order m
+              | None -> Error (Printf.sprintf "unknown estimator %S" s))
+          | _ -> Error (Printf.sprintf "unknown estimator %S" s)))
+
+let estimator_to_string = Contention.Analysis.estimator_name
+
+(* ------------------------------------------------------------------ *)
+(* Field helpers                                                       *)
+
+let ( let* ) = Result.bind
+
+let field name conv json =
+  match Json.member name json with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+let opt_field name conv json =
+  match Json.member name json with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok (Some x)
+      | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+let str_list json =
+  match Json.get_arr json with
+  | None -> None
+  | Some xs ->
+      List.fold_right
+        (fun x acc ->
+          match (Json.get_str x, acc) with
+          | Some s, Some rest -> Some (s :: rest)
+          | _ -> None)
+        xs (Some [])
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+
+let request_to_json = function
+  | Ping -> Json.Obj [ ("cmd", Json.Str "ping") ]
+  | Upload { payload } ->
+      Json.Obj [ ("cmd", Json.Str "upload"); ("workload", Json.Str payload) ]
+  | Estimate { digest; usecase; estimator } ->
+      Json.Obj
+        ([ ("cmd", Json.Str "estimate"); ("workload", Json.Str digest) ]
+        @ (match usecase with
+          | None -> []
+          | Some apps ->
+              [ ("usecase", Json.Arr (List.map (fun a -> Json.Str a) apps)) ])
+        @ [ ("estimator", Json.Str (estimator_to_string estimator)) ])
+  | Admit { session; digest; app; min_throughput } ->
+      Json.Obj
+        [
+          ("cmd", Json.Str "admit");
+          ("session", Json.Str session);
+          ("workload", Json.Str digest);
+          ("app", Json.Str app);
+          ("min_throughput", Json.Num min_throughput);
+        ]
+  | Release { session; app } ->
+      Json.Obj
+        [
+          ("cmd", Json.Str "release");
+          ("session", Json.Str session);
+          ("app", Json.Str app);
+        ]
+  | Stats -> Json.Obj [ ("cmd", Json.Str "stats") ]
+  | Shutdown -> Json.Obj [ ("cmd", Json.Str "shutdown") ]
+
+let request_of_json json =
+  match Json.get_obj json with
+  | None -> Error "request must be a JSON object"
+  | Some _ -> (
+      let* cmd = field "cmd" Json.get_str json in
+      match cmd with
+      | "ping" -> Ok Ping
+      | "upload" ->
+          let* payload = field "workload" Json.get_str json in
+          Ok (Upload { payload })
+      | "estimate" ->
+          let* digest = field "workload" Json.get_str json in
+          let* usecase = opt_field "usecase" str_list json in
+          let* name =
+            match Json.member "estimator" json with
+            | None | Some Json.Null -> Ok "second-order"
+            | Some v -> (
+                match Json.get_str v with
+                | Some s -> Ok s
+                | None -> Error "field \"estimator\" has the wrong type")
+          in
+          let* estimator = estimator_of_string name in
+          Ok (Estimate { digest; usecase; estimator })
+      | "admit" ->
+          let* session =
+            Result.map
+              (Option.value ~default:default_session)
+              (opt_field "session" Json.get_str json)
+          in
+          let* digest = field "workload" Json.get_str json in
+          let* app = field "app" Json.get_str json in
+          let* min_throughput = field "min_throughput" Json.get_num json in
+          if Float.is_finite min_throughput && min_throughput >= 0. then
+            Ok (Admit { session; digest; app; min_throughput })
+          else Error "min_throughput must be finite and non-negative"
+      | "release" ->
+          let* session =
+            Result.map
+              (Option.value ~default:default_session)
+              (opt_field "session" Json.get_str json)
+          in
+          let* app = field "app" Json.get_str json in
+          Ok (Release { session; app })
+      | "stats" -> Ok Stats
+      | "shutdown" -> Ok Shutdown
+      | cmd -> Error (Printf.sprintf "unknown command %S" cmd))
+
+(* ------------------------------------------------------------------ *)
+(* Replies                                                             *)
+
+type upload_reply = { digest : string; apps : string list; procs : int }
+
+type estimate_row = {
+  app : string;
+  period : float;
+  isolation_period : float;
+  throughput : float;
+}
+
+type estimate_reply = {
+  cached : bool;
+  estimator : string;
+  rows : estimate_row list;
+}
+
+type verdict =
+  | Admitted of { throughput : float }
+  | Rejected_candidate of { estimated : float; required : float }
+  | Rejected_victim of { victim : string; estimated : float; required : float }
+
+type stats_reply = {
+  uptime_s : float;
+  connections : int;
+  requests : (string * int) list;
+  requests_total : int;
+  workloads : int;
+  sessions : int;
+  cache_entries : int;
+  cache_capacity : int;
+  cache_hits : int;
+  cache_misses : int;
+  admitted : int;
+  rejected_candidate : int;
+  rejected_victim : int;
+  released : int;
+  latency_mean_us : float;
+  latency_p50_us : float;
+  latency_p90_us : float;
+  latency_p99_us : float;
+  latency_max_us : float;
+  latency_samples : int;
+}
+
+let cache_hit_rate s =
+  let lookups = s.cache_hits + s.cache_misses in
+  if lookups = 0 then 0. else float_of_int s.cache_hits /. float_of_int lookups
+
+let upload_reply_to_json r =
+  Json.Obj
+    [
+      ("digest", Json.Str r.digest);
+      ("apps", Json.Arr (List.map (fun a -> Json.Str a) r.apps));
+      ("procs", Json.Num (float_of_int r.procs));
+    ]
+
+let upload_reply_of_json json =
+  let* digest = field "digest" Json.get_str json in
+  let* apps = field "apps" str_list json in
+  let* procs = field "procs" Json.get_int json in
+  Ok { digest; apps; procs }
+
+let estimate_row_to_json r =
+  Json.Obj
+    [
+      ("app", Json.Str r.app);
+      ("period", Json.Num r.period);
+      ("isolation_period", Json.Num r.isolation_period);
+      ("throughput", Json.Num r.throughput);
+    ]
+
+let estimate_row_of_json json =
+  let* app = field "app" Json.get_str json in
+  let* period = field "period" Json.get_num json in
+  let* isolation_period = field "isolation_period" Json.get_num json in
+  let* throughput = field "throughput" Json.get_num json in
+  Ok { app; period; isolation_period; throughput }
+
+let estimate_reply_to_json r =
+  Json.Obj
+    [
+      ("cached", Json.Bool r.cached);
+      ("estimator", Json.Str r.estimator);
+      ("results", Json.Arr (List.map estimate_row_to_json r.rows));
+    ]
+
+let estimate_reply_of_json json =
+  let* cached = field "cached" Json.get_bool json in
+  let* estimator = field "estimator" Json.get_str json in
+  let* rows_json = field "results" Json.get_arr json in
+  let* rows =
+    List.fold_right
+      (fun r acc ->
+        let* acc = acc in
+        let* row = estimate_row_of_json r in
+        Ok (row :: acc))
+      rows_json (Ok [])
+  in
+  Ok { cached; estimator; rows }
+
+let verdict_to_json = function
+  | Admitted { throughput } ->
+      Json.Obj
+        [ ("verdict", Json.Str "admitted"); ("throughput", Json.Num throughput) ]
+  | Rejected_candidate { estimated; required } ->
+      Json.Obj
+        [
+          ("verdict", Json.Str "rejected-candidate");
+          ("estimated", Json.Num estimated);
+          ("required", Json.Num required);
+        ]
+  | Rejected_victim { victim; estimated; required } ->
+      Json.Obj
+        [
+          ("verdict", Json.Str "rejected-victim");
+          ("victim", Json.Str victim);
+          ("estimated", Json.Num estimated);
+          ("required", Json.Num required);
+        ]
+
+let verdict_of_json json =
+  let* kind = field "verdict" Json.get_str json in
+  match kind with
+  | "admitted" ->
+      let* throughput = field "throughput" Json.get_num json in
+      Ok (Admitted { throughput })
+  | "rejected-candidate" ->
+      let* estimated = field "estimated" Json.get_num json in
+      let* required = field "required" Json.get_num json in
+      Ok (Rejected_candidate { estimated; required })
+  | "rejected-victim" ->
+      let* victim = field "victim" Json.get_str json in
+      let* estimated = field "estimated" Json.get_num json in
+      let* required = field "required" Json.get_num json in
+      Ok (Rejected_victim { victim; estimated; required })
+  | k -> Error (Printf.sprintf "unknown verdict %S" k)
+
+let stats_reply_to_json s =
+  Json.Obj
+    [
+      ("uptime_s", Json.Num s.uptime_s);
+      ("connections", Json.Num (float_of_int s.connections));
+      ( "requests",
+        Json.Obj
+          (("total", Json.Num (float_of_int s.requests_total))
+          :: List.map
+               (fun (cmd, n) -> (cmd, Json.Num (float_of_int n)))
+               s.requests) );
+      ("workloads", Json.Num (float_of_int s.workloads));
+      ("sessions", Json.Num (float_of_int s.sessions));
+      ( "cache",
+        Json.Obj
+          [
+            ("entries", Json.Num (float_of_int s.cache_entries));
+            ("capacity", Json.Num (float_of_int s.cache_capacity));
+            ("hits", Json.Num (float_of_int s.cache_hits));
+            ("misses", Json.Num (float_of_int s.cache_misses));
+          ] );
+      ( "admission",
+        Json.Obj
+          [
+            ("admitted", Json.Num (float_of_int s.admitted));
+            ("rejected_candidate", Json.Num (float_of_int s.rejected_candidate));
+            ("rejected_victim", Json.Num (float_of_int s.rejected_victim));
+            ("released", Json.Num (float_of_int s.released));
+          ] );
+      ( "latency_us",
+        Json.Obj
+          [
+            ("mean", Json.Num s.latency_mean_us);
+            ("p50", Json.Num s.latency_p50_us);
+            ("p90", Json.Num s.latency_p90_us);
+            ("p99", Json.Num s.latency_p99_us);
+            ("max", Json.Num s.latency_max_us);
+            ("samples", Json.Num (float_of_int s.latency_samples));
+          ] );
+    ]
+
+let stats_reply_of_json json =
+  let* uptime_s = field "uptime_s" Json.get_num json in
+  let* connections = field "connections" Json.get_int json in
+  let* requests_obj = field "requests" Json.get_obj json in
+  let* requests_total =
+    field "total" Json.get_int (Json.Obj requests_obj)
+  in
+  let requests =
+    List.filter_map
+      (fun (k, v) ->
+        if k = "total" then None
+        else Option.map (fun n -> (k, n)) (Json.get_int v))
+      requests_obj
+  in
+  let* workloads = field "workloads" Json.get_int json in
+  let* sessions = field "sessions" Json.get_int json in
+  let* cache = field "cache" (fun j -> Some j) json in
+  let* cache_entries = field "entries" Json.get_int cache in
+  let* cache_capacity = field "capacity" Json.get_int cache in
+  let* cache_hits = field "hits" Json.get_int cache in
+  let* cache_misses = field "misses" Json.get_int cache in
+  let* admission = field "admission" (fun j -> Some j) json in
+  let* admitted = field "admitted" Json.get_int admission in
+  let* rejected_candidate = field "rejected_candidate" Json.get_int admission in
+  let* rejected_victim = field "rejected_victim" Json.get_int admission in
+  let* released = field "released" Json.get_int admission in
+  let* latency = field "latency_us" (fun j -> Some j) json in
+  let* latency_mean_us = field "mean" Json.get_num latency in
+  let* latency_p50_us = field "p50" Json.get_num latency in
+  let* latency_p90_us = field "p90" Json.get_num latency in
+  let* latency_p99_us = field "p99" Json.get_num latency in
+  let* latency_max_us = field "max" Json.get_num latency in
+  let* latency_samples = field "samples" Json.get_int latency in
+  Ok
+    {
+      uptime_s;
+      connections;
+      requests;
+      requests_total;
+      workloads;
+      sessions;
+      cache_entries;
+      cache_capacity;
+      cache_hits;
+      cache_misses;
+      admitted;
+      rejected_candidate;
+      rejected_victim;
+      released;
+      latency_mean_us;
+      latency_p50_us;
+      latency_p90_us;
+      latency_p99_us;
+      latency_max_us;
+      latency_samples;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Envelope                                                            *)
+
+let ok payload = Json.Obj [ ("ok", payload) ]
+let error msg = Json.Obj [ ("error", Json.Str msg) ]
+
+let unwrap_reply json =
+  match Json.member "ok" json with
+  | Some payload -> Ok payload
+  | None -> (
+      match Option.bind (Json.member "error" json) Json.get_str with
+      | Some msg -> Error msg
+      | None -> Error "malformed reply: neither \"ok\" nor \"error\"")

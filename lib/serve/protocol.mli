@@ -1,0 +1,117 @@
+(** The daemon's wire protocol.
+
+    One request per line, one reply per line, both JSON objects.  A request
+    carries a ["cmd"] field naming the command plus command-specific fields;
+    a reply is [{"ok": <payload>}] on success or [{"error": "<message>"}] on
+    failure.  Protocol errors (malformed JSON, unknown command, missing
+    fields, unknown digests…) are {e replies}, never connection drops — a
+    misbehaving client must not crash or stall the server.
+
+    Both the server's dispatcher and {!Client} are written against this
+    module, so the codecs are exercised from both ends in the tests. *)
+
+type request =
+  | Ping
+  | Upload of { payload : string }
+      (** A workload in the {!Exp.Workload.save} text format. *)
+  | Estimate of {
+      digest : string;  (** Content digest returned by upload. *)
+      usecase : string list option;  (** App names; [None] = all apps. *)
+      estimator : Contention.Analysis.estimator;
+    }
+  | Admit of {
+      session : string;
+      digest : string;
+      app : string;
+      min_throughput : float;
+    }
+  | Release of { session : string; app : string }
+  | Stats
+  | Shutdown
+
+val default_session : string
+(** ["default"] — used when a client does not name a session. *)
+
+val estimator_of_string :
+  string -> (Contention.Analysis.estimator, string) result
+(** Accepts the canonical names of {!Contention.Analysis.estimator_name}
+    ("worst-case", "second-order", "fourth-order", "order-M",
+    "composability", "exact"), the short aliases "wc", "o2", "o4", "comp",
+    and a bare integer M >= 2 for [Order M]. *)
+
+val estimator_to_string : Contention.Analysis.estimator -> string
+(** [Contention.Analysis.estimator_name] — the canonical wire name, also
+    the estimator component of the cache key. *)
+
+val request_to_json : request -> Json.t
+val request_of_json : Json.t -> (request, string) result
+
+(** {1 Reply payloads} *)
+
+type upload_reply = { digest : string; apps : string list; procs : int }
+
+type estimate_row = {
+  app : string;
+  period : float;
+  isolation_period : float;
+  throughput : float;
+}
+
+type estimate_reply = {
+  cached : bool;  (** Whether the answer came from the estimate cache. *)
+  estimator : string;  (** Canonical estimator name. *)
+  rows : estimate_row list;
+}
+
+type verdict =
+  | Admitted of { throughput : float }
+      (** The candidate's estimated throughput under the new mix. *)
+  | Rejected_candidate of { estimated : float; required : float }
+  | Rejected_victim of { victim : string; estimated : float; required : float }
+
+type stats_reply = {
+  uptime_s : float;
+  connections : int;
+  requests : (string * int) list;  (** Per command, served so far. *)
+  requests_total : int;
+  workloads : int;
+  sessions : int;
+  cache_entries : int;
+  cache_capacity : int;
+  cache_hits : int;
+  cache_misses : int;
+  admitted : int;
+  rejected_candidate : int;
+  rejected_victim : int;
+  released : int;
+  latency_mean_us : float;
+  latency_p50_us : float;
+  latency_p90_us : float;
+  latency_p99_us : float;
+  latency_max_us : float;
+  latency_samples : int;
+}
+
+val cache_hit_rate : stats_reply -> float
+(** Hits over lookups, [0.] before any lookup. *)
+
+val upload_reply_to_json : upload_reply -> Json.t
+val upload_reply_of_json : Json.t -> (upload_reply, string) result
+val estimate_reply_to_json : estimate_reply -> Json.t
+val estimate_reply_of_json : Json.t -> (estimate_reply, string) result
+val verdict_to_json : verdict -> Json.t
+val verdict_of_json : Json.t -> (verdict, string) result
+val stats_reply_to_json : stats_reply -> Json.t
+val stats_reply_of_json : Json.t -> (stats_reply, string) result
+
+(** {1 Reply envelope} *)
+
+val ok : Json.t -> Json.t
+(** [{"ok": payload}] *)
+
+val error : string -> Json.t
+(** [{"error": message}] *)
+
+val unwrap_reply : Json.t -> (Json.t, string) result
+(** [Ok payload] for an ok envelope, [Error msg] for an error envelope or a
+    frame that is neither. *)

@@ -1,0 +1,525 @@
+type config = {
+  host : string;
+  port : int option;
+  unix_path : string option;
+  jobs : int option;
+  cache_capacity : int;
+  max_line : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = Some 4557;
+    unix_path = None;
+    jobs = None;
+    cache_capacity = 256;
+    max_line = 8 * 1024 * 1024;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* A closeable blocking queue of accepted connections                  *)
+
+module Chan = struct
+  type 'a t = {
+    q : 'a Queue.t;
+    mutex : Mutex.t;
+    cond : Condition.t;
+    mutable closed : bool;
+  }
+
+  let create () =
+    {
+      q = Queue.create ();
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      closed = false;
+    }
+
+  let push t x =
+    Mutex.lock t.mutex;
+    let accepted = not t.closed in
+    if accepted then begin
+      Queue.push x t.q;
+      Condition.signal t.cond
+    end;
+    Mutex.unlock t.mutex;
+    accepted
+
+  (* Blocks until an element or close; keeps draining queued elements after
+     close so already accepted connections are still served. *)
+  let pop t =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.q && not t.closed do
+      Condition.wait t.cond t.mutex
+    done;
+    let x = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+    Mutex.unlock t.mutex;
+    x
+
+  let close t =
+    Mutex.lock t.mutex;
+    t.closed <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex
+end
+
+(* ------------------------------------------------------------------ *)
+
+type cache_key = string * Contention.Usecase.t * string
+
+type t = {
+  config : config;
+  store : Store.t;
+  cache : (cache_key, Protocol.estimate_row list) Lru.t;
+  metrics : Metrics.t;
+  sessions : (string, Contention.Admission.t) Hashtbl.t;
+  sessions_mutex : Mutex.t;
+  conns : Unix.file_descr Chan.t;
+  listeners : Unix.file_descr list;
+  bound_tcp_port : int option;
+  (* Connections currently being served, so stop can shut their read side
+     down and unblock workers idling on keep-alive clients. *)
+  active : (Unix.file_descr, unit) Hashtbl.t;
+  active_mutex : Mutex.t;
+  stop_requested : bool Atomic.t;  (* a client sent the shutdown command *)
+  stopping : bool Atomic.t;  (* stop () has begun *)
+  stopped : bool Atomic.t;
+  mutable domains : unit Domain.t list;
+}
+
+let tcp_port t = t.bound_tcp_port
+let shutdown_requested t = Atomic.get t.stop_requested
+
+(* Register a connection as active; refuse when the server is stopping (the
+   caller then closes it unserved).  Registration and the stop-side sweep
+   take the same mutex, so no connection can slip past the sweep. *)
+let register_active t fd =
+  Mutex.lock t.active_mutex;
+  let accepted = not (Atomic.get t.stopping) in
+  if accepted then Hashtbl.replace t.active fd ();
+  Mutex.unlock t.active_mutex;
+  accepted
+
+let unregister_active t fd =
+  Mutex.lock t.active_mutex;
+  Hashtbl.remove t.active fd;
+  Mutex.unlock t.active_mutex
+
+(* ------------------------------------------------------------------ *)
+(* Session registry                                                    *)
+
+let with_sessions t f =
+  Mutex.lock t.sessions_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.sessions_mutex) f
+
+let session_count t = with_sessions t (fun () -> Hashtbl.length t.sessions)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+
+let resolve_usecase w = function
+  | None -> Ok (Contention.Usecase.full ~napps:(Exp.Workload.num_apps w))
+  | Some [] -> Error "usecase must name at least one application"
+  | Some names ->
+      List.fold_left
+        (fun acc name ->
+          match acc with
+          | Error _ as e -> e
+          | Ok mask -> (
+              match Exp.Workload.app_index w name with
+              | i -> Ok (Contention.Usecase.add i mask)
+              | exception Not_found ->
+                  Error (Printf.sprintf "unknown application %S" name)))
+        (Ok 0) names
+
+let estimate_rows estimator apps =
+  List.map
+    (fun (r : Contention.Analysis.estimate) ->
+      {
+        Protocol.app = r.for_app.graph.Sdf.Graph.name;
+        period = r.period;
+        isolation_period = r.for_app.isolation_period;
+        throughput = Contention.Analysis.throughput r;
+      })
+    (Contention.Analysis.estimate estimator apps)
+
+let handle_estimate t ~digest ~usecase ~estimator =
+  match Store.find t.store digest with
+  | None -> Protocol.error (Printf.sprintf "unknown workload digest %S" digest)
+  | Some w -> (
+      match resolve_usecase w usecase with
+      | Error msg -> Protocol.error msg
+      | Ok mask ->
+          let name = Protocol.estimator_to_string estimator in
+          let key = (digest, mask, name) in
+          let cached, rows =
+            match Lru.find t.cache key with
+            | Some rows -> (true, rows)
+            | None ->
+                let rows =
+                  estimate_rows estimator (Exp.Workload.analysis_apps w mask)
+                in
+                Lru.put t.cache key rows;
+                (false, rows)
+          in
+          Protocol.ok
+            (Protocol.estimate_reply_to_json
+               { Protocol.cached; estimator = name; rows }))
+
+let handle_admit t ~session ~digest ~app ~min_throughput =
+  match Store.find t.store digest with
+  | None -> Protocol.error (Printf.sprintf "unknown workload digest %S" digest)
+  | Some w -> (
+      match Exp.Workload.app_index w app with
+      | exception Not_found ->
+          Protocol.error (Printf.sprintf "unknown application %S" app)
+      | i ->
+          let a = w.apps.(i) in
+          with_sessions t (fun () ->
+              let ctl =
+                match Hashtbl.find_opt t.sessions session with
+                | Some ctl -> ctl
+                | None ->
+                    let ctl = Contention.Admission.create ~procs:w.procs in
+                    Hashtbl.add t.sessions session ctl;
+                    ctl
+              in
+              match ctl with
+              | ctl when Contention.Admission.procs ctl <> w.procs ->
+                  Protocol.error
+                    (Printf.sprintf
+                       "session %S manages %d processors but the workload has %d"
+                       session
+                       (Contention.Admission.procs ctl)
+                       w.procs)
+              | ctl -> (
+                  match
+                    Contention.Admission.try_admit ctl a
+                      { Contention.Admission.min_throughput }
+                  with
+                  | exception Invalid_argument msg -> Protocol.error msg
+                  | paper_verdict ->
+                      let verdict =
+                        match paper_verdict with
+                        | Contention.Admission.Admitted ->
+                            Protocol.Admitted
+                              {
+                                throughput =
+                                  Contention.Admission.estimated_throughput ctl
+                                    app;
+                              }
+                        | Contention.Admission.Rejected_candidate
+                            { estimated; required } ->
+                            Protocol.Rejected_candidate { estimated; required }
+                        | Contention.Admission.Rejected_victim
+                            { app = victim; estimated; required } ->
+                            Protocol.Rejected_victim
+                              { victim; estimated; required }
+                      in
+                      Metrics.record_admission_verdict t.metrics verdict;
+                      Protocol.ok (Protocol.verdict_to_json verdict))))
+
+let handle_release t ~session ~app =
+  with_sessions t (fun () ->
+      match Hashtbl.find_opt t.sessions session with
+      | None -> Protocol.error (Printf.sprintf "unknown session %S" session)
+      | Some ctl -> (
+          match Contention.Admission.withdraw ctl app with
+          | () ->
+              Metrics.incr_released t.metrics;
+              Protocol.ok
+                (Json.Obj
+                   [ ("released", Json.Str app); ("session", Json.Str session) ])
+          | exception Not_found ->
+              Protocol.error
+                (Printf.sprintf "application %S is not admitted in session %S"
+                   app session)))
+
+let handle_stats t =
+  let m = Metrics.snapshot t.metrics in
+  Protocol.ok
+    (Protocol.stats_reply_to_json
+       {
+         Protocol.uptime_s = m.uptime_s;
+         connections = m.connections;
+         requests = m.requests;
+         requests_total = m.requests_total;
+         workloads = Store.count t.store;
+         sessions = session_count t;
+         cache_entries = Lru.length t.cache;
+         cache_capacity = Lru.capacity t.cache;
+         cache_hits = Lru.hits t.cache;
+         cache_misses = Lru.misses t.cache;
+         admitted = m.admitted;
+         rejected_candidate = m.rejected_candidate;
+         rejected_victim = m.rejected_victim;
+         released = m.released;
+         latency_mean_us = m.latency_mean_us;
+         latency_p50_us = m.latency_p50_us;
+         latency_p90_us = m.latency_p90_us;
+         latency_p99_us = m.latency_p99_us;
+         latency_max_us = m.latency_max_us;
+         latency_samples = m.latency_samples;
+       })
+
+let dispatch t (request : Protocol.request) =
+  match request with
+  | Protocol.Ping -> Protocol.ok (Json.Obj [ ("pong", Json.Bool true) ])
+  | Protocol.Upload { payload } -> (
+      match Exp.Workload.of_string payload with
+      | Error msg -> Protocol.error (Printf.sprintf "bad workload: %s" msg)
+      | Ok w ->
+          let digest = Store.add t.store w in
+          Protocol.ok
+            (Protocol.upload_reply_to_json
+               {
+                 Protocol.digest;
+                 apps = Array.to_list (Exp.Workload.names w);
+                 procs = w.procs;
+               }))
+  | Protocol.Estimate { digest; usecase; estimator } ->
+      handle_estimate t ~digest ~usecase ~estimator
+  | Protocol.Admit { session; digest; app; min_throughput } ->
+      handle_admit t ~session ~digest ~app ~min_throughput
+  | Protocol.Release { session; app } -> handle_release t ~session ~app
+  | Protocol.Stats -> handle_stats t
+  | Protocol.Shutdown ->
+      Atomic.set t.stop_requested true;
+      Protocol.ok (Json.Obj [ ("stopping", Json.Bool true) ])
+
+let cmd_name = function
+  | Protocol.Ping -> "ping"
+  | Protocol.Upload _ -> "upload"
+  | Protocol.Estimate _ -> "estimate"
+  | Protocol.Admit _ -> "admit"
+  | Protocol.Release _ -> "release"
+  | Protocol.Stats -> "stats"
+  | Protocol.Shutdown -> "shutdown"
+
+(* ------------------------------------------------------------------ *)
+(* Connection handling                                                 *)
+
+let handle_connection t fd =
+  Metrics.incr_connections t.metrics;
+  let reader = Wire.reader ~max_line:t.config.max_line fd in
+  let rec serve () =
+    (* Keep answering until the peer hangs up; stop () unblocks us by
+       shutting the read side down, which reads as EOF here. *)
+    match Wire.read_frame reader with
+    | Wire.Eof -> ()
+    | Wire.Too_long ->
+        Wire.write_line fd
+          (Json.to_string (Protocol.error "request line too long"))
+    | Wire.Line "" -> serve ()
+    | Wire.Line line ->
+        let t0 = Unix.gettimeofday () in
+        let cmd, reply =
+          match Json.of_string line with
+          | Error msg ->
+              ("invalid", Protocol.error (Printf.sprintf "bad frame: %s" msg))
+          | Ok json -> (
+              match Protocol.request_of_json json with
+              | Error msg ->
+                  ("invalid", Protocol.error (Printf.sprintf "bad request: %s" msg))
+              | Ok request -> (
+                  match dispatch t request with
+                  | reply -> (cmd_name request, reply)
+                  | exception e ->
+                      (* A dispatch bug must never take the daemon down with
+                         the connection. *)
+                      ( cmd_name request,
+                        Protocol.error
+                          (Printf.sprintf "internal error: %s"
+                             (Printexc.to_string e)) )))
+        in
+        Wire.write_line fd (Json.to_string reply);
+        Metrics.record t.metrics ~cmd ~latency_s:(Unix.gettimeofday () -. t0);
+        serve ()
+  in
+  (match serve () with
+  | () -> ()
+  | exception Unix.Unix_error _ ->
+      (* Peer vanished mid-reply (EPIPE, reset…): just drop the
+         connection. *)
+      ())
+
+let worker t () =
+  let rec loop () =
+    match Chan.pop t.conns with
+    | None -> ()
+    | Some fd ->
+        if register_active t fd then begin
+          (match handle_connection t fd with
+          | () -> ()
+          | exception _ -> ());
+          unregister_active t fd
+        end;
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        loop ()
+  in
+  loop ()
+
+let acceptor t listener () =
+  let rec loop () =
+    (* Re-checked after every wake-up: stop () nudges a blocked accept with
+       a shutdown plus a self-connection, since merely closing the listener
+       from another domain does not unblock accept on Linux. *)
+    if Atomic.get t.stopping then ()
+    else
+      match Unix.accept ~cloexec:true listener with
+      | fd, _ ->
+          if not (Chan.push t.conns fd) then
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+          loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> loop ()
+      | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+          (* Out of descriptors: back off instead of spinning or dying. *)
+          Unix.sleepf 0.05;
+          loop ()
+      | exception Unix.Unix_error _ ->
+          (* The listener was shut down or closed by stop: exit. *)
+          ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+let start ?(config = default_config) () =
+  if config.cache_capacity < 1 then
+    invalid_arg "Serve.Server.start: cache_capacity < 1";
+  if config.port = None && config.unix_path = None then
+    invalid_arg "Serve.Server.start: no TCP port and no Unix socket";
+  (* A worker writing to a hung-up client must get EPIPE, not a fatal
+     signal. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let tcp =
+    Option.map
+      (fun port ->
+        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try
+           Unix.setsockopt fd Unix.SO_REUSEADDR true;
+           Unix.bind fd
+             (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, port));
+           Unix.listen fd 64
+         with e ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           raise e);
+        let bound =
+          match Unix.getsockname fd with
+          | Unix.ADDR_INET (_, p) -> p
+          | Unix.ADDR_UNIX _ -> port
+        in
+        (fd, bound))
+      config.port
+  in
+  let unix_listener =
+    Option.map
+      (fun path ->
+        if Sys.file_exists path then Sys.remove path;
+        let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try
+           Unix.bind fd (Unix.ADDR_UNIX path);
+           Unix.listen fd 64
+         with e ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           raise e);
+        fd)
+      config.unix_path
+  in
+  let listeners =
+    (match tcp with Some (fd, _) -> [ fd ] | None -> [])
+    @ (match unix_listener with Some fd -> [ fd ] | None -> [])
+  in
+  let t =
+    {
+      config;
+      store = Store.create ();
+      cache = Lru.create ~capacity:config.cache_capacity;
+      metrics = Metrics.create ();
+      sessions = Hashtbl.create 8;
+      sessions_mutex = Mutex.create ();
+      conns = Chan.create ();
+      listeners;
+      bound_tcp_port = Option.map snd tcp;
+      active = Hashtbl.create 16;
+      active_mutex = Mutex.create ();
+      stop_requested = Atomic.make false;
+      stopping = Atomic.make false;
+      stopped = Atomic.make false;
+      domains = [];
+    }
+  in
+  let jobs =
+    match config.jobs with
+    | Some j when j < 1 -> invalid_arg "Serve.Server.start: jobs < 1"
+    | Some j -> j
+    | None -> Exp.Pool.default_jobs ()
+  in
+  let workers = List.init jobs (fun _ -> Domain.spawn (worker t)) in
+  let acceptors = List.map (fun l -> Domain.spawn (acceptor t l)) listeners in
+  t.domains <- workers @ acceptors;
+  t
+
+let stop t =
+  if not (Atomic.exchange t.stopped true) then begin
+    (* Order matters: flag first (new connections are refused at
+       registration), then listeners (acceptors exit), then the queue (idle
+       workers exit after draining), then unblock workers parked on idle
+       connections. *)
+    Atomic.set t.stop_requested true;
+    Mutex.lock t.active_mutex;
+    Atomic.set t.stopping true;
+    Hashtbl.iter
+      (fun fd () ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ())
+      t.active;
+    Mutex.unlock t.active_mutex;
+    (* Closing a listening socket from this domain does not unblock an
+       accept parked on it in an acceptor domain (Linux keeps the accept
+       waiting on the old file description).  Shut the listeners down —
+       which does wake a blocked TCP accept — and additionally poke each
+       address with a throwaway connection in case shutdown is a no-op for
+       the socket family.  The acceptors re-check [t.stopping] on every
+       wake-up, so any nudge suffices. *)
+    List.iter
+      (fun l -> try Unix.shutdown l Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      t.listeners;
+    let nudge addr =
+      match Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr)
+              Unix.SOCK_STREAM 0 with
+      | fd ->
+          (try Unix.connect fd addr with Unix.Unix_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error _ -> ()
+    in
+    Option.iter
+      (fun port ->
+        nudge (Unix.ADDR_INET (Unix.inet_addr_of_string t.config.host, port)))
+      t.bound_tcp_port;
+    Option.iter (fun path -> nudge (Unix.ADDR_UNIX path)) t.config.unix_path;
+    List.iter
+      (fun l -> try Unix.close l with Unix.Unix_error _ -> ())
+      t.listeners;
+    Chan.close t.conns;
+    List.iter Domain.join t.domains;
+    t.domains <- [];
+    match t.config.unix_path with
+    | Some path when Sys.file_exists path -> (
+        try Sys.remove path with Sys_error _ -> ())
+    | _ -> ()
+  end
+
+let run_until_stopped ?(poll_interval = 0.1) ?(should_stop = fun () -> false) t =
+  let rec loop () =
+    if Atomic.get t.stop_requested || should_stop () then stop t
+    else begin
+      (try Unix.sleepf poll_interval
+       with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()

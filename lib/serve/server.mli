@@ -1,0 +1,54 @@
+(** The `contention serve` daemon: an online resource manager answering
+    estimate/admit queries analytically over a newline-delimited JSON
+    protocol (see {!Protocol}).
+
+    Connections are accepted on a TCP socket (port [0] picks an ephemeral
+    port — used by the integration tests) and/or a Unix-domain socket, and
+    handed to a fixed pool of worker domains modelled on {!Exp.Pool}: each
+    connection is served by one worker, so a slow or idle client occupies at
+    most one worker and cannot stall the others.  Workloads live in a
+    content-addressed {!Store}; estimates are memoised in an {!Lru} cache
+    keyed by [(workload digest, use-case mask, estimator name)]; admission
+    state is a named {!Contention.Admission.t} per session, shared across
+    connections so a manager survives reconnects.
+
+    {!stop} is graceful: listeners close first, in-flight requests finish
+    and get their reply, idle connections are torn down (their read side is
+    shut down, which the worker sees as end-of-stream), accepted-but-unserved
+    connections are closed, and the domains are joined. *)
+
+type config = {
+  host : string;  (** TCP bind address. *)
+  port : int option;  (** [Some 0] = ephemeral; [None] = no TCP listener. *)
+  unix_path : string option;  (** Unix-domain socket path, unlinked on stop. *)
+  jobs : int option;  (** Worker domains; default {!Exp.Pool.default_jobs}. *)
+  cache_capacity : int;  (** Estimate-cache entries. *)
+  max_line : int;  (** Maximum request frame in bytes. *)
+}
+
+val default_config : config
+(** 127.0.0.1, TCP port 4557, no Unix socket, default jobs, 256 cache
+    entries, 8 MiB frames. *)
+
+type t
+
+val start : ?config:config -> unit -> t
+(** Bind, listen and spawn the accept/worker domains.  [SIGPIPE] is set to
+    ignore (a dead peer must surface as [EPIPE] on the worker, not kill the
+    daemon).
+    @raise Invalid_argument if no listener is configured or
+    [cache_capacity < 1]; @raise Unix.Unix_error if binding fails. *)
+
+val tcp_port : t -> int option
+(** The actually bound TCP port (resolves an ephemeral request). *)
+
+val shutdown_requested : t -> bool
+(** True once a client issued the [shutdown] command; the owner of the
+    handle is expected to react by calling {!stop}. *)
+
+val stop : t -> unit
+(** Graceful shutdown as described above.  Idempotent. *)
+
+val run_until_stopped : ?poll_interval:float -> ?should_stop:(unit -> bool) -> t -> unit
+(** Block until [should_stop ()] (e.g. a SIGINT flag) or a client's
+    [shutdown] command, then {!stop}.  [poll_interval] defaults to 0.1 s. *)

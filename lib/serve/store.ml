@@ -1,0 +1,21 @@
+type t = {
+  mutex : Mutex.t;
+  table : (string, Exp.Workload.t) Hashtbl.t;
+}
+
+let create () = { mutex = Mutex.create (); table = Hashtbl.create 16 }
+
+let digest_of w = Digest.to_hex (Digest.string (Exp.Workload.to_string w))
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let add t w =
+  let digest = digest_of w in
+  locked t (fun () ->
+      if not (Hashtbl.mem t.table digest) then Hashtbl.add t.table digest w);
+  digest
+
+let find t digest = locked t (fun () -> Hashtbl.find_opt t.table digest)
+let count t = locked t (fun () -> Hashtbl.length t.table)

@@ -1,0 +1,20 @@
+(** Content-addressed workload store.
+
+    A workload's address is the MD5 digest (hex) of its canonical
+    {!Exp.Workload.to_string} serialization, so re-uploading the same
+    workload — or a textually different payload that parses to the same
+    canonical form — lands on the same entry and the same cache keys.
+    Thread-safe: worker domains share one store. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Exp.Workload.t -> string
+(** Store (or re-reference) the workload; returns its digest. *)
+
+val find : t -> string -> Exp.Workload.t option
+val count : t -> int
+
+val digest_of : Exp.Workload.t -> string
+(** The address {!add} would file the workload under. *)

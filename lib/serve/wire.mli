@@ -1,0 +1,26 @@
+(** Newline-delimited framing over a file descriptor, shared by the server
+    and the blocking client.
+
+    A frame is one line; a trailing ['\r'] is stripped so naive
+    [telnet]/[nc] sessions work.  The reader enforces a maximum frame
+    length: an over-long line yields {!Too_long} instead of buffering
+    without bound, and the connection is expected to be dropped after an
+    error reply. *)
+
+type reader
+
+val reader : ?max_line:int -> Unix.file_descr -> reader
+(** [max_line] defaults to 8 MiB — comfortably above any realistic workload
+    upload, far below a memory-exhaustion payload. *)
+
+type frame =
+  | Line of string
+  | Eof  (** Peer closed (or reset) the connection. *)
+  | Too_long  (** Frame exceeded [max_line] bytes before a newline. *)
+
+val read_frame : reader -> frame
+(** Blocking; retries [EINTR], maps [ECONNRESET] to {!Eof}. *)
+
+val write_line : Unix.file_descr -> string -> unit
+(** Write the string plus ['\n'], looping over partial writes and [EINTR].
+    @raise Unix.Unix_error e.g. [EPIPE] when the peer is gone. *)

@@ -1,0 +1,214 @@
+(* The serve JSON codec: printer/parser round-trip with bit-for-bit number
+   equality, totality of the parser on arbitrary and on corrupted bytes, and
+   the strictness corners (escapes, surrogate pairs, depth limit, trailing
+   bytes, raw control characters). *)
+
+open QCheck2
+module Json = Serve.Json
+
+(* Structural equality with bitwise float comparison: the codec promises
+   that cached estimates reparse to the identical IEEE double, and OCaml's
+   polymorphic (=) would paper over -0. vs 0. *)
+let rec json_eq a b =
+  match (a, b) with
+  | Json.Num x, Json.Num y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | Json.Arr xs, Json.Arr ys ->
+      List.length xs = List.length ys && List.for_all2 json_eq xs ys
+  | Json.Obj xs, Json.Obj ys ->
+      List.length xs = List.length ys
+      && List.for_all2
+           (fun (k, v) (k', v') -> String.equal k k' && json_eq v v')
+           xs ys
+  | (Json.Null | Json.Bool _ | Json.Str _), _ -> a = b
+  | _ -> false
+
+let finite_float =
+  let open Gen in
+  map
+    (fun f -> if Float.is_finite f then f else 0.)
+    (oneof
+       [
+         float;
+         map float_of_int (int_range (-1_000_000) 1_000_000);
+         oneofl
+           [
+             0.; -0.; 1.; -1.; 0.1; -0.1; 1e-300; 4.94e-324;
+             1.7976931348623157e308; 1e15; 1e15 -. 1.; Float.pi;
+           ];
+       ])
+
+(* Arbitrary-byte strings (not just printable): the escaper must handle
+   control characters and non-UTF-8 bytes. *)
+let byte_string = Gen.(string_size ~gen:char (int_bound 20))
+
+let json_gen =
+  let open Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun x -> Json.Num x) finite_float;
+        map (fun s -> Json.Str s) byte_string;
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then scalar
+         else
+           frequency
+             [
+               (2, scalar);
+               ( 1,
+                 map
+                   (fun xs -> Json.Arr xs)
+                   (list_size (int_bound 4) (self (n / 2))) );
+               ( 1,
+                 map
+                   (fun kvs -> Json.Obj kvs)
+                   (list_size (int_bound 4) (pair byte_string (self (n / 2))))
+               );
+             ])
+
+let prop_roundtrip =
+  Fixtures.qcheck_case ~count:500 "of_string inverts to_string (bit-for-bit)"
+    json_gen (fun j ->
+      match Json.of_string (Json.to_string j) with
+      | Ok j' -> json_eq j j'
+      | Error e -> Test.fail_reportf "reparse failed: %s" e)
+
+let prop_total_on_garbage =
+  Fixtures.qcheck_case ~count:1000 "of_string never raises on arbitrary bytes"
+    Gen.(string_size ~gen:char (int_bound 60))
+    (fun s ->
+      match Json.of_string s with Ok _ -> true | Error _ -> true)
+
+(* Corrupting one byte of a valid document must yield Ok or Error — never an
+   exception — and any Ok must still print. *)
+let prop_total_on_corruption =
+  Fixtures.qcheck_case ~count:500 "of_string survives single-byte corruption"
+    Gen.(triple json_gen small_nat char)
+    (fun (j, i, c) ->
+      let s = Bytes.of_string (Json.to_string j) in
+      Bytes.set s (i mod Bytes.length s) c;
+      match Json.of_string (Bytes.to_string s) with
+      | Ok v ->
+          ignore (Json.to_string v : string);
+          true
+      | Error _ -> true
+      | exception Invalid_argument _ ->
+          (* The corrupted document may parse to a NaN?  It cannot: JSON has
+             no NaN literal; to_string must accept every parsed value. *)
+          false)
+
+let check_parse msg expected s =
+  match Json.of_string s with
+  | Ok v ->
+      if not (json_eq expected v) then
+        Alcotest.failf "%s: parsed %s" msg (Json.to_string v)
+  | Error e -> Alcotest.failf "%s: %s" msg e
+
+let check_error msg s =
+  match Json.of_string s with
+  | Ok v -> Alcotest.failf "%s: unexpectedly parsed %s" msg (Json.to_string v)
+  | Error _ -> ()
+
+let test_escapes () =
+  check_parse "standard escapes"
+    (Json.Str "a\nb\tA\\ \"/\b\012\r")
+    {|"a\nb\tA\\ \"\/\b\f\r"|};
+  check_parse "\\u BMP escape" (Json.Str "A\xc3\xa9") {|"Aé"|};
+  check_parse "surrogate pair" (Json.Str "\xf0\x9f\x98\x80") {|"😀"|};
+  check_error "unpaired high surrogate" {|"\ud83d"|};
+  check_error "unpaired low surrogate" {|"\ude00"|};
+  check_error "bad escape" {|"\q"|};
+  check_error "raw control character" "\"a\nb\"";
+  check_error "truncated \\u" {|"\u00|}
+
+let test_strictness () =
+  check_parse "surrounding whitespace" (Json.Num 42.) " 42 ";
+  check_error "trailing bytes" "1 2";
+  check_error "empty input" "";
+  check_error "bare minus" "-";
+  check_error "overflowing number" "1e999";
+  check_error "leading plus" "+1";
+  check_error "unterminated array" "[1, 2";
+  check_error "unterminated object" {|{"a": 1|};
+  check_error "lone closing bracket" "]";
+  (match Json.of_string "nul" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated keyword parsed");
+  (* Offsets in messages. *)
+  match Json.of_string "[1, x]" with
+  | Error e ->
+      if not (Fixtures.contains ~affix:"offset" e) then
+        Alcotest.failf "no offset in error: %s" e
+  | Ok _ -> Alcotest.fail "parsed [1, x]"
+
+let test_depth_limit () =
+  let deep n = String.make n '[' ^ String.make n ']' in
+  check_parse "nested arrays below the limit"
+    (Json.Arr [ Json.Arr [ Json.Arr [] ] ])
+    (deep 3);
+  (match Json.of_string ~max_depth:8 (deep 10) with
+  | Error e ->
+      if not (Fixtures.contains ~affix:"deep" e) then
+        Alcotest.failf "unexpected error: %s" e
+  | Ok _ -> Alcotest.fail "parsed past max_depth");
+  (* The default limit must reject adversarial nesting without touching the
+     OS stack. *)
+  match Json.of_string (String.make 100_000 '[') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parsed unterminated deep nesting"
+
+let test_numbers () =
+  List.iter
+    (fun x ->
+      match Json.of_string (Json.to_string (Json.Num x)) with
+      | Ok (Json.Num y) ->
+          if Int64.bits_of_float x <> Int64.bits_of_float y then
+            Alcotest.failf "%h reparsed to %h" x y
+      | Ok v -> Alcotest.failf "%h reparsed to %s" x (Json.to_string v)
+      | Error e -> Alcotest.failf "%h: %s" x e)
+    [
+      0.; -0.; 0.1; 2. /. 3.; 1e15 -. 1.; 1e15; 1e300; 4.94e-324;
+      Float.max_float; Float.min_float; 1. /. 3.; 123456789.123456789;
+    ];
+  (try
+     ignore (Json.to_string (Json.Num Float.nan) : string);
+     Alcotest.fail "NaN printed"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Json.to_string (Json.Num Float.infinity) : string);
+    Alcotest.fail "infinity printed"
+  with Invalid_argument _ -> ()
+
+let test_accessors () =
+  let obj = Json.Obj [ ("a", Json.Num 3.); ("b", Json.Str "x") ] in
+  (match Json.member "a" obj with
+  | Some (Json.Num 3.) -> ()
+  | _ -> Alcotest.fail "member a");
+  (match Json.member "missing" obj with
+  | None -> ()
+  | Some _ -> Alcotest.fail "member missing");
+  (match Json.get_int (Json.Num 3.) with
+  | Some 3 -> ()
+  | _ -> Alcotest.fail "get_int 3");
+  (match Json.get_int (Json.Num 3.5) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "get_int 3.5");
+  match Json.get_str (Json.Num 3.) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "get_str on Num"
+
+let suite =
+  [
+    Alcotest.test_case "escapes" `Quick test_escapes;
+    Alcotest.test_case "strictness" `Quick test_strictness;
+    Alcotest.test_case "depth limit" `Quick test_depth_limit;
+    Alcotest.test_case "number round-trip" `Quick test_numbers;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    prop_roundtrip;
+    prop_total_on_garbage;
+    prop_total_on_corruption;
+  ]
