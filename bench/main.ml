@@ -28,7 +28,9 @@
      CONTENTION_SWEEP     "full" or a divisor N to sample every Nth use-case
      CONTENTION_JOBS      domains for the use-case sweep (default: recommended
                           domain count - 1; the TIMING section also re-runs
-                          the sweep sequentially to report the speedup) *)
+                          the sweep sequentially to report the speedup)
+     CONTENTION_TRACE     write a Chrome/Perfetto trace of the whole run to
+                          this file (spans recording is off otherwise) *)
 
 open Bechamel
 
@@ -42,6 +44,12 @@ let seed = env_int "CONTENTION_SEED" 2007
 let horizon = env_float "CONTENTION_HORIZON" 500_000.
 let num_apps = env_int "CONTENTION_APPS" 10
 let quota = env_float "CONTENTION_QUOTA" 0.5
+let trace_file = Sys.getenv_opt "CONTENTION_TRACE"
+let () = if trace_file <> None then Obs.Span.set_enabled true
+
+(* All wall-clock deltas below come from the monotonic clock: the bench can
+   run for a long time and an NTP step must not bend a timing row. *)
+let elapsed_s since = Obs.Clock.elapsed_s ~since
 
 let section name =
   Printf.printf "\n%s\n%s %s\n%s\n" (String.make 72 '=') "SECTION" name
@@ -87,9 +95,9 @@ let sweep, parallel_wall_s =
       Printf.printf "  %d%% (%d/%d)\n%!" pct done_ total
     end
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_ns () in
   let s = Exp.Sweep.run ~horizon ~usecases:sweep_usecases ~progress ~jobs workload in
-  (s, Unix.gettimeofday () -. t0)
+  (s, elapsed_s t0)
 
 let () =
   section "TABLE1";
@@ -103,9 +111,9 @@ let () =
      the number of domains.  Structural [compare] rather than [<>]: a
      use-case whose simulation completes no iteration records a NaN period
      (a valid observation filtered later), and NaN <> NaN would cry wolf. *)
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_ns () in
   let sequential = Exp.Sweep.run ~horizon ~usecases:sweep_usecases ~jobs:1 workload in
-  let sequential_wall_s = Unix.gettimeofday () -. t0 in
+  let sequential_wall_s = elapsed_s t0 in
   if compare sequential.observations sweep.observations <> 0 then
     print_endline "  WARNING: sequential and parallel observations differ!";
   Printf.printf
@@ -143,9 +151,9 @@ let () =
   let rows =
     List.map
       (fun est ->
-        let t0 = Unix.gettimeofday () in
+        let t0 = Obs.Clock.now_ns () in
         let err = mean_err (periods est) in
-        let dt = (Unix.gettimeofday () -. t0) *. 1000. in
+        let dt = elapsed_s t0 *. 1000. in
         [ Contention.Analysis.estimator_name est;
           Repro_stats.Table.float_cell ~decimals:2 err;
           Repro_stats.Table.float_cell ~decimals:2 dt ])
@@ -547,13 +555,13 @@ let () =
         (g, Array.init (Sdf.Graph.num_actors g) (fun j -> j mod 2)))
       graphs
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_ns () in
   let outcome = Contention.Explore.improve ~max_moves:16 ~procs:10 packed in
   Printf.printf
     "steepest descent on 4 apps / 10 procs: score %.3f -> %.3f, %d moves,\n\
      %d estimator evaluations in %.2f s\n"
     outcome.initial_score outcome.final_score outcome.moves outcome.evaluations
-    (Unix.gettimeofday () -. t0)
+    (elapsed_s t0)
 
 (* ------------------------------------------------------------------ *)
 (* The serve daemon: request throughput against an in-process server    *)
@@ -584,11 +592,11 @@ let () =
     | Error msg -> fail msg
   in
   let time_reqs name f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now_ns () in
     for _ = 1 to reqs do
       match f () with Ok _ -> () | Error msg -> fail msg
     done;
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = elapsed_s t0 in
     Printf.printf "%-28s %8.0f req/s  (%.1f us/req over %d requests)\n" name
       (float_of_int reqs /. dt)
       (dt /. float_of_int reqs *. 1e6)
@@ -729,4 +737,10 @@ let () =
       rows
   in
   print_string (Repro_stats.Table.render ~header:[ "Benchmark"; "Time/run" ] cells);
+  (match trace_file with
+  | None -> ()
+  | Some path ->
+      Obs.Span.set_enabled false;
+      Obs.Trace.write_file ~path (Obs.Span.drain ());
+      Printf.printf "\nwrote trace to %s\n" path);
   print_endline "\nbench: done"

@@ -5,12 +5,14 @@
      analyze     estimate use-case periods with a chosen estimator
      simulate    discrete-event simulation of a use-case
      experiment  reproduce the paper's Figure 5, Table 1, Figure 6 and timing
+     sweep       use-case sweep with accuracy table; --trace for Perfetto
      export      the same evaluation data as CSV files
      inspect     periods, latency, buffer bounds and text export of one graph
      report      estimated vs simulated periods + processor utilisation
      sensitivity leave-one-out interference ranking
      serve       online resource-manager daemon (TCP / Unix socket)
-     query       one-shot client for a running daemon *)
+     query       one-shot client for a running daemon
+     stats       daemon statistics; --prometheus for a scrape-ready text *)
 
 open Cmdliner
 
@@ -69,6 +71,28 @@ let jobs_arg =
 let load_arg =
   let doc = "Load the workload from a file written by $(b,generate --save)." in
   Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE" ~doc)
+
+let trace_arg =
+  let doc =
+    "Record spans while the command runs and write a Chrome/Perfetto trace \
+     (load it at $(b,https://ui.perfetto.dev)) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Tracing wraps the whole command so a run that dies halfway still dumps
+   the spans it recorded — that partial trace is exactly what one wants
+   when hunting the failure. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      Obs.Span.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Span.set_enabled false;
+          Obs.Trace.write_file ~path (Obs.Span.drain ());
+          Printf.eprintf "wrote trace to %s\n%!" path)
+        f
 
 let workload ?load seed num_apps procs =
   match load with
@@ -216,31 +240,33 @@ let experiment_cmd =
     in
     Arg.(value & pos_all string [ "all" ] & info [] ~docv:"SECTION" ~doc)
   in
-  let run seed num_apps procs horizon jobs sections =
-    let wants s = List.mem "all" sections || List.mem s sections in
-    let w = workload seed num_apps procs in
-    if wants "fig5" then
-      print_string (Exp.Figures.render_fig5 (Exp.Figures.fig5 ~horizon w));
-    if wants "table1" || wants "fig6" || wants "timing" then begin
-      let last = ref 0 in
-      let progress done_ total =
-        let pct = 100 * done_ / total in
-        if pct >= !last + 10 then begin
-          last := pct;
-          Printf.eprintf "  sweep: %d%% (%d/%d use-cases)\n%!" pct done_ total
-        end
-      in
-      let sweep = Exp.Sweep.run ~horizon ~progress ?jobs w in
-      if wants "table1" then
-        print_string (Exp.Figures.render_table1 (Exp.Figures.table1 sweep));
-      if wants "fig6" then print_string (Exp.Figures.render_fig6 (Exp.Figures.fig6 sweep));
-      if wants "timing" then print_string (Exp.Figures.render_timing sweep)
-    end
+  let run seed num_apps procs horizon jobs trace sections =
+    with_trace trace (fun () ->
+        let wants s = List.mem "all" sections || List.mem s sections in
+        let w = workload seed num_apps procs in
+        if wants "fig5" then
+          print_string (Exp.Figures.render_fig5 (Exp.Figures.fig5 ~horizon w));
+        if wants "table1" || wants "fig6" || wants "timing" then begin
+          let last = ref 0 in
+          let progress done_ total =
+            let pct = 100 * done_ / total in
+            if pct >= !last + 10 then begin
+              last := pct;
+              Printf.eprintf "  sweep: %d%% (%d/%d use-cases)\n%!" pct done_ total
+            end
+          in
+          let sweep = Exp.Sweep.run ~horizon ~progress ?jobs w in
+          if wants "table1" then
+            print_string (Exp.Figures.render_table1 (Exp.Figures.table1 sweep));
+          if wants "fig6" then
+            print_string (Exp.Figures.render_fig6 (Exp.Figures.fig6 sweep));
+          if wants "timing" then print_string (Exp.Figures.render_timing sweep)
+        end)
   in
   let term =
     Term.(
       const run $ seed_arg $ num_apps_arg $ procs_arg $ horizon_arg $ jobs_arg
-      $ sections)
+      $ trace_arg $ sections)
   in
   Cmd.v
     (Cmd.info "experiment"
@@ -248,23 +274,56 @@ let experiment_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+
+let sweep_cmd =
+  let run seed num_apps procs horizon jobs load trace =
+    with_trace trace (fun () ->
+        let w = workload ~load seed num_apps procs in
+        let last = ref 0 in
+        let progress done_ total =
+          let pct = 100 * done_ / total in
+          if pct >= !last + 10 then begin
+            last := pct;
+            Printf.eprintf "  sweep: %d%% (%d/%d use-cases)\n%!" pct done_ total
+          end
+        in
+        let sweep = Exp.Sweep.run ~horizon ~progress ?jobs w in
+        print_string (Exp.Figures.render_table1 (Exp.Figures.table1 sweep));
+        print_string (Exp.Figures.render_timing sweep))
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ num_apps_arg $ procs_arg $ horizon_arg $ jobs_arg
+      $ load_arg $ trace_arg)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Sweep every use-case (simulation + all estimators) and print the \
+          accuracy table and timing; $(b,--trace) records where the time goes")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* report                                                              *)
 
 let report_cmd =
-  let run seed num_apps procs usecase horizon jobs load =
+  let run seed num_apps procs usecase horizon jobs load trace =
     let w = workload ~load seed num_apps procs in
     match parse_usecase w usecase with
     | Error msg ->
         prerr_endline msg;
         exit 2
     | Ok uc ->
-        let report = Exp.Report.build ~horizon ?jobs w uc in
-        print_string (Exp.Report.render ~napps:(Exp.Workload.num_apps w) report)
+        with_trace trace (fun () ->
+            let report = Exp.Report.build ~horizon ?jobs w uc in
+            print_string
+              (Exp.Report.render ~napps:(Exp.Workload.num_apps w) report))
   in
   let term =
     Term.(
       const run $ seed_arg $ num_apps_arg $ procs_arg $ usecase_arg $ horizon_arg
-      $ jobs_arg $ load_arg)
+      $ jobs_arg $ load_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "report"
@@ -370,25 +429,26 @@ let export_cmd =
     let doc = "Directory for the CSV files (created if missing)." in
     Arg.(value & opt string "results" & info [ "out" ] ~docv:"DIR" ~doc)
   in
-  let run seed num_apps procs horizon jobs out_dir =
-    let w = workload seed num_apps procs in
-    if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
-    let save name contents =
-      let path = Filename.concat out_dir name in
-      Exp.Export.write ~path contents;
-      Printf.printf "wrote %s\n%!" path
-    in
-    save "fig5.csv" (Exp.Export.fig5_csv (Exp.Figures.fig5 ~horizon w));
-    Printf.printf "sweeping all use-cases...\n%!";
-    let sweep = Exp.Sweep.run ~horizon ?jobs w in
-    save "table1.csv" (Exp.Export.table1_csv (Exp.Figures.table1 sweep));
-    save "fig6.csv" (Exp.Export.fig6_csv (Exp.Figures.fig6 sweep));
-    save "observations.csv" (Exp.Export.observations_csv sweep)
+  let run seed num_apps procs horizon jobs trace out_dir =
+    with_trace trace (fun () ->
+        let w = workload seed num_apps procs in
+        if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+        let save name contents =
+          let path = Filename.concat out_dir name in
+          Exp.Export.write ~path contents;
+          Printf.printf "wrote %s\n%!" path
+        in
+        save "fig5.csv" (Exp.Export.fig5_csv (Exp.Figures.fig5 ~horizon w));
+        Printf.printf "sweeping all use-cases...\n%!";
+        let sweep = Exp.Sweep.run ~horizon ?jobs w in
+        save "table1.csv" (Exp.Export.table1_csv (Exp.Figures.table1 sweep));
+        save "fig6.csv" (Exp.Export.fig6_csv (Exp.Figures.fig6 sweep));
+        save "observations.csv" (Exp.Export.observations_csv sweep))
   in
   let term =
     Term.(
       const run $ seed_arg $ num_apps_arg $ procs_arg $ horizon_arg $ jobs_arg
-      $ out_dir)
+      $ trace_arg $ out_dir)
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Export the evaluation data (Fig. 5/6, Table 1, raw sweep) as CSV")
@@ -463,7 +523,40 @@ let serve_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
-(* query                                                               *)
+(* query / stats                                                       *)
+
+let print_stats (s : Serve.Protocol.stats_reply) =
+  Printf.printf "uptime %.1fs, %d connections, %d requests\n" s.uptime_s
+    s.connections s.requests_total;
+  List.iter (fun (cmd, n) -> Printf.printf "  %-10s %d\n" cmd n) s.requests;
+  Printf.printf "workloads %d, sessions %d\n" s.workloads s.sessions;
+  Printf.printf "cache: %d/%d entries, %d hits, %d misses (hit rate %.1f%%)\n"
+    s.cache_entries s.cache_capacity s.cache_hits s.cache_misses
+    (100. *. Serve.Protocol.cache_hit_rate s);
+  Printf.printf "pool: %d of %d workers busy (occupancy %.0f%%)\n"
+    s.active_connections s.workers
+    (100. *. Serve.Protocol.pool_occupancy s);
+  Printf.printf "admission: %d admitted, %d rejected (candidate), %d rejected \
+                 (victim), %d released\n"
+    s.admitted s.rejected_candidate s.rejected_victim s.released;
+  Printf.printf
+    "latency: mean %.0fus, p50 %.0fus, p90 %.0fus, p99 %.0fus, max %.0fus \
+     over %d requests\n"
+    s.latency_mean_us s.latency_p50_us s.latency_p90_us s.latency_p99_us
+    s.latency_max_us s.latency_samples
+
+let with_client ~host ~port ~unix_path f =
+  let fail fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt in
+  let client =
+    match
+      match unix_path with
+      | Some path -> Serve.Client.connect_unix path
+      | None -> Serve.Client.connect ~host ~port ()
+    with
+    | Ok c -> c
+    | Error msg -> fail "cannot connect: %s" msg
+  in
+  Fun.protect ~finally:(fun () -> Serve.Client.close client) (fun () -> f client)
 
 let query_cmd =
   let session_arg =
@@ -480,7 +573,7 @@ let query_cmd =
   let words_arg =
     let doc =
       "Command: ping | upload FILE | estimate DIGEST | admit DIGEST APP | \
-       release APP | stats | shutdown."
+       release APP | stats | metrics | shutdown."
     in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"COMMAND" ~doc)
   in
@@ -497,36 +590,9 @@ let query_cmd =
           row.throughput)
       r.rows
   in
-  let print_stats (s : Serve.Protocol.stats_reply) =
-    Printf.printf "uptime %.1fs, %d connections, %d requests\n" s.uptime_s
-      s.connections s.requests_total;
-    List.iter (fun (cmd, n) -> Printf.printf "  %-10s %d\n" cmd n) s.requests;
-    Printf.printf "workloads %d, sessions %d\n" s.workloads s.sessions;
-    Printf.printf "cache: %d/%d entries, %d hits, %d misses (hit rate %.1f%%)\n"
-      s.cache_entries s.cache_capacity s.cache_hits s.cache_misses
-      (100. *. Serve.Protocol.cache_hit_rate s);
-    Printf.printf "admission: %d admitted, %d rejected (candidate), %d rejected \
-                   (victim), %d released\n"
-      s.admitted s.rejected_candidate s.rejected_victim s.released;
-    Printf.printf
-      "latency: mean %.0fus, p50 %.0fus, p90 %.0fus, p99 %.0fus, max %.0fus \
-       over %d requests\n"
-      s.latency_mean_us s.latency_p50_us s.latency_p90_us s.latency_p99_us
-      s.latency_max_us s.latency_samples
-  in
   let run host port unix_path usecase estimator session min_tp words =
-    let client =
-      match
-        match unix_path with
-        | Some path -> Serve.Client.connect_unix path
-        | None -> Serve.Client.connect ~host ~port ()
-      with
-      | Ok c -> c
-      | Error msg -> fail "cannot connect: %s" msg
-    in
-    Fun.protect
-      ~finally:(fun () -> Serve.Client.close client)
-      (fun () ->
+    with_client ~host ~port ~unix_path
+      (fun client ->
         let check = function Ok v -> v | Error msg -> fail "%s" msg in
         match words with
         | [ "ping" ] ->
@@ -576,6 +642,9 @@ let query_cmd =
             check (Serve.Client.release client ~session ~app ());
             Printf.printf "released %s\n" app
         | [ "stats" ] -> print_stats (check (Serve.Client.stats client))
+        | [ "metrics" ] ->
+            let r = check (Serve.Client.metrics client) in
+            print_string r.Serve.Protocol.prometheus
         | [ "shutdown" ] ->
             check (Serve.Client.shutdown client);
             print_endline "server stopping"
@@ -589,6 +658,34 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query"
        ~doc:"Query a running $(b,contention serve) daemon (one command per call)")
+    term
+
+let stats_cmd =
+  let prometheus_arg =
+    let doc =
+      "Render the daemon's metric registry in the Prometheus text format \
+       (per-command request counters, latency histograms, cache and pool \
+       series) instead of the human-readable summary."
+    in
+    Arg.(value & flag & info [ "prometheus" ] ~doc)
+  in
+  let run host port unix_path prometheus =
+    with_client ~host ~port ~unix_path (fun client ->
+        if prometheus then
+          match Serve.Client.metrics client with
+          | Ok r -> print_string r.Serve.Protocol.prometheus
+          | Error msg -> prerr_endline msg; exit 1
+        else
+          match Serve.Client.stats client with
+          | Ok s -> print_stats s
+          | Error msg -> prerr_endline msg; exit 1)
+  in
+  let term = Term.(const run $ host_arg $ port_arg $ unix_arg $ prometheus_arg) in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Operational statistics of a running daemon; $(b,--prometheus) \
+          prints a scrape-ready exposition")
     term
 
 let () =
@@ -607,5 +704,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; analyze_cmd; simulate_cmd; experiment_cmd; export_cmd;
-            inspect_cmd; report_cmd; sensitivity_cmd; serve_cmd; query_cmd ]))
+          [ generate_cmd; analyze_cmd; simulate_cmd; experiment_cmd; sweep_cmd;
+            export_cmd; inspect_cmd; report_cmd; sensitivity_cmd; serve_cmd;
+            query_cmd; stats_cmd ]))

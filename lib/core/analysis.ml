@@ -82,7 +82,17 @@ let waiting_time_for est others =
 
 type cache = { cached_loads : Prob.t array; expansion : Sdf.Hsdf.t }
 
-let prepare a = { cached_loads = loads a; expansion = Sdf.Hsdf.expand a.graph }
+let prepare a =
+  Obs.Span.with_ ~name:"analysis.prepare"
+    ~args:(fun () -> [ ("app", a.graph.Sdf.Graph.name) ])
+    (fun () ->
+      let cached_loads =
+        Obs.Span.with_ ~name:"analysis.loads" (fun () -> loads a)
+      in
+      let expansion =
+        Obs.Span.with_ ~name:"hsdf.expand" (fun () -> Sdf.Hsdf.expand a.graph)
+      in
+      { cached_loads; expansion })
 
 (* Period of [a] with response times as execution times.  A cached HSDF
    expansion short-circuits the expensive part of the MCM engine: the
@@ -108,26 +118,32 @@ let one_pass engine est (apps : app array) (app_loads : Prob.t array array)
           Hashtbl.replace by_node proc ((ai, actor) :: existing))
         a.mapping)
     apps;
+  let span_args a () = [ ("app", a.graph.Sdf.Graph.name); ("estimator", estimator_name est) ] in
   let estimate_one ai a =
     let n = Sdf.Graph.num_actors a.graph in
+    (* Eq. 4/5/6: blocking probabilities folded into per-actor waits. *)
     let waiting_times =
-      Array.init n (fun actor ->
-          let proc = a.mapping.(actor) in
-          let on_node = Option.value ~default:[] (Hashtbl.find_opt by_node proc) in
-          let others =
-            List.filter_map
-              (fun (aj, actor_j) ->
-                if aj = ai && actor_j = actor then None
-                else Some app_loads.(aj).(actor_j))
-              on_node
-          in
-          waiting_time_for est others)
+      Obs.Span.with_ ~name:"analysis.waiting" ~args:(span_args a) (fun () ->
+          Array.init n (fun actor ->
+              let proc = a.mapping.(actor) in
+              let on_node = Option.value ~default:[] (Hashtbl.find_opt by_node proc) in
+              let others =
+                List.filter_map
+                  (fun (aj, actor_j) ->
+                    if aj = ai && actor_j = actor then None
+                    else Some app_loads.(aj).(actor_j))
+                  on_node
+              in
+              waiting_time_for est others))
     in
     let response_times =
       Array.init n (fun actor ->
           (Sdf.Graph.actor a.graph actor).exec_time +. waiting_times.(actor))
     in
-    let period = compute_period engine expansions.(ai) a response_times in
+    let period =
+      Obs.Span.with_ ~name:"analysis.period" ~args:(span_args a) (fun () ->
+          compute_period engine expansions.(ai) a response_times)
+    in
     { for_app = a; waiting_times; response_times; period }
   in
   Array.mapi estimate_one apps
@@ -137,44 +153,53 @@ let expansions_for engine apps =
   | Mcm -> Array.map (fun (a : app) -> Some (Sdf.Hsdf.expand a.graph)) apps
   | Statespace -> Array.map (fun _ -> None) apps
 
+let estimate_args est n () =
+  [ ("estimator", estimator_name est); ("apps", string_of_int n) ]
+
 let estimate ?(engine = Mcm) ?(iterations = 1) est apps =
   if iterations < 1 then invalid_arg "Contention.Analysis.estimate: iterations < 1";
   match apps with
   | [] -> []
   | apps ->
-      let apps = Array.of_list apps in
-      let expansions = expansions_for engine apps in
-      let rec refine pass loads_now =
-        let results = one_pass engine est apps loads_now expansions in
-        if pass >= iterations then results
-        else
-          (* Fixed-point refinement: blocking probabilities from the newly
-             estimated periods (execution times stay the original tau). *)
-          let next =
-            Array.mapi (fun ai a -> loads_with_period a results.(ai).period) apps
+      Obs.Span.with_ ~name:"analysis.estimate"
+        ~args:(estimate_args est (List.length apps))
+        (fun () ->
+          let apps = Array.of_list apps in
+          let expansions = expansions_for engine apps in
+          let rec refine pass loads_now =
+            let results = one_pass engine est apps loads_now expansions in
+            if pass >= iterations then results
+            else
+              (* Fixed-point refinement: blocking probabilities from the newly
+                 estimated periods (execution times stay the original tau). *)
+              let next =
+                Array.mapi (fun ai a -> loads_with_period a results.(ai).period) apps
+              in
+              refine (pass + 1) next
           in
-          refine (pass + 1) next
-      in
-      Array.to_list (refine 1 (Array.map loads apps))
+          Array.to_list (refine 1 (Array.map loads apps)))
 
 let estimate_prepared ?(engine = Mcm) est pairs =
   match pairs with
   | [] -> []
   | pairs ->
-      let apps = Array.of_list (List.map fst pairs) in
-      let caches = Array.of_list (List.map snd pairs) in
-      Array.iteri
-        (fun i (a : app) ->
-          if Array.length caches.(i).cached_loads <> Sdf.Graph.num_actors a.graph then
-            invalid_arg "Contention.Analysis.estimate_prepared: cache/app mismatch")
-        apps;
-      let loads = Array.map (fun c -> c.cached_loads) caches in
-      let expansions =
-        match engine with
-        | Mcm -> Array.map (fun c -> Some c.expansion) caches
-        | Statespace -> Array.map (fun _ -> None) caches
-      in
-      Array.to_list (one_pass engine est apps loads expansions)
+      Obs.Span.with_ ~name:"analysis.estimate"
+        ~args:(estimate_args est (List.length pairs))
+        (fun () ->
+          let apps = Array.of_list (List.map fst pairs) in
+          let caches = Array.of_list (List.map snd pairs) in
+          Array.iteri
+            (fun i (a : app) ->
+              if Array.length caches.(i).cached_loads <> Sdf.Graph.num_actors a.graph then
+                invalid_arg "Contention.Analysis.estimate_prepared: cache/app mismatch")
+            apps;
+          let loads = Array.map (fun c -> c.cached_loads) caches in
+          let expansions =
+            match engine with
+            | Mcm -> Array.map (fun c -> Some c.expansion) caches
+            | Statespace -> Array.map (fun _ -> None) caches
+          in
+          Array.to_list (one_pass engine est apps loads expansions))
 
 let estimate_with_loads ?(engine = Mcm) est pairs =
   match pairs with

@@ -17,26 +17,36 @@ let map_range ?jobs n f =
     | None -> default_jobs ()
   in
   let jobs = Int.min jobs n in
+  let task i =
+    Obs.Span.with_ ~name:"pool.task"
+      ~args:(fun () -> [ ("index", string_of_int i) ])
+      (fun () -> f i)
+  in
   if n = 0 then [||]
-  else if jobs <= 1 then Array.init n f
+  else if jobs <= 1 then Array.init n task
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
     let worker () =
-      let continue = ref true in
-      while !continue do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n || Atomic.get failure <> None then continue := false
-        else
-          match f i with
-          | v -> results.(i) <- Some v
-          | exception e ->
-              let bt = Printexc.get_raw_backtrace () in
-              (* Keep the first observed failure; later ones lose the race.
-                 The flag also stops idle workers from claiming new tasks. *)
-              ignore (Atomic.compare_and_set failure None (Some (e, bt)))
-      done
+      (* One span per worker lifetime: task spans fill the busy stretches
+         of the domain's track, the gaps between them are idle time. *)
+      Obs.Span.with_ ~name:"pool.worker"
+        ~args:(fun () -> [ ("jobs", string_of_int jobs) ])
+        (fun () ->
+          let continue = ref true in
+          while !continue do
+            let i = Atomic.fetch_and_add next 1 in
+            if i >= n || Atomic.get failure <> None then continue := false
+            else
+              match task i with
+              | v -> results.(i) <- Some v
+              | exception e ->
+                  let bt = Printexc.get_raw_backtrace () in
+                  (* Keep the first observed failure; later ones lose the race.
+                     The flag also stops idle workers from claiming new tasks. *)
+                  ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+          done)
     in
     let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
     Array.iter Domain.join domains;

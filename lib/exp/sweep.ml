@@ -58,25 +58,35 @@ let run ?(horizon = 500_000.) ?estimators ?usecases ?progress ?jobs
             incr completed;
             f !completed total)
   in
-  let observe idx =
-    let usecase = ucs.(idx) in
-    let indices = Contention.Usecase.to_list usecase in
-    let t0 = Unix.gettimeofday () in
+  let napps = Workload.num_apps w in
+  let jobs_label =
+    match jobs with Some j -> string_of_int j | None -> "default"
+  in
+  let observe_usecase idx usecase indices =
+    let t0 = Obs.Clock.now_ns () in
     let sim_results, _ =
-      Desim.Engine.run ~horizon
-        ?firing_time:(Workload.sim_firing_time w usecase)
-        ~procs:w.procs (Workload.sim_apps w usecase)
+      Obs.Span.with_ ~name:"sweep.simulate"
+        ~args:(fun () -> [ ("task", string_of_int idx) ])
+        (fun () ->
+          Desim.Engine.run ~horizon
+            ?firing_time:(Workload.sim_firing_time w usecase)
+            ~procs:w.procs (Workload.sim_apps w usecase))
     in
-    let task_sim_s = Unix.gettimeofday () -. t0 in
+    let task_sim_s = Obs.Clock.elapsed_s ~since:t0 in
     let pairs = List.map (fun i -> (w.apps.(i), caches.(i))) indices in
     let task_analysis_s = Array.make (Array.length estimators_arr) 0. in
     let per_estimator =
       Array.to_list
         (Array.mapi
            (fun k est ->
-             let t0 = Unix.gettimeofday () in
-             let results = Contention.Analysis.estimate_prepared est pairs in
-             task_analysis_s.(k) <- Unix.gettimeofday () -. t0;
+             let t0 = Obs.Clock.now_ns () in
+             let results =
+               Obs.Span.with_ ~name:"sweep.estimate"
+                 ~args:(fun () ->
+                   [ ("estimator", Contention.Analysis.estimator_name est) ])
+                 (fun () -> Contention.Analysis.estimate_prepared est pairs)
+             in
+             task_analysis_s.(k) <- Obs.Clock.elapsed_s ~since:t0;
              ( est,
                List.map (fun (r : Contention.Analysis.estimate) -> r.period) results ))
            estimators_arr)
@@ -98,6 +108,19 @@ let run ?(horizon = 500_000.) ?estimators ?usecases ?progress ?jobs
     in
     tick ();
     { task_observations; task_sim_s; task_analysis_s }
+  in
+  let observe idx =
+    let usecase = ucs.(idx) in
+    let indices = Contention.Usecase.to_list usecase in
+    Obs.Span.with_ ~name:"sweep.usecase"
+      ~args:(fun () ->
+        [
+          ("task", string_of_int idx);
+          ("usecase", Format.asprintf "%a" (Contention.Usecase.pp ~napps) usecase);
+          ("apps", string_of_int (Contention.Usecase.cardinal usecase));
+          ("jobs", jobs_label);
+        ])
+      (fun () -> observe_usecase idx usecase indices)
   in
   let tasks = Pool.map_range ?jobs total observe in
   let observations =

@@ -1,0 +1,25 @@
+(* Fallback: gettimeofday with an atomic high-water mark, so a backwards
+   NTP step stalls the clock instead of producing negative durations. *)
+let high_water = Atomic.make Int64.min_int
+
+let fallback_now () =
+  let t = Int64.of_float (Unix.gettimeofday () *. 1e9) in
+  let rec clamp () =
+    let prev = Atomic.get high_water in
+    if Int64.compare t prev <= 0 then prev
+    else if Atomic.compare_and_set high_water prev t then t
+    else clamp ()
+  in
+  clamp ()
+
+(* The stub returns 0 when the platform clock is unavailable. *)
+let stub_usable =
+  Int64.compare (Monotonic_clock.now ()) 0L > 0
+
+let now_ns () = if stub_usable then Monotonic_clock.now () else fallback_now ()
+
+let elapsed_s ~since = Int64.to_float (Int64.sub (now_ns ()) since) *. 1e-9
+
+let source =
+  if stub_usable then "clock_gettime(CLOCK_MONOTONIC)"
+  else "gettimeofday (monotonicized)"

@@ -1,0 +1,21 @@
+(** A monotonic clock for spans and latency measurement.
+
+    Wall-clock time ([Unix.gettimeofday]) is NTP-skewable: a clock step
+    between two reads makes a latency negative or wildly wrong.  Every
+    duration in the repository is measured against this clock instead.
+
+    The primary source is [clock_gettime(CLOCK_MONOTONIC)] via a tiny C
+    stub (the same one Bechamel benchmarks with).  On platforms where the
+    stub is unusable the clock falls back to [Unix.gettimeofday]
+    monotonicized with an atomic high-water mark — timestamps then never
+    go backwards, though they can stall across a backwards step. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since an arbitrary (per-process) epoch.  Never decreases
+    within a process; comparable only within the process. *)
+
+val elapsed_s : since:int64 -> float
+(** Seconds elapsed since a previous {!now_ns} reading. *)
+
+val source : string
+(** Human-readable name of the selected time source. *)

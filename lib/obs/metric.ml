@@ -1,0 +1,216 @@
+type cell =
+  | CCounter of { mutable c : float }
+  | CGauge of { mutable g : float }
+  | CHist of {
+      bounds : float array;
+      counts : int array;
+      mutable sum : float;
+      mutable count : int;
+    }
+
+type kind = [ `Counter | `Gauge | `Histogram ]
+
+type family = {
+  f_name : string;
+  f_help : string;
+  f_kind : kind;
+  f_series : ((string * string) list, cell) Hashtbl.t;
+}
+
+type registry = { mutex : Mutex.t; families : (string, family) Hashtbl.t }
+
+let create_registry () = { mutex = Mutex.create (); families = Hashtbl.create 16 }
+let default = create_registry ()
+
+let locked r f =
+  Mutex.lock r.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock r.mutex) f
+
+let name_ok ~allow_colon s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | ':' -> allow_colon | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+         | ':' -> allow_colon
+         | _ -> false)
+       s
+
+let check_labels labels =
+  let names = List.map fst labels in
+  List.iter
+    (fun n ->
+      if not (name_ok ~allow_colon:false n) then
+        invalid_arg (Printf.sprintf "Obs.Metric: invalid label name %S" n))
+    names;
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Obs.Metric: duplicate label name";
+  List.sort compare labels
+
+(* Caller holds the registry mutex. *)
+let family r ~kind ~help ~name =
+  match Hashtbl.find_opt r.families name with
+  | Some f ->
+      if f.f_kind <> kind then
+        invalid_arg
+          (Printf.sprintf "Obs.Metric: %S is already registered with another kind" name);
+      f
+  | None ->
+      if not (name_ok ~allow_colon:true name) then
+        invalid_arg (Printf.sprintf "Obs.Metric: invalid metric name %S" name);
+      let f = { f_name = name; f_help = help; f_kind = kind; f_series = Hashtbl.create 4 } in
+      Hashtbl.add r.families name f;
+      f
+
+let series f ~labels ~make =
+  match Hashtbl.find_opt f.f_series labels with
+  | Some c -> c
+  | None ->
+      let c = make () in
+      Hashtbl.add f.f_series labels c;
+      c
+
+module Counter = struct
+  type t = { r : registry; cell : cell }
+
+  let v ?(registry = default) ?(help = "") ?(labels = []) name =
+    let labels = check_labels labels in
+    locked registry (fun () ->
+        let f = family registry ~kind:`Counter ~help ~name in
+        { r = registry; cell = series f ~labels ~make:(fun () -> CCounter { c = 0. }) })
+
+  let inc ?(by = 1.) t =
+    if by < 0. then invalid_arg "Obs.Metric.Counter.inc: negative increment";
+    locked t.r (fun () ->
+        match t.cell with CCounter c -> c.c <- c.c +. by | _ -> assert false)
+
+  let value t =
+    locked t.r (fun () -> match t.cell with CCounter c -> c.c | _ -> assert false)
+end
+
+module Gauge = struct
+  type t = { r : registry; cell : cell }
+
+  let v ?(registry = default) ?(help = "") ?(labels = []) name =
+    let labels = check_labels labels in
+    locked registry (fun () ->
+        let f = family registry ~kind:`Gauge ~help ~name in
+        { r = registry; cell = series f ~labels ~make:(fun () -> CGauge { g = 0. }) })
+
+  let set t x =
+    locked t.r (fun () ->
+        match t.cell with CGauge g -> g.g <- x | _ -> assert false)
+
+  let add t x =
+    locked t.r (fun () ->
+        match t.cell with CGauge g -> g.g <- g.g +. x | _ -> assert false)
+
+  let value t =
+    locked t.r (fun () -> match t.cell with CGauge g -> g.g | _ -> assert false)
+end
+
+module Histogram = struct
+  type t = { r : registry; cell : cell }
+
+  let default_buckets =
+    [| 1e-4; 2.5e-4; 5e-4; 1e-3; 2.5e-3; 5e-3; 1e-2; 2.5e-2; 5e-2; 0.1; 0.25;
+       0.5; 1.; 2.5; 5.; 10. |]
+
+  let check_buckets b =
+    if Array.length b = 0 then invalid_arg "Obs.Metric.Histogram: no buckets";
+    Array.iteri
+      (fun i x ->
+        if not (Float.is_finite x) then
+          invalid_arg "Obs.Metric.Histogram: non-finite bucket bound";
+        if i > 0 && x <= b.(i - 1) then
+          invalid_arg "Obs.Metric.Histogram: bucket bounds must increase")
+      b
+
+  let v ?(registry = default) ?(help = "") ?(buckets = default_buckets) ?(labels = [])
+      name =
+    check_buckets buckets;
+    let labels = check_labels labels in
+    locked registry (fun () ->
+        let f = family registry ~kind:`Histogram ~help ~name in
+        {
+          r = registry;
+          cell =
+            series f ~labels ~make:(fun () ->
+                CHist
+                  {
+                    bounds = Array.copy buckets;
+                    counts = Array.make (Array.length buckets) 0;
+                    sum = 0.;
+                    count = 0;
+                  });
+        })
+
+  let observe t x =
+    locked t.r (fun () ->
+        match t.cell with
+        | CHist h ->
+            let n = Array.length h.bounds in
+            let rec find i = if i >= n then n else if x <= h.bounds.(i) then i else find (i + 1) in
+            let i = find 0 in
+            if i < n then h.counts.(i) <- h.counts.(i) + 1;
+            (* i = n falls into the implicit +Inf bucket, counted via [count]. *)
+            h.sum <- h.sum +. x;
+            h.count <- h.count + 1
+        | _ -> assert false)
+
+  let count t =
+    locked t.r (fun () -> match t.cell with CHist h -> h.count | _ -> assert false)
+
+  let sum t =
+    locked t.r (fun () -> match t.cell with CHist h -> h.sum | _ -> assert false)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Exposition                                                          *)
+
+type series =
+  | Sample of float
+  | Buckets of { bounds : float array; counts : int array; sum : float; count : int }
+
+type exposed = {
+  e_name : string;
+  e_help : string;
+  e_kind : kind;
+  e_series : ((string * string) list * series) list;
+}
+
+let export r =
+  locked r (fun () ->
+      let families =
+        List.sort
+          (fun a b -> String.compare a.f_name b.f_name)
+          (Hashtbl.fold (fun _ f acc -> f :: acc) r.families [])
+      in
+      List.map
+        (fun f ->
+          let rows =
+            Hashtbl.fold
+              (fun labels cell acc ->
+                let s =
+                  match cell with
+                  | CCounter c -> Sample c.c
+                  | CGauge g -> Sample g.g
+                  | CHist h ->
+                      Buckets
+                        {
+                          bounds = Array.copy h.bounds;
+                          counts = Array.copy h.counts;
+                          sum = h.sum;
+                          count = h.count;
+                        }
+                in
+                (labels, s) :: acc)
+              f.f_series []
+          in
+          {
+            e_name = f.f_name;
+            e_help = f.f_help;
+            e_kind = f.f_kind;
+            e_series = List.sort compare rows;
+          })
+        families)

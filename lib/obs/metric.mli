@@ -1,0 +1,94 @@
+(** A registry of named counters, gauges and fixed-bucket histograms.
+
+    Metric handles are get-or-create: [Counter.v ~labels name] returns the
+    same time series every time, so call sites need not thread handles
+    around.  All mutation is serialised on the owning registry's mutex —
+    cheap next to any request or analysis the metric measures.
+
+    Names must match [[a-zA-Z_:][a-zA-Z0-9_:]*], label names
+    [[a-zA-Z_][a-zA-Z0-9_]*] (the Prometheus grammar); registering an
+    existing name with a different metric kind raises [Invalid_argument]. *)
+
+type registry
+
+val create_registry : unit -> registry
+
+val default : registry
+(** The process-wide registry, used when [?registry] is omitted. *)
+
+module Counter : sig
+  type t
+
+  val v :
+    ?registry:registry ->
+    ?help:string ->
+    ?labels:(string * string) list ->
+    string ->
+    t
+
+  val inc : ?by:float -> t -> unit
+  (** [by] defaults to [1.]; @raise Invalid_argument if [by < 0.]. *)
+
+  val value : t -> float
+end
+
+module Gauge : sig
+  type t
+
+  val v :
+    ?registry:registry ->
+    ?help:string ->
+    ?labels:(string * string) list ->
+    string ->
+    t
+
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val default_buckets : float array
+  (** Latency-flavoured upper bounds, 100 µs … 10 s, in seconds. *)
+
+  val v :
+    ?registry:registry ->
+    ?help:string ->
+    ?buckets:float array ->
+    ?labels:(string * string) list ->
+    string ->
+    t
+  (** [buckets] are strictly increasing upper bounds (the implicit [+Inf]
+      bucket is added at exposition); only the first creation of a family
+      fixes them.  @raise Invalid_argument on empty or non-increasing
+      bounds. *)
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+end
+
+(** {2 Exposition support} *)
+
+type series =
+  | Sample of float  (** Counter or gauge value. *)
+  | Buckets of {
+      bounds : float array;
+      counts : int array;  (** Per-bucket (not cumulative), same length. *)
+      sum : float;
+      count : int;
+    }
+
+type exposed = {
+  e_name : string;
+  e_help : string;
+  e_kind : [ `Counter | `Gauge | `Histogram ];
+  e_series : ((string * string) list * series) list;
+      (** Sorted by rendered label set. *)
+}
+
+val export : registry -> exposed list
+(** A consistent snapshot of the whole registry, families sorted by name —
+    the input {!Prometheus.expose} renders. *)

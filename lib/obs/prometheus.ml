@@ -1,0 +1,80 @@
+let fmt_value x =
+  if Float.is_nan x then "NaN"
+  else if x = Float.infinity then "+Inf"
+  else if x = Float.neg_infinity then "-Inf"
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.12g" x
+
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let labels_str = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+             labels)
+      ^ "}"
+
+let expose registry =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (e : Metric.exposed) ->
+      if e.e_help <> "" then
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" e.e_name (escape_help e.e_help));
+      let kind =
+        match e.e_kind with
+        | `Counter -> "counter"
+        | `Gauge -> "gauge"
+        | `Histogram -> "histogram"
+      in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" e.e_name kind);
+      List.iter
+        (fun (labels, series) ->
+          match (series : Metric.series) with
+          | Metric.Sample v ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s %s\n" e.e_name (labels_str labels) (fmt_value v))
+          | Metric.Buckets { bounds; counts; sum; count } ->
+              let cumulative = ref 0 in
+              Array.iteri
+                (fun i bound ->
+                  cumulative := !cumulative + counts.(i);
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s_bucket%s %d\n" e.e_name
+                       (labels_str (labels @ [ ("le", fmt_value bound) ]))
+                       !cumulative))
+                bounds;
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" e.e_name
+                   (labels_str (labels @ [ ("le", "+Inf") ]))
+                   count);
+              Buffer.add_string buf
+                (Printf.sprintf "%s_sum%s %s\n" e.e_name (labels_str labels)
+                   (fmt_value sum));
+              Buffer.add_string buf
+                (Printf.sprintf "%s_count%s %d\n" e.e_name (labels_str labels) count))
+        e.e_series)
+    (Metric.export registry);
+  Buffer.contents buf

@@ -1,0 +1,86 @@
+type t = {
+  name : string;
+  args : (string * string) list;
+  ts_ns : int64;
+  dur_ns : int64;
+  domain : int;
+}
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* Every domain owns one buffer (a cons-list under an Atomic).  The global
+   registry of buffers is only touched once per domain, on its first
+   record; buffers outlive their domain so a sweep's worker spans survive
+   the pool join. *)
+let registry_mutex = Mutex.create ()
+let registry : t list Atomic.t list ref = ref []
+
+let buffer_key =
+  Domain.DLS.new_key (fun () ->
+      let buf = Atomic.make [] in
+      Mutex.lock registry_mutex;
+      registry := buf :: !registry;
+      Mutex.unlock registry_mutex;
+      buf)
+
+let push span =
+  let buf = Domain.DLS.get buffer_key in
+  let rec go () =
+    let old = Atomic.get buf in
+    (* Single writer per buffer: the CAS only retries against a concurrent
+       [drain], so this is wait-free in practice. *)
+    if not (Atomic.compare_and_set buf old (span :: old)) then go ()
+  in
+  go ()
+
+let record span = push span
+
+let with_ ?args ~name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let t0 = Clock.now_ns () in
+    let finish () =
+      let t1 = Clock.now_ns () in
+      push
+        {
+          name;
+          args = (match args with None -> [] | Some g -> g ());
+          ts_ns = t0;
+          dur_ns = Int64.sub t1 t0;
+          domain = (Domain.self () :> int);
+        }
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let buffers () =
+  Mutex.lock registry_mutex;
+  let bufs = !registry in
+  Mutex.unlock registry_mutex;
+  bufs
+
+let order a b =
+  match Int64.compare a.ts_ns b.ts_ns with
+  | 0 -> (
+      match Int.compare a.domain b.domain with
+      | 0 -> String.compare a.name b.name
+      | c -> c)
+  | c -> c
+
+let collect () =
+  List.sort order (List.concat_map Atomic.get (buffers ()))
+
+let drain () =
+  List.sort order (List.concat_map (fun b -> Atomic.exchange b []) (buffers ()))
+
+let reset () =
+  set_enabled false;
+  ignore (drain ())

@@ -1,0 +1,45 @@
+(** Begin/end spans recorded into per-domain lock-free buffers.
+
+    Instrumentation sites call {!with_}; when tracing is disabled (the
+    default) the only cost is one atomic load, so spans can live on hot
+    paths and inside {!Exp.Pool} workers.  When enabled, each span is a
+    single allocation pushed onto the calling domain's private buffer with
+    a compare-and-set — no lock is ever taken on the recording path, so
+    domains never contend with each other or with a collector.
+
+    Buffers grow without bound while tracing is enabled; tracing is meant
+    to be switched on around a bounded run (a sweep, a benchmark section)
+    and drained into a trace file afterwards. *)
+
+type t = {
+  name : string;  (** Span name, e.g. ["sweep.simulate"]. *)
+  args : (string * string) list;  (** Free-form key/value annotations. *)
+  ts_ns : int64;  (** Start, {!Clock.now_ns} epoch. *)
+  dur_ns : int64;  (** Duration; [>= 0]. *)
+  domain : int;  (** Recording domain's id — one trace track per domain. *)
+}
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Globally enable/disable recording.  Spans already in flight when the
+    flag flips record (or not) according to the flag at their start. *)
+
+val with_ : ?args:(unit -> (string * string) list) -> name:string -> (unit -> 'a) -> 'a
+(** [with_ ~name f] runs [f ()]; when tracing is enabled, records a span
+    covering the call (also when [f] raises — the exception is re-raised).
+    [args] is a thunk so annotation strings are only built when tracing is
+    on. *)
+
+val record : t -> unit
+(** Push an externally constructed span (tests, replayed data).  Recorded
+    regardless of {!enabled}. *)
+
+val collect : unit -> t list
+(** Snapshot of all spans recorded so far, across every domain that ever
+    recorded, sorted by [(ts_ns, domain, name)].  Does not clear. *)
+
+val drain : unit -> t list
+(** {!collect}, then empty every buffer. *)
+
+val reset : unit -> unit
+(** Empty every buffer and disable recording. *)

@@ -1,0 +1,84 @@
+(* Minimal JSON string emission — obs sits below every library that owns a
+   JSON codec, so it carries its own escaper for the handful of strings a
+   trace contains. *)
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Nanoseconds to a decimal-microsecond literal, exactly: "12.345". *)
+let us_of_ns ns =
+  Printf.sprintf "%Ld.%03Ld" (Int64.div ns 1000L) (Int64.rem ns 1000L)
+
+let add_args buf args =
+  Buffer.add_string buf "\"args\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_escaped buf k;
+      Buffer.add_char buf ':';
+      add_escaped buf v)
+    args;
+  Buffer.add_char buf '}'
+
+let to_chrome_json ?(process_name = "contention") spans =
+  let spans =
+    List.sort
+      (fun (a : Span.t) (b : Span.t) ->
+        match Int64.compare a.ts_ns b.ts_ns with
+        | 0 -> (
+            match Int.compare a.domain b.domain with
+            | 0 -> String.compare a.name b.name
+            | c -> c)
+        | c -> c)
+      spans
+  in
+  let epoch =
+    match spans with [] -> 0L | s :: _ -> s.Span.ts_ns
+  in
+  let domains =
+    List.sort_uniq Int.compare (List.map (fun (s : Span.t) -> s.domain) spans)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  Buffer.add_string buf "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",";
+  add_args buf [ ("name", process_name) ];
+  Buffer.add_char buf '}';
+  List.iter
+    (fun d ->
+      Buffer.add_string buf
+        (Printf.sprintf ",{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\"," d);
+      add_args buf [ ("name", Printf.sprintf "domain %d" d) ];
+      Buffer.add_char buf '}')
+    domains;
+  List.iter
+    (fun (s : Span.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf ",{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"name\":"
+           s.domain
+           (us_of_ns (Int64.sub s.ts_ns epoch))
+           (us_of_ns s.dur_ns));
+      add_escaped buf s.name;
+      Buffer.add_char buf ',';
+      add_args buf s.args;
+      Buffer.add_char buf '}')
+    spans;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let write_file ~path spans =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_json spans))

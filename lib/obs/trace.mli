@@ -1,0 +1,14 @@
+(** Chrome trace-event export: a finished run's spans as a JSON file that
+    chrome://tracing and {{:https://ui.perfetto.dev}Perfetto} open
+    directly.
+
+    Each domain becomes one named track ([thread_name] metadata events);
+    every span is a complete ([ph:"X"]) event with microsecond timestamps
+    rebased to the earliest span.  Output is deterministic for a fixed
+    span list (spans are sorted the same way {!Span.collect} sorts). *)
+
+val to_chrome_json : ?process_name:string -> Span.t list -> string
+(** [process_name] defaults to ["contention"]. *)
+
+val write_file : path:string -> Span.t list -> unit
+(** @raise Sys_error on an unwritable path. *)

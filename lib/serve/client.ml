@@ -71,4 +71,5 @@ let release t ?(session = Protocol.default_session) ~app () =
   typed t (Protocol.Release { session; app }) (fun _ -> Ok ())
 
 let stats t = typed t Protocol.Stats Protocol.stats_reply_of_json
+let metrics t = typed t Protocol.Metrics Protocol.metrics_reply_of_json
 let shutdown t = typed t Protocol.Shutdown (fun _ -> Ok ())

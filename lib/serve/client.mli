@@ -46,5 +46,8 @@ val release :
 
 val stats : t -> (Protocol.stats_reply, string) result
 
+val metrics : t -> (Protocol.metrics_reply, string) result
+(** The daemon's Prometheus exposition — scrape over the existing wire. *)
+
 val shutdown : t -> (unit, string) result
 (** Ask the daemon to stop; the reply arrives before it does. *)

@@ -2,7 +2,7 @@ let reservoir_size = 4096
 
 type t = {
   mutex : Mutex.t;
-  started : float;
+  started : int64;  (* Obs.Clock.now_ns; uptime survives wall-clock steps *)
   mutable connections : int;
   per_cmd : (string, int) Hashtbl.t;
   mutable total : int;
@@ -19,7 +19,7 @@ type t = {
 let create () =
   {
     mutex = Mutex.create ();
-    started = Unix.gettimeofday ();
+    started = Obs.Clock.now_ns ();
     connections = 0;
     per_cmd = Hashtbl.create 8;
     total = 0;
@@ -84,7 +84,7 @@ let snapshot t =
       let recent = Array.to_list (Array.sub t.reservoir 0 n) in
       let pct q = if n = 0 then 0. else us (Repro_stats.Stats.percentile q recent) in
       {
-        uptime_s = Unix.gettimeofday () -. t.started;
+        uptime_s = Obs.Clock.elapsed_s ~since:t.started;
         connections = t.connections;
         requests =
           List.sort compare

@@ -14,6 +14,7 @@ type request =
     }
   | Release of { session : string; app : string }
   | Stats
+  | Metrics
   | Shutdown
 
 let default_session = "default"
@@ -108,6 +109,7 @@ let request_to_json = function
           ("app", Json.Str app);
         ]
   | Stats -> Json.Obj [ ("cmd", Json.Str "stats") ]
+  | Metrics -> Json.Obj [ ("cmd", Json.Str "metrics") ]
   | Shutdown -> Json.Obj [ ("cmd", Json.Str "shutdown") ]
 
 let request_of_json json =
@@ -154,6 +156,7 @@ let request_of_json json =
           let* app = field "app" Json.get_str json in
           Ok (Release { session; app })
       | "stats" -> Ok Stats
+      | "metrics" -> Ok Metrics
       | "shutdown" -> Ok Shutdown
       | cmd -> Error (Printf.sprintf "unknown command %S" cmd))
 
@@ -191,6 +194,8 @@ type stats_reply = {
   cache_capacity : int;
   cache_hits : int;
   cache_misses : int;
+  active_connections : int;
+  workers : int;
   admitted : int;
   rejected_candidate : int;
   rejected_victim : int;
@@ -206,6 +211,18 @@ type stats_reply = {
 let cache_hit_rate s =
   let lookups = s.cache_hits + s.cache_misses in
   if lookups = 0 then 0. else float_of_int s.cache_hits /. float_of_int lookups
+
+let pool_occupancy s =
+  if s.workers = 0 then 0.
+  else float_of_int s.active_connections /. float_of_int s.workers
+
+type metrics_reply = { prometheus : string }
+
+let metrics_reply_to_json r = Json.Obj [ ("prometheus", Json.Str r.prometheus) ]
+
+let metrics_reply_of_json json =
+  let* prometheus = field "prometheus" Json.get_str json in
+  Ok { prometheus }
 
 let upload_reply_to_json r =
   Json.Obj
@@ -317,6 +334,12 @@ let stats_reply_to_json s =
             ("hits", Json.Num (float_of_int s.cache_hits));
             ("misses", Json.Num (float_of_int s.cache_misses));
           ] );
+      ( "pool",
+        Json.Obj
+          [
+            ("active_connections", Json.Num (float_of_int s.active_connections));
+            ("workers", Json.Num (float_of_int s.workers));
+          ] );
       ( "admission",
         Json.Obj
           [
@@ -358,6 +381,9 @@ let stats_reply_of_json json =
   let* cache_capacity = field "capacity" Json.get_int cache in
   let* cache_hits = field "hits" Json.get_int cache in
   let* cache_misses = field "misses" Json.get_int cache in
+  let* pool = field "pool" (fun j -> Some j) json in
+  let* active_connections = field "active_connections" Json.get_int pool in
+  let* workers = field "workers" Json.get_int pool in
   let* admission = field "admission" (fun j -> Some j) json in
   let* admitted = field "admitted" Json.get_int admission in
   let* rejected_candidate = field "rejected_candidate" Json.get_int admission in
@@ -382,6 +408,8 @@ let stats_reply_of_json json =
       cache_capacity;
       cache_hits;
       cache_misses;
+      active_connections;
+      workers;
       admitted;
       rejected_candidate;
       rejected_victim;

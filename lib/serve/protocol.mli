@@ -27,6 +27,9 @@ type request =
     }
   | Release of { session : string; app : string }
   | Stats
+  | Metrics
+      (** Prometheus exposition of the server's {!Obs.Metric} registry, so
+          an operator can scrape over the existing wire. *)
   | Shutdown
 
 val default_session : string
@@ -80,6 +83,8 @@ type stats_reply = {
   cache_capacity : int;
   cache_hits : int;
   cache_misses : int;
+  active_connections : int;  (** Connections being served right now. *)
+  workers : int;  (** Worker domains — the pool's capacity. *)
   admitted : int;
   rejected_candidate : int;
   rejected_victim : int;
@@ -95,6 +100,12 @@ type stats_reply = {
 val cache_hit_rate : stats_reply -> float
 (** Hits over lookups, [0.] before any lookup. *)
 
+val pool_occupancy : stats_reply -> float
+(** Active connections over worker domains, [0.] when workers is 0. *)
+
+type metrics_reply = { prometheus : string }
+(** The Prometheus text payload ({!Obs.Prometheus.expose}). *)
+
 val upload_reply_to_json : upload_reply -> Json.t
 val upload_reply_of_json : Json.t -> (upload_reply, string) result
 val estimate_reply_to_json : estimate_reply -> Json.t
@@ -103,6 +114,8 @@ val verdict_to_json : verdict -> Json.t
 val verdict_of_json : Json.t -> (verdict, string) result
 val stats_reply_to_json : stats_reply -> Json.t
 val stats_reply_of_json : Json.t -> (stats_reply, string) result
+val metrics_reply_to_json : metrics_reply -> Json.t
+val metrics_reply_of_json : Json.t -> (metrics_reply, string) result
 
 (** {1 Reply envelope} *)
 

@@ -62,6 +62,12 @@ module Chan = struct
     t.closed <- true;
     Condition.broadcast t.cond;
     Mutex.unlock t.mutex
+
+  let length t =
+    Mutex.lock t.mutex;
+    let n = Queue.length t.q in
+    Mutex.unlock t.mutex;
+    n
 end
 
 (* ------------------------------------------------------------------ *)
@@ -73,6 +79,12 @@ type t = {
   store : Store.t;
   cache : (cache_key, Protocol.estimate_row list) Lru.t;
   metrics : Metrics.t;
+  workers : int;  (* worker-domain count — the pool's capacity *)
+  registry : Obs.Metric.registry;
+  m_active : Obs.Metric.Gauge.t;  (* connections being served right now *)
+  m_queue_depth : Obs.Metric.Gauge.t;  (* accepted, waiting for a worker *)
+  m_cache_hits : Obs.Metric.Counter.t;
+  m_cache_misses : Obs.Metric.Counter.t;
   sessions : (string, Contention.Admission.t) Hashtbl.t;
   sessions_mutex : Mutex.t;
   conns : Unix.file_descr Chan.t;
@@ -90,6 +102,7 @@ type t = {
 
 let tcp_port t = t.bound_tcp_port
 let shutdown_requested t = Atomic.get t.stop_requested
+let metrics_registry t = t.registry
 
 (* Register a connection as active; refuse when the server is stopping (the
    caller then closes it unserved).  Registration and the stop-side sweep
@@ -98,13 +111,23 @@ let register_active t fd =
   Mutex.lock t.active_mutex;
   let accepted = not (Atomic.get t.stopping) in
   if accepted then Hashtbl.replace t.active fd ();
+  let n = Hashtbl.length t.active in
   Mutex.unlock t.active_mutex;
+  if accepted then Obs.Metric.Gauge.set t.m_active (float_of_int n);
   accepted
 
 let unregister_active t fd =
   Mutex.lock t.active_mutex;
   Hashtbl.remove t.active fd;
-  Mutex.unlock t.active_mutex
+  let n = Hashtbl.length t.active in
+  Mutex.unlock t.active_mutex;
+  Obs.Metric.Gauge.set t.m_active (float_of_int n)
+
+let active_count t =
+  Mutex.lock t.active_mutex;
+  let n = Hashtbl.length t.active in
+  Mutex.unlock t.active_mutex;
+  n
 
 (* ------------------------------------------------------------------ *)
 (* Session registry                                                    *)
@@ -155,8 +178,11 @@ let handle_estimate t ~digest ~usecase ~estimator =
           let key = (digest, mask, name) in
           let cached, rows =
             match Lru.find t.cache key with
-            | Some rows -> (true, rows)
+            | Some rows ->
+                Obs.Metric.Counter.inc t.m_cache_hits;
+                (true, rows)
             | None ->
+                Obs.Metric.Counter.inc t.m_cache_misses;
                 let rows =
                   estimate_rows estimator (Exp.Workload.analysis_apps w mask)
                 in
@@ -251,6 +277,8 @@ let handle_stats t =
          cache_capacity = Lru.capacity t.cache;
          cache_hits = Lru.hits t.cache;
          cache_misses = Lru.misses t.cache;
+         active_connections = active_count t;
+         workers = t.workers;
          admitted = m.admitted;
          rejected_candidate = m.rejected_candidate;
          rejected_victim = m.rejected_victim;
@@ -284,6 +312,10 @@ let dispatch t (request : Protocol.request) =
       handle_admit t ~session ~digest ~app ~min_throughput
   | Protocol.Release { session; app } -> handle_release t ~session ~app
   | Protocol.Stats -> handle_stats t
+  | Protocol.Metrics ->
+      Protocol.ok
+        (Protocol.metrics_reply_to_json
+           { Protocol.prometheus = Obs.Prometheus.expose t.registry })
   | Protocol.Shutdown ->
       Atomic.set t.stop_requested true;
       Protocol.ok (Json.Obj [ ("stopping", Json.Bool true) ])
@@ -295,6 +327,7 @@ let cmd_name = function
   | Protocol.Admit _ -> "admit"
   | Protocol.Release _ -> "release"
   | Protocol.Stats -> "stats"
+  | Protocol.Metrics -> "metrics"
   | Protocol.Shutdown -> "shutdown"
 
 (* ------------------------------------------------------------------ *)
@@ -313,7 +346,7 @@ let handle_connection t fd =
           (Json.to_string (Protocol.error "request line too long"))
     | Wire.Line "" -> serve ()
     | Wire.Line line ->
-        let t0 = Unix.gettimeofday () in
+        let t0 = Obs.Clock.now_ns () in
         let cmd, reply =
           match Json.of_string line with
           | Error msg ->
@@ -323,18 +356,33 @@ let handle_connection t fd =
               | Error msg ->
                   ("invalid", Protocol.error (Printf.sprintf "bad request: %s" msg))
               | Ok request -> (
-                  match dispatch t request with
-                  | reply -> (cmd_name request, reply)
+                  let cmd = cmd_name request in
+                  match
+                    Obs.Span.with_ ~name:("serve." ^ cmd)
+                      ~args:(fun () -> [ ("cmd", cmd) ])
+                      (fun () -> dispatch t request)
+                  with
+                  | reply -> (cmd, reply)
                   | exception e ->
                       (* A dispatch bug must never take the daemon down with
                          the connection. *)
-                      ( cmd_name request,
+                      ( cmd,
                         Protocol.error
                           (Printf.sprintf "internal error: %s"
                              (Printexc.to_string e)) )))
         in
         Wire.write_line fd (Json.to_string reply);
-        Metrics.record t.metrics ~cmd ~latency_s:(Unix.gettimeofday () -. t0);
+        let latency_s = Obs.Clock.elapsed_s ~since:t0 in
+        Metrics.record t.metrics ~cmd ~latency_s;
+        Obs.Metric.Counter.inc
+          (Obs.Metric.Counter.v ~registry:t.registry
+             ~help:"Requests served, by command." ~labels:[ ("cmd", cmd) ]
+             "contention_serve_requests_total");
+        Obs.Metric.Histogram.observe
+          (Obs.Metric.Histogram.v ~registry:t.registry
+             ~help:"Request latency in seconds, by command."
+             ~labels:[ ("cmd", cmd) ] "contention_serve_request_seconds")
+          latency_s;
         serve ()
   in
   (match serve () with
@@ -349,6 +397,8 @@ let worker t () =
     match Chan.pop t.conns with
     | None -> ()
     | Some fd ->
+        Obs.Metric.Gauge.set t.m_queue_depth
+          (float_of_int (Chan.length t.conns));
         if register_active t fd then begin
           (match handle_connection t fd with
           | () -> ()
@@ -369,8 +419,10 @@ let acceptor t listener () =
     else
       match Unix.accept ~cloexec:true listener with
       | fd, _ ->
-          if not (Chan.push t.conns fd) then
-            (try Unix.close fd with Unix.Unix_error _ -> ());
+          if Chan.push t.conns fd then
+            Obs.Metric.Gauge.set t.m_queue_depth
+              (float_of_int (Chan.length t.conns))
+          else (try Unix.close fd with Unix.Unix_error _ -> ());
           loop ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
       | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> loop ()
@@ -433,12 +485,52 @@ let start ?(config = default_config) () =
     (match tcp with Some (fd, _) -> [ fd ] | None -> [])
     @ (match unix_listener with Some fd -> [ fd ] | None -> [])
   in
+  let jobs =
+    match config.jobs with
+    | Some j when j < 1 -> invalid_arg "Serve.Server.start: jobs < 1"
+    | Some j -> j
+    | None -> Exp.Pool.default_jobs ()
+  in
+  (* Each server owns its registry: two servers in one process (the tests
+     start several) must not see each other's series. *)
+  let registry = Obs.Metric.create_registry () in
+  let m_active =
+    Obs.Metric.Gauge.v ~registry
+      ~help:"Connections being served right now."
+      "contention_serve_active_connections"
+  in
+  let m_queue_depth =
+    Obs.Metric.Gauge.v ~registry
+      ~help:"Accepted connections waiting for a worker domain."
+      "contention_serve_queue_depth"
+  in
+  let m_cache_hits =
+    Obs.Metric.Counter.v ~registry
+      ~help:"Estimate-cache lookups answered from the cache."
+      "contention_serve_cache_hits_total"
+  in
+  let m_cache_misses =
+    Obs.Metric.Counter.v ~registry
+      ~help:"Estimate-cache lookups that ran the analysis."
+      "contention_serve_cache_misses_total"
+  in
+  Obs.Metric.Gauge.set
+    (Obs.Metric.Gauge.v ~registry
+       ~help:"Worker domains — the pool's capacity."
+       "contention_serve_workers")
+    (float_of_int jobs);
   let t =
     {
       config;
       store = Store.create ();
       cache = Lru.create ~capacity:config.cache_capacity;
       metrics = Metrics.create ();
+      workers = jobs;
+      registry;
+      m_active;
+      m_queue_depth;
+      m_cache_hits;
+      m_cache_misses;
       sessions = Hashtbl.create 8;
       sessions_mutex = Mutex.create ();
       conns = Chan.create ();
@@ -451,12 +543,6 @@ let start ?(config = default_config) () =
       stopped = Atomic.make false;
       domains = [];
     }
-  in
-  let jobs =
-    match config.jobs with
-    | Some j when j < 1 -> invalid_arg "Serve.Server.start: jobs < 1"
-    | Some j -> j
-    | None -> Exp.Pool.default_jobs ()
   in
   let workers = List.init jobs (fun _ -> Domain.spawn (worker t)) in
   let acceptors = List.map (fun l -> Domain.spawn (acceptor t l)) listeners in

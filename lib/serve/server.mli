@@ -46,6 +46,13 @@ val shutdown_requested : t -> bool
 (** True once a client issued the [shutdown] command; the owner of the
     handle is expected to react by calling {!stop}. *)
 
+val metrics_registry : t -> Obs.Metric.registry
+(** The server's own metric registry — per-command request counters and
+    latency histograms, cache hit/miss counters, pool gauges.  This is what
+    the [metrics] protocol command renders with {!Obs.Prometheus.expose};
+    each server owns a private registry so co-hosted instances (as in the
+    tests) do not mix series. *)
+
 val stop : t -> unit
 (** Graceful shutdown as described above.  Idempotent. *)
 

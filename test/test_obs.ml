@@ -1,0 +1,290 @@
+(* The obs telemetry library: monotonic clock, span recording across
+   domains, the metric registry, and byte-stable golden renderings of the
+   two exposition formats (Chrome/Perfetto trace JSON and Prometheus text).
+
+   Span recording is global process state; every test that enables it
+   disables and drains under Fun.protect so the rest of the suite (pool,
+   sweep, serve tests run in this same process) stays untraced. *)
+
+(* --- clock ----------------------------------------------------------- *)
+
+let test_clock_monotonic () =
+  let prev = ref (Obs.Clock.now_ns ()) in
+  for _ = 1 to 10_000 do
+    let now = Obs.Clock.now_ns () in
+    if Int64.compare now !prev < 0 then
+      Alcotest.failf "clock went backwards: %Ld after %Ld" now !prev;
+    prev := now
+  done;
+  let t0 = Obs.Clock.now_ns () in
+  Unix.sleepf 0.01;
+  let dt = Obs.Clock.elapsed_s ~since:t0 in
+  if dt < 0.005 || dt > 5. then
+    Alcotest.failf "elapsed_s implausible for a 10ms sleep: %f (source %s)" dt
+      Obs.Clock.source
+
+(* --- spans ----------------------------------------------------------- *)
+
+let with_tracing f =
+  Obs.Span.reset ();
+  Obs.Span.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Span.reset ()) f
+
+let test_span_disabled () =
+  Obs.Span.reset ();
+  Alcotest.(check bool) "disabled by default" false (Obs.Span.enabled ());
+  let built = ref false in
+  let v =
+    Obs.Span.with_ ~name:"quiet"
+      ~args:(fun () -> built := true; [ ("k", "v") ])
+      (fun () -> 41 + 1)
+  in
+  Alcotest.(check int) "with_ is transparent" 42 v;
+  Alcotest.(check bool) "args thunk not forced when disabled" false !built;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Obs.Span.collect ()))
+
+let test_span_records () =
+  with_tracing (fun () ->
+      let v =
+        Obs.Span.with_ ~name:"outer"
+          ~args:(fun () -> [ ("task", "7") ])
+          (fun () ->
+            Obs.Span.with_ ~name:"inner" (fun () -> ());
+            "done")
+      in
+      Alcotest.(check string) "result passed through" "done" v;
+      (match Obs.Span.with_ ~name:"raises" (fun () -> failwith "boom") with
+      | (_ : unit) -> Alcotest.fail "exception swallowed"
+      | exception Failure msg -> Alcotest.(check string) "re-raised" "boom" msg);
+      let spans = Obs.Span.collect () in
+      let names = List.map (fun (s : Obs.Span.t) -> s.name) spans in
+      Alcotest.(check (list string))
+        "all three spans, sorted by start time"
+        [ "outer"; "inner"; "raises" ] names;
+      List.iter
+        (fun (s : Obs.Span.t) ->
+          if Int64.compare s.dur_ns 0L < 0 then
+            Alcotest.failf "%s: negative duration" s.name)
+        spans;
+      (match spans with
+      | outer :: inner :: _ ->
+          Alcotest.(check (list (pair string string)))
+            "args recorded" [ ("task", "7") ] outer.args;
+          (* The inner span starts after and ends before the outer one. *)
+          if Int64.compare inner.ts_ns outer.ts_ns < 0 then
+            Alcotest.fail "inner starts before outer";
+          if
+            Int64.compare
+              (Int64.add inner.ts_ns inner.dur_ns)
+              (Int64.add outer.ts_ns outer.dur_ns)
+            > 0
+          then Alcotest.fail "inner outlives outer"
+      | _ -> Alcotest.fail "missing spans");
+      (* drain empties, collect after drain sees nothing. *)
+      Alcotest.(check int) "drain returns them" 3
+        (List.length (Obs.Span.drain ()));
+      Alcotest.(check int) "drained" 0 (List.length (Obs.Span.collect ())))
+
+let test_span_multi_domain () =
+  with_tracing (fun () ->
+      (* Spans recorded inside worker domains must survive Domain.join —
+         the per-domain buffers outlive their domain. *)
+      let doms =
+        List.init 2 (fun i ->
+            Domain.spawn (fun () ->
+                for j = 0 to 1 do
+                  Obs.Span.with_ ~name:"worker"
+                    ~args:(fun () ->
+                      [ ("domain", string_of_int i); ("j", string_of_int j) ])
+                    (fun () -> ())
+                done))
+      in
+      List.iter Domain.join doms;
+      let spans = Obs.Span.collect () in
+      Alcotest.(check int) "two spans per domain" 4 (List.length spans);
+      let domains =
+        List.sort_uniq Int.compare
+          (List.map (fun (s : Obs.Span.t) -> s.domain) spans)
+      in
+      Alcotest.(check int) "two distinct tracks" 2 (List.length domains))
+
+(* --- metric registry ------------------------------------------------- *)
+
+let test_counter_gauge () =
+  let r = Obs.Metric.create_registry () in
+  let c = Obs.Metric.Counter.v ~registry:r ~labels:[ ("cmd", "ping") ] "reqs" in
+  Obs.Metric.Counter.inc c;
+  Obs.Metric.Counter.inc ~by:2.5 c;
+  Alcotest.(check (float 0.)) "counter accumulates" 3.5
+    (Obs.Metric.Counter.value c);
+  (* The handle is get-or-create: same name+labels, same series. *)
+  let c' = Obs.Metric.Counter.v ~registry:r ~labels:[ ("cmd", "ping") ] "reqs" in
+  Obs.Metric.Counter.inc c';
+  Alcotest.(check (float 0.)) "same series" 4.5 (Obs.Metric.Counter.value c);
+  (try
+     Obs.Metric.Counter.inc ~by:(-1.) c;
+     Alcotest.fail "negative counter increment accepted"
+   with Invalid_argument _ -> ());
+  let g = Obs.Metric.Gauge.v ~registry:r "depth" in
+  Obs.Metric.Gauge.set g 4.;
+  Obs.Metric.Gauge.add g (-1.5);
+  Alcotest.(check (float 0.)) "gauge set/add" 2.5 (Obs.Metric.Gauge.value g);
+  (* One name, one kind. *)
+  (try
+     ignore (Obs.Metric.Gauge.v ~registry:r "reqs" : Obs.Metric.Gauge.t);
+     Alcotest.fail "kind mismatch accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Obs.Metric.Counter.v ~registry:r "0bad" : Obs.Metric.Counter.t);
+     Alcotest.fail "invalid metric name accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore
+       (Obs.Metric.Counter.v ~registry:r ~labels:[ ("le", "x") ] "ok"
+         : Obs.Metric.Counter.t)
+       (* "le" itself is fine as a label name; a bad one is not: *)
+   with Invalid_argument _ -> Alcotest.fail "legal label rejected");
+  try
+    ignore
+      (Obs.Metric.Counter.v ~registry:r ~labels:[ ("bad-name", "x") ] "ok2"
+        : Obs.Metric.Counter.t);
+    Alcotest.fail "invalid label name accepted"
+  with Invalid_argument _ -> ()
+
+let test_histogram () =
+  let r = Obs.Metric.create_registry () in
+  (try
+     ignore
+       (Obs.Metric.Histogram.v ~registry:r ~buckets:[| 2.; 1. |] "h"
+         : Obs.Metric.Histogram.t);
+     Alcotest.fail "non-increasing buckets accepted"
+   with Invalid_argument _ -> ());
+  let h =
+    Obs.Metric.Histogram.v ~registry:r ~buckets:[| 0.01; 0.1; 1. |] "lat"
+  in
+  List.iter (Obs.Metric.Histogram.observe h) [ 0.005; 0.05; 0.5; 5. ];
+  Alcotest.(check int) "count includes overflow" 4
+    (Obs.Metric.Histogram.count h);
+  Alcotest.(check (float 1e-12)) "sum" 5.555 (Obs.Metric.Histogram.sum h);
+  match Obs.Metric.export r with
+  | [ { e_series = [ (_, Obs.Metric.Buckets b) ]; _ } ] ->
+      Alcotest.(check (array int)) "per-bucket counts" [| 1; 1; 1 |] b.counts;
+      Alcotest.(check int) "total count" 4 b.count
+  | _ -> Alcotest.fail "export shape unexpected"
+
+(* --- golden: Prometheus text ----------------------------------------- *)
+
+let test_prometheus_golden () =
+  let r = Obs.Metric.create_registry () in
+  let c cmd =
+    Obs.Metric.Counter.v ~registry:r ~help:"Total requests."
+      ~labels:[ ("cmd", cmd) ] "requests_total"
+  in
+  Obs.Metric.Counter.inc ~by:3. (c "ping");
+  Obs.Metric.Counter.inc ~by:2. (c "estimate");
+  Obs.Metric.Gauge.set (Obs.Metric.Gauge.v ~registry:r ~help:"Depth." "queue_depth") 4.;
+  let h =
+    Obs.Metric.Histogram.v ~registry:r ~help:"Latency."
+      ~buckets:[| 0.01; 0.1; 1. |] "latency_seconds"
+  in
+  List.iter (Obs.Metric.Histogram.observe h) [ 0.005; 0.05; 0.5; 5. ];
+  let expected =
+    String.concat "\n"
+      [
+        "# HELP latency_seconds Latency.";
+        "# TYPE latency_seconds histogram";
+        "latency_seconds_bucket{le=\"0.01\"} 1";
+        "latency_seconds_bucket{le=\"0.1\"} 2";
+        "latency_seconds_bucket{le=\"1\"} 3";
+        "latency_seconds_bucket{le=\"+Inf\"} 4";
+        "latency_seconds_sum 5.555";
+        "latency_seconds_count 4";
+        "# HELP queue_depth Depth.";
+        "# TYPE queue_depth gauge";
+        "queue_depth 4";
+        "# HELP requests_total Total requests.";
+        "# TYPE requests_total counter";
+        "requests_total{cmd=\"estimate\"} 2";
+        "requests_total{cmd=\"ping\"} 3";
+        "";
+      ]
+  in
+  Alcotest.(check string) "byte-stable exposition" expected
+    (Obs.Prometheus.expose r)
+
+let test_prometheus_escaping () =
+  let r = Obs.Metric.create_registry () in
+  Obs.Metric.Counter.inc
+    (Obs.Metric.Counter.v ~registry:r ~help:"line one\nline \\two"
+       ~labels:[ ("path", "a\"b\\c\nd") ]
+       "esc_total");
+  let expected =
+    "# HELP esc_total line one\\nline \\\\two\n"
+    ^ "# TYPE esc_total counter\n"
+    ^ "esc_total{path=\"a\\\"b\\\\c\\nd\"} 1\n"
+  in
+  Alcotest.(check string) "escaped help and label value" expected
+    (Obs.Prometheus.expose r)
+
+(* --- golden: Chrome trace JSON --------------------------------------- *)
+
+let fixed_spans =
+  [
+    {
+      Obs.Span.name = "analysis.estimate";
+      args = [ ("app", "A") ];
+      ts_ns = 1_000L;
+      dur_ns = 2_500L;
+      domain = 0;
+    };
+    {
+      Obs.Span.name = "sweep.simulate";
+      args = [];
+      ts_ns = 2_000L;
+      dur_ns = 10_000L;
+      domain = 1;
+    };
+  ]
+
+let test_trace_golden () =
+  let expected =
+    "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+    ^ "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"contention\"}}"
+    ^ ",{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\",\"args\":{\"name\":\"domain 0\"}}"
+    ^ ",{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"domain 1\"}}"
+    ^ ",{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0.000,\"dur\":2.500,\"name\":\"analysis.estimate\",\"args\":{\"app\":\"A\"}}"
+    ^ ",{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":1.000,\"dur\":10.000,\"name\":\"sweep.simulate\",\"args\":{}}"
+    ^ "]}"
+  in
+  Alcotest.(check string) "byte-stable trace" expected
+    (Obs.Trace.to_chrome_json fixed_spans);
+  (* Input order must not matter: the exporter sorts. *)
+  Alcotest.(check string) "order-insensitive" expected
+    (Obs.Trace.to_chrome_json (List.rev fixed_spans))
+
+let test_trace_parses () =
+  (* The emitted trace must be well-formed JSON with the event list the
+     Perfetto importer looks for — parsed with the serve JSON codec, which
+     knows nothing about obs. *)
+  match Serve.Json.of_string (Obs.Trace.to_chrome_json fixed_spans) with
+  | Error e -> Alcotest.failf "trace does not parse: %s" e
+  | Ok (Serve.Json.Obj kvs) -> (
+      match List.assoc_opt "traceEvents" kvs with
+      | Some (Serve.Json.Arr events) ->
+          Alcotest.(check int) "metadata + spans" 5 (List.length events)
+      | _ -> Alcotest.fail "traceEvents missing or not an array")
+  | Ok _ -> Alcotest.fail "trace is not a JSON object"
+
+let suite =
+  [
+    Alcotest.test_case "clock is monotonic" `Quick test_clock_monotonic;
+    Alcotest.test_case "spans off by default" `Quick test_span_disabled;
+    Alcotest.test_case "span recording" `Quick test_span_records;
+    Alcotest.test_case "spans across domains" `Quick test_span_multi_domain;
+    Alcotest.test_case "counter and gauge" `Quick test_counter_gauge;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
+    Alcotest.test_case "prometheus escaping" `Quick test_prometheus_escaping;
+    Alcotest.test_case "chrome trace golden" `Quick test_trace_golden;
+    Alcotest.test_case "chrome trace parses" `Quick test_trace_parses;
+  ]

@@ -123,6 +123,7 @@ let test_protocol_roundtrip () =
         { session = "s"; digest = "abc"; app = "A"; min_throughput = 0.25 };
       Protocol.Release { session = "s"; app = "A" };
       Protocol.Stats;
+      Protocol.Metrics;
       Protocol.Shutdown;
     ]
   in
@@ -400,6 +401,31 @@ let test_integration () =
             Alcotest.fail "request counter implausibly low";
           if s.Protocol.latency_samples <> s.Protocol.requests_total then
             Alcotest.fail "every request must be timed";
+          Alcotest.(check int) "worker pool size" 2 s.Protocol.workers;
+          (* The connection asking for stats is itself being served. *)
+          if s.Protocol.active_connections < 1 then
+            Alcotest.fail "the stats connection must count as active";
+          if Protocol.pool_occupancy s <= 0. then
+            Alcotest.fail "pool occupancy must be positive";
+          (* The Prometheus exposition over the wire carries the per-command
+             counters and latency histograms. *)
+          let m = unwrap (Serve.Client.metrics c) in
+          let contains needle =
+            let hay = m.Protocol.prometheus in
+            let nh = String.length needle and nl = String.length hay in
+            let rec at i = i + nh <= nl
+              && (String.sub hay i nh = needle || at (i + 1)) in
+            if not (at 0) then
+              Alcotest.failf "metrics exposition lacks %S:\n%s" needle hay
+          in
+          contains "# TYPE contention_serve_requests_total counter";
+          contains "contention_serve_requests_total{cmd=\"estimate\"} 4";
+          contains "# TYPE contention_serve_request_seconds histogram";
+          contains "contention_serve_request_seconds_bucket{cmd=\"estimate\",le=\"+Inf\"} 4";
+          contains "contention_serve_request_seconds_count{cmd=\"estimate\"} 4";
+          contains "contention_serve_cache_hits_total 2";
+          contains "contention_serve_cache_misses_total 2";
+          contains "contention_serve_workers 2";
           (* A client shutdown request flips the flag the serve loop polls. *)
           if Serve.Server.shutdown_requested server then
             Alcotest.fail "shutdown flag set early";

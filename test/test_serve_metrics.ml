@@ -1,0 +1,76 @@
+(* Serve.Metrics percentile arithmetic, pinned deterministically.
+
+   The snapshot computes percentiles with Repro_stats.Stats.percentile
+   (linear interpolation at rank q/100 * (n-1)) over a 4096-entry ring of
+   the most recent latencies, so every expected value below is exact and
+   the checks use a tight epsilon. *)
+
+let eps = 1e-9
+
+let check = Fixtures.check_float ~eps
+
+let test_empty () =
+  let m = Serve.Metrics.create () in
+  let s = Serve.Metrics.snapshot m in
+  Alcotest.(check int) "no samples" 0 s.latency_samples;
+  check "mean" 0. s.latency_mean_us;
+  check "p50" 0. s.latency_p50_us;
+  check "p90" 0. s.latency_p90_us;
+  check "p99" 0. s.latency_p99_us;
+  check "max" 0. s.latency_max_us
+
+let test_single_sample () =
+  let m = Serve.Metrics.create () in
+  Serve.Metrics.record m ~cmd:"ping" ~latency_s:250e-6;
+  let s = Serve.Metrics.snapshot m in
+  Alcotest.(check int) "one sample" 1 s.latency_samples;
+  (* With a single sample every percentile is that sample. *)
+  check "mean" 250. s.latency_mean_us;
+  check "p50" 250. s.latency_p50_us;
+  check "p90" 250. s.latency_p90_us;
+  check "p99" 250. s.latency_p99_us;
+  check "max" 250. s.latency_max_us
+
+(* 1..1000 microseconds, in a shuffled order (percentiles must not depend
+   on arrival order): rank q/100 * 999 interpolates to
+   p50 = 500.5, p90 = 900.1, p99 = 990.01. *)
+let test_known_sequence () =
+  let m = Serve.Metrics.create () in
+  let order = Array.init 1000 (fun i -> i + 1) in
+  Sdfgen.Rng.shuffle (Sdfgen.Rng.create 42) order;
+  Array.iter
+    (fun i -> Serve.Metrics.record m ~cmd:"x" ~latency_s:(float_of_int i *. 1e-6))
+    order;
+  let s = Serve.Metrics.snapshot m in
+  Alcotest.(check int) "all recorded" 1000 s.latency_samples;
+  check "mean" 500.5 s.latency_mean_us;
+  check "p50" 500.5 s.latency_p50_us;
+  check "p90" 900.1 s.latency_p90_us;
+  check "p99" 990.01 s.latency_p99_us;
+  check "max" 1000. s.latency_max_us
+
+(* Overflow the 4096-entry reservoir with 5000 ascending samples: the ring
+   keeps the most recent 4096 (905..5000 us), so percentiles shift up while
+   mean, max and the sample counter still cover all 5000. *)
+let test_reservoir_cap () =
+  let m = Serve.Metrics.create () in
+  for i = 1 to 5000 do
+    Serve.Metrics.record m ~cmd:"x" ~latency_s:(float_of_int i *. 1e-6)
+  done;
+  let s = Serve.Metrics.snapshot m in
+  Alcotest.(check int) "counter is total, not ring size" 5000 s.latency_samples;
+  check "mean covers everything" 2500.5 s.latency_mean_us;
+  check "max survives eviction" 5000. s.latency_max_us;
+  (* Ring holds 905..5000: p50 rank = 0.5 * 4095 = 2047.5 between 2952 and
+     2953. *)
+  check "p50 over the retained window" 2952.5 s.latency_p50_us;
+  (* p99 rank = 0.99 * 4095 = 4054.05 between 4959 and 4960. *)
+  check "p99 over the retained window" 4959.05 s.latency_p99_us
+
+let suite =
+  [
+    Alcotest.test_case "empty snapshot" `Quick test_empty;
+    Alcotest.test_case "single sample" `Quick test_single_sample;
+    Alcotest.test_case "1..1000 pins p50/p90/p99" `Quick test_known_sequence;
+    Alcotest.test_case "reservoir cap" `Quick test_reservoir_cap;
+  ]
