@@ -618,6 +618,22 @@ let () =
   Serve.Server.stop server
 
 (* ------------------------------------------------------------------ *)
+(* Differential fuzzing throughput and accuracy                        *)
+
+let () =
+  section "CHECK";
+  let seeds = env_int "CONTENTION_CHECK_SEEDS" 200 in
+  print_endline
+    "Differential oracle campaign over random small workloads: every seed\n\
+     cross-checks estimators against the simulator, brute force and the\n\
+     metamorphic relations (see `contention check`)";
+  let r = Check.Fuzz.run ~seeds () in
+  print_string (Check.Report.render r);
+  Printf.printf "throughput: %.0f seeds/s (%d seeds in %.2f s)\n"
+    (float_of_int r.ran /. Float.max 1e-9 r.elapsed_s)
+    r.ran r.elapsed_s
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let nine_loads =

@@ -10,6 +10,7 @@
      inspect     periods, latency, buffer bounds and text export of one graph
      report      estimated vs simulated periods + processor utilisation
      sensitivity leave-one-out interference ranking
+     check       differential fuzzing: estimators vs simulator vs invariants
      serve       online resource-manager daemon (TCP / Unix socket)
      query       one-shot client for a running daemon
      stats       daemon statistics; --prometheus for a scrape-ready text *)
@@ -523,6 +524,87 @@ let serve_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* check                                                               *)
+
+let check_cmd =
+  let seeds_arg =
+    let doc = "Fuzz seeds to run (each is one generated workload)." in
+    Arg.(value & opt int 500 & info [ "seeds" ] ~docv:"N" ~doc)
+  in
+  let budget_arg =
+    let doc =
+      "Wall-clock budget in seconds; seeds not started before it expires are \
+       skipped (and reported as such)."
+    in
+    Arg.(value & opt (some float) None & info [ "budget" ] ~docv:"SECS" ~doc)
+  in
+  let corpus_arg =
+    let doc =
+      "Corpus directory: existing $(i,.case) files are replayed first (they \
+       pin previously fixed bugs and must pass), and any new shrunk \
+       counterexample is saved there."
+    in
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR" ~doc)
+  in
+  let wire_arg =
+    let doc = "Skip the wire-protocol fuzz of the serve daemon." in
+    Arg.(value & flag & info [ "no-wire" ] ~doc)
+  in
+  let run seeds jobs budget corpus no_wire trace =
+    with_trace trace (fun () ->
+        let failed = ref false in
+        (match corpus with
+        | None -> ()
+        | Some dir ->
+            let outcomes, errors = Check.Fuzz.replay ~dir () in
+            if outcomes <> [] || errors <> [] then begin
+              print_string (Check.Report.render_replay outcomes errors);
+              if
+                errors <> []
+                || List.exists
+                     (fun (_, (o : Check.Oracle.outcome)) ->
+                       o.violations <> [])
+                     outcomes
+              then failed := true
+            end);
+        let r = Check.Fuzz.run ?jobs ?budget_s:budget ~seeds () in
+        print_string (Check.Report.render r);
+        if not (Check.Fuzz.passed r) then failed := true;
+        (match corpus with
+        | None -> ()
+        | Some dir ->
+            List.iter
+              (fun f ->
+                let path = Check.Corpus.save ~dir (Check.Fuzz.to_corpus f) in
+                Printf.printf "saved counterexample to %s\n" path)
+              r.failures);
+        if not no_wire then begin
+          let w = Check.Wirefuzz.run ~seeds:(min seeds 200) () in
+          Printf.printf "\nwire fuzz: %d requests, %d violations\n" w.requests
+            (List.length w.violations);
+          List.iter
+            (fun (v : Check.Oracle.violation) ->
+              Printf.printf "  %s: %s\n" v.property v.detail)
+            w.violations;
+          if not (Check.Wirefuzz.passed w) then failed := true
+        end;
+        if !failed then exit 1)
+  in
+  let term =
+    Term.(
+      const run $ seeds_arg $ jobs_arg $ budget_arg $ corpus_arg $ wire_arg
+      $ trace_arg)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Differential validation: fuzz random workloads through every \
+          estimator, the simulator and the wire protocol, checking provable \
+          invariants; violations are shrunk to minimal reproducing specs and \
+          the accuracy of each estimator against simulation is reported")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* query / stats                                                       *)
 
 let print_stats (s : Serve.Protocol.stats_reply) =
@@ -705,5 +787,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; analyze_cmd; simulate_cmd; experiment_cmd; sweep_cmd;
-            export_cmd; inspect_cmd; report_cmd; sensitivity_cmd; serve_cmd;
-            query_cmd; stats_cmd ]))
+            export_cmd; inspect_cmd; report_cmd; sensitivity_cmd; check_cmd;
+            serve_cmd; query_cmd; stats_cmd ]))

@@ -1,0 +1,179 @@
+type app_spec = { actors : int; exec_scale : float }
+
+type spec = {
+  seed : int;
+  procs : int;
+  usecase : Contention.Usecase.t;
+  apps : app_spec array;
+}
+
+type t = { spec : spec; apps : Contention.Analysis.app array }
+
+let app_name i = String.make 1 (Char.chr (Char.code 'A' + (i mod 26)))
+
+let random ?(max_apps = 3) ?(max_actors = 5) ?(max_procs = 3) seed =
+  let rng = Sdfgen.Rng.create seed in
+  let napps = Sdfgen.Rng.int_in rng 1 max_apps in
+  let procs = Sdfgen.Rng.int_in rng 1 max_procs in
+  let apps =
+    Array.init napps (fun _ ->
+        { actors = Sdfgen.Rng.int_in rng 2 max_actors; exec_scale = 1.0 })
+  in
+  (* A random non-empty subset of the applications; the full use-case is the
+     most common draw because it exercises the most contention. *)
+  let usecase =
+    if napps = 1 || Sdfgen.Rng.bool rng then Contention.Usecase.full ~napps
+    else
+      let m = Sdfgen.Rng.int_in rng 1 ((1 lsl napps) - 1) in
+      m
+  in
+  { seed; procs; usecase; apps }
+
+let validate (spec : spec) =
+  let napps = Array.length spec.apps in
+  if napps = 0 then Error "spec has no applications"
+  else if napps > 26 then Error "spec has more than 26 applications"
+  else if spec.procs < 1 then Error "spec needs at least one processor"
+  else if spec.usecase <= 0 || spec.usecase >= 1 lsl napps then
+    Error
+      (Printf.sprintf "use-case %d out of range for %d applications"
+         spec.usecase napps)
+  else
+    let bad = ref None in
+    Array.iteri
+      (fun i a ->
+        if !bad = None && a.actors < 2 then
+          bad := Some (Printf.sprintf "app %d: fewer than 2 actors" i)
+        else if
+          !bad = None
+          && not (a.exec_scale > 0. && Float.is_finite a.exec_scale)
+        then bad := Some (Printf.sprintf "app %d: invalid exec_scale" i))
+      spec.apps;
+    match !bad with Some msg -> Error msg | None -> Ok ()
+
+(* Independent per-application RNG, so dropping or editing one app of a spec
+   leaves the other apps' materialization untouched — the property shrinking
+   relies on to make progress. *)
+let app_rng (spec : spec) i = Sdfgen.Rng.create ((spec.seed * 1_000_003) + i)
+
+let materialize_app (spec : spec) i =
+  let a = spec.apps.(i) in
+  let rng = app_rng spec i in
+  let params =
+    Sdfgen.Generator.fuzz_params ~actors_min:a.actors ~actors_max:a.actors rng
+  in
+  let g = Sdfgen.Generator.generate ~params rng ~name:(app_name i) in
+  let g =
+    if a.exec_scale = 1.0 then g
+    else
+      Sdf.Graph.with_exec_times g
+        (Array.map
+           (fun t -> Float.max 1.0 (Float.round (t *. a.exec_scale)))
+           (Sdf.Graph.exec_times g))
+  in
+  Contention.Analysis.app ~procs:spec.procs g
+    ~mapping:(Contention.Mapping.modulo ~procs:spec.procs g)
+
+let materialize spec =
+  match validate spec with
+  | Error _ as e -> e
+  | Ok () -> (
+      match
+        { spec; apps = Array.init (Array.length spec.apps) (materialize_app spec) }
+      with
+      | t -> Ok t
+      | exception Invalid_argument msg -> Error ("materialize: " ^ msg))
+
+let selected t =
+  List.map
+    (fun i -> t.apps.(i))
+    (Contention.Usecase.to_list t.spec.usecase)
+
+let sim_apps t =
+  Array.of_list
+    (List.map
+       (fun (a : Contention.Analysis.app) ->
+         { Desim.Engine.graph = a.graph; mapping = a.mapping })
+       (selected t))
+
+let active_actors t =
+  List.fold_left
+    (fun n (a : Contention.Analysis.app) -> n + Sdf.Graph.num_actors a.graph)
+    0 (selected t)
+
+let scale_exec t c =
+  match
+    Array.map
+      (fun (a : Contention.Analysis.app) ->
+        let g =
+          Sdf.Graph.with_exec_times a.graph
+            (Array.map (fun x -> x *. c) (Sdf.Graph.exec_times a.graph))
+        in
+        Contention.Analysis.app ~procs:t.spec.procs g ~mapping:a.mapping)
+      t.apps
+  with
+  | apps -> Ok { t with apps }
+  | exception Invalid_argument msg -> Error ("scale_exec: " ^ msg)
+
+let spec_to_line (spec : spec) =
+  Printf.sprintf "spec seed=%d procs=%d usecase=%d apps=%s" spec.seed
+    spec.procs spec.usecase
+    (String.concat ","
+       (Array.to_list
+          (Array.map
+             (fun a -> Printf.sprintf "%d:%g" a.actors a.exec_scale)
+             spec.apps)))
+
+let spec_of_line line =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "spec"; seed; procs; usecase; apps ] -> (
+      let field name s =
+        let prefix = name ^ "=" in
+        let n = String.length prefix in
+        if String.length s > n && String.sub s 0 n = prefix then
+          Ok (String.sub s n (String.length s - n))
+        else Error (Printf.sprintf "expected %s=..., got %S" name s)
+      in
+      let ( let* ) = Result.bind in
+      let int_field name s =
+        let* v = field name s in
+        match int_of_string_opt v with
+        | Some i -> Ok i
+        | None -> fail "%s is not an integer: %S" name v
+      in
+      let* seed = int_field "seed" seed in
+      let* procs = int_field "procs" procs in
+      let* usecase = int_field "usecase" usecase in
+      let* apps = field "apps" apps in
+      let* apps =
+        List.fold_left
+          (fun acc part ->
+            let* acc = acc in
+            match String.split_on_char ':' part with
+            | [ actors; scale ] -> (
+                match
+                  (int_of_string_opt actors, float_of_string_opt scale)
+                with
+                | Some actors, Some exec_scale ->
+                    Ok ({ actors; exec_scale } :: acc)
+                | _ -> fail "bad app entry %S" part)
+            | _ -> fail "bad app entry %S" part)
+          (Ok [])
+          (String.split_on_char ',' apps)
+      in
+      let spec =
+        { seed; procs; usecase; apps = Array.of_list (List.rev apps) }
+      in
+      let* () = validate spec in
+      Ok spec)
+  | _ -> fail "not a spec line: %S" line
+
+let describe t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (spec_to_line t.spec);
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (Sdf.Text.to_string_many
+       (List.map (fun (a : Contention.Analysis.app) -> a.graph) (selected t)));
+  Buffer.contents b

@@ -1,0 +1,70 @@
+(** Fuzz cases for the differential harness.
+
+    A case is described by a small {e genotype} ({!spec}): a master seed, a
+    processor count, one {!app_spec} per application and the use-case mask
+    under test.  Everything else — graph topology, rates, execution times —
+    is derived deterministically from the seed through {!Sdfgen}, so a spec
+    is a complete, replayable description of a counterexample.  Shrinking
+    ({!Shrink}) operates on specs, not on graphs: dropping an application,
+    lowering an actor count or halving execution times all stay inside the
+    generator's guarantees (strongly connected, consistent, live), so every
+    shrink candidate is a valid workload by construction. *)
+
+type app_spec = {
+  actors : int;  (** Actor count of this application; >= 2. *)
+  exec_scale : float;
+      (** Multiplier on the generated execution times (result rounded,
+          floored at 1.0); halved by the shrinker.  > 0. *)
+}
+
+type spec = {
+  seed : int;  (** Drives every random draw of the materialization. *)
+  procs : int;  (** Processors; actors map [id mod procs]. *)
+  usecase : Contention.Usecase.t;  (** Non-empty mask over [apps]. *)
+  apps : app_spec array;
+}
+
+type t = {
+  spec : spec;
+  apps : Contention.Analysis.app array;  (** One per [spec.apps] entry. *)
+}
+
+val random : ?max_apps:int -> ?max_actors:int -> ?max_procs:int -> int -> spec
+(** The fuzz genotype of a seed: 1–[max_apps] (default 3) applications of
+    2–[max_actors] (default 5) actors on 1–[max_procs] (default 3)
+    processors, a random non-empty use-case, unit execution scale.  Small on
+    purpose — oracle runs must be cheap and counterexamples readable. *)
+
+val materialize : spec -> (t, string) result
+(** Build the applications: per app, generation parameters are drawn with
+    {!Sdfgen.Generator.fuzz_params} and the graph with
+    {!Sdfgen.Generator.generate}, both from an RNG derived from
+    [(seed, app index)]; execution times are then scaled by [exec_scale].
+    Pure function of the spec.  [Error] on an invalid spec (bad counts,
+    empty or out-of-range use-case), never an exception. *)
+
+val selected : t -> Contention.Analysis.app list
+(** The applications active in [spec.usecase], ascending by index. *)
+
+val sim_apps : t -> Desim.Engine.app array
+(** The same subset as simulator inputs. *)
+
+val active_actors : t -> int
+(** Total actor count over the active applications — the size measure of the
+    shrink goal ("a <= 3-actor reproducing workload"). *)
+
+val scale_exec : t -> float -> (t, string) result
+(** The same case with every active execution time multiplied by the given
+    factor (exactly — no rounding), for the time-scaling metamorphic check.
+    [Error] if a scaled time would be invalid. *)
+
+val spec_to_line : spec -> string
+(** One-line serialization, e.g.
+    [spec seed=42 procs=2 usecase=3 apps=3:1,2:0.5]. *)
+
+val spec_of_line : string -> (spec, string) result
+(** Parse {!spec_to_line} output.  Total. *)
+
+val describe : t -> string
+(** Human-readable dump: the spec line plus every active graph in the
+    {!Sdf.Text} format — what goes into corpus files as a comment. *)

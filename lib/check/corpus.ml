@@ -1,0 +1,114 @@
+type entry = { property : string; detail : string; spec : Case.spec }
+
+(* Comment out every line of a multi-line string (details may embed
+   backtraces; graphs are multi-line by nature). *)
+let commented prefix s =
+  String.split_on_char '\n' s
+  |> List.map (fun l -> if l = "" then "#" else "# " ^ l)
+  |> String.concat "\n" |> fun body -> prefix ^ body
+
+let to_string e =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "# contention-check case v1\n";
+  Buffer.add_string b (Printf.sprintf "# property: %s\n" e.property);
+  Buffer.add_string b (commented "# detail:\n" e.detail);
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Case.spec_to_line e.spec);
+  Buffer.add_char b '\n';
+  (match Case.materialize e.spec with
+  | Ok t ->
+      Buffer.add_string b (commented "# materialized:\n" (Case.describe t));
+      Buffer.add_char b '\n'
+  | Error _ -> ());
+  Buffer.contents b
+
+let of_string s =
+  let property = ref "unknown" and detail = ref [] and spec = ref None in
+  let err = ref None in
+  let in_detail = ref false in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if !err <> None then ()
+      else if String.length line > 0 && line.[0] = '#' then begin
+        let body = String.trim (String.sub line 1 (String.length line - 1)) in
+        if String.length body >= 9 && String.sub body 0 9 = "property:" then begin
+          property := String.trim (String.sub body 9 (String.length body - 9));
+          in_detail := false
+        end
+        else if body = "detail:" then in_detail := true
+        else if String.length body >= 12 && String.sub body 0 12 = "materialized"
+        then in_detail := false
+        else if !in_detail then detail := body :: !detail
+      end
+      else if line <> "" then
+        match Case.spec_of_line line with
+        | Ok sp -> spec := Some sp
+        | Error msg -> err := Some msg)
+    (String.split_on_char '\n' s);
+  match (!err, !spec) with
+  | Some msg, _ -> Error msg
+  | None, None -> Error "no spec line in case file"
+  | None, Some spec ->
+      Ok
+        {
+          property = !property;
+          detail = String.concat "\n" (List.rev !detail);
+          spec;
+        }
+
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '-')
+    s
+
+let filename e =
+  (* A small FNV-1a over the spec line keeps names stable across runs
+     without pulling in a hash dependency. *)
+  let h = ref 0x2ce484222325 in
+  String.iter
+    (fun c ->
+      h := (!h lxor Char.code c) * 0x100000001b3)
+    (Case.spec_to_line e.spec);
+  Printf.sprintf "%s-%012x.case" (sanitize e.property)
+    (!h land 0xffffffffffff)
+
+let save ~dir e =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let path = Filename.concat dir (filename e) in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string e));
+  path
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_file path =
+  match read_all path with
+  | s -> of_string s
+  | exception Sys_error msg -> Error msg
+
+let load_dir dir =
+  if not (Sys.file_exists dir) then ([], [])
+  else
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".case")
+      |> List.sort compare
+      |> List.map (Filename.concat dir)
+    in
+    List.fold_left
+      (fun (ok, bad) path ->
+        match load_file path with
+        | Ok e -> ((path, e) :: ok, bad)
+        | Error msg -> (ok, (path, msg) :: bad))
+      ([], []) files
+    |> fun (ok, bad) -> (List.rev ok, List.rev bad)

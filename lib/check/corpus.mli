@@ -1,0 +1,47 @@
+(** On-disk corpus of shrunk counterexamples.
+
+    Every failure the fuzzer finds is minimized and saved as a [.case] file
+    under a corpus directory ([test/corpus/] in this repository).  The files
+    are self-contained and human-readable — a comment header with the
+    violated property and evidence, the one-line {!Case.spec}, and the
+    materialized graphs for the reader — and the test suite replays every
+    file on each [dune runtest], so a once-found bug permanently guards the
+    code that used to have it. *)
+
+type entry = {
+  property : string;  (** The violated property (first violation). *)
+  detail : string;  (** Its evidence line. *)
+  spec : Case.spec;  (** The shrunk reproducing spec. *)
+}
+
+val to_string : entry -> string
+(** The [.case] file format:
+    {v
+    # contention-check case v1
+    # property: order-sandwich
+    # detail: ...
+    spec seed=7 procs=2 usecase=1 apps=2:1
+    # graph "A"
+    # ...
+    v}
+    Everything but the [spec] line is a comment; the materialized graphs are
+    included (commented) when the spec still materializes. *)
+
+val of_string : string -> (entry, string) result
+(** Parse {!to_string} output; unknown comment lines are ignored, so the
+    format can grow fields without invalidating old corpora. *)
+
+val filename : entry -> string
+(** Deterministic name, [<property>-<spec hash>.case], safe for any
+    filesystem. *)
+
+val save : dir:string -> entry -> string
+(** Write the entry under its {!filename} into [dir] (created if missing);
+    returns the full path.  Idempotent: the same entry overwrites itself. *)
+
+val load_file : string -> (entry, string) result
+
+val load_dir : string -> (string * entry) list * (string * string) list
+(** All [.case] files of a directory (sorted by name): parsed entries and
+    [(path, error)] for files that failed to parse.  A missing directory is
+    an empty corpus. *)

@@ -1,0 +1,161 @@
+type failure = {
+  seed : int;
+  property : string;
+  detail : string;
+  spec : Case.spec;
+  shrunk : Case.spec;
+  shrunk_actors : int;
+}
+
+type accuracy = {
+  estimator : string;
+  samples : int;
+  mean_err : float;
+  max_err : float;
+}
+
+type result = {
+  seeds : int;
+  ran : int;
+  skipped : int;
+  failures : failure list;
+  accuracy : accuracy list;
+  elapsed_s : float;
+}
+
+let passed r = r.failures = []
+
+let materialize_property = "materialize"
+
+let still_fails ?config ~property spec =
+  match Case.materialize spec with
+  | Error _ -> property = materialize_property
+  | Ok t ->
+      property <> materialize_property
+      && List.exists
+           (fun (v : Oracle.violation) -> v.property = property)
+           (Oracle.check ?config t).violations
+
+let check_seed ?config seed =
+  let spec = Case.random seed in
+  match Case.materialize spec with
+  | Error msg ->
+      {
+        Oracle.violations =
+          [ { property = materialize_property; detail = msg } ];
+        errors = [];
+      }
+  | Ok t -> Oracle.check ?config t
+
+type seed_outcome =
+  | Skipped
+  | Clean of (string * float) list
+  | Failed of failure
+
+let seeds_total = Obs.Metric.Counter.v "check_seeds_total"
+let violations_total = Obs.Metric.Counter.v "check_violations_total"
+let shrink_steps = Obs.Metric.Counter.v "check_shrink_attempts_total"
+
+let run_seed ?config ~max_shrink_attempts seed =
+  Obs.Span.with_ ~name:"check.seed"
+    ~args:(fun () -> [ ("seed", string_of_int seed) ])
+    (fun () ->
+      Obs.Metric.Counter.inc seeds_total;
+      let spec = Case.random seed in
+      let outcome = check_seed ?config seed in
+      match outcome.Oracle.violations with
+      | [] -> Clean outcome.Oracle.errors
+      | { property; detail } :: _ ->
+          Obs.Metric.Counter.inc violations_total;
+          let attempts = ref 0 in
+          let shrunk =
+            Shrink.minimize ~max_attempts:max_shrink_attempts
+              ~still_fails:(fun s ->
+                incr attempts;
+                still_fails ?config ~property s)
+              spec
+          in
+          Obs.Metric.Counter.inc ~by:(float_of_int !attempts) shrink_steps;
+          let shrunk_actors =
+            match Case.materialize shrunk with
+            | Ok t -> Case.active_actors t
+            | Error _ -> 0
+          in
+          Failed { seed; property; detail; spec; shrunk; shrunk_actors })
+
+let merge_accuracy outcomes =
+  let accs =
+    List.map
+      (fun (name, _) -> (name, Repro_stats.Stats.accumulator ()))
+      Oracle.estimators
+  in
+  List.iter
+    (function
+      | Clean errors ->
+          List.iter
+            (fun (name, err) ->
+              match List.assoc_opt name accs with
+              | Some acc -> Repro_stats.Stats.add acc err
+              | None -> ())
+            errors
+      | Skipped | Failed _ -> ())
+    outcomes;
+  List.map
+    (fun (name, acc) ->
+      let samples = Repro_stats.Stats.count acc in
+      {
+        estimator = name;
+        samples;
+        mean_err = (if samples = 0 then nan else Repro_stats.Stats.acc_mean acc);
+        max_err = (if samples = 0 then nan else Repro_stats.Stats.acc_max acc);
+      })
+    accs
+
+let run ?config ?jobs ?budget_s ?(max_shrink_attempts = 200) ?(start_seed = 0)
+    ~seeds () =
+  if seeds < 0 then invalid_arg "Check.Fuzz.run: negative seed count";
+  let t0 = Unix.gettimeofday () in
+  let deadline =
+    match budget_s with None -> infinity | Some b -> t0 +. b
+  in
+  let outcomes =
+    Exp.Pool.map_range ?jobs seeds (fun i ->
+        if Unix.gettimeofday () > deadline then Skipped
+        else run_seed ?config ~max_shrink_attempts (start_seed + i))
+    |> Array.to_list
+  in
+  let ran =
+    List.length (List.filter (function Skipped -> false | _ -> true) outcomes)
+  in
+  let failures =
+    List.filter_map (function Failed f -> Some f | _ -> None) outcomes
+  in
+  {
+    seeds;
+    ran;
+    skipped = seeds - ran;
+    failures;
+    accuracy = merge_accuracy outcomes;
+    elapsed_s = Unix.gettimeofday () -. t0;
+  }
+
+let to_corpus f =
+  { Corpus.property = f.property; detail = f.detail; spec = f.shrunk }
+
+let replay ?config ~dir () =
+  let entries, errors = Corpus.load_dir dir in
+  ( List.map
+      (fun (path, (e : Corpus.entry)) ->
+        let outcome =
+          match Case.materialize e.spec with
+          | Error msg ->
+              {
+                Oracle.violations =
+                  [ { property = materialize_property; detail = msg } ];
+                errors = [];
+              }
+          | Ok t -> Oracle.check ?config t
+        in
+        (path, outcome))
+      entries,
+    errors )

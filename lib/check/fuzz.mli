@@ -1,0 +1,73 @@
+(** The fuzz campaign driver: seed streams in, shrunk counterexamples out.
+
+    Each seed deterministically yields a {!Case.spec} ({!Case.random}), which
+    is materialized and run through the full {!Oracle.check}.  A violating
+    seed is minimized with {!Shrink} against the predicate "the same property
+    still fires" and reported as a {!failure}; clean seeds contribute their
+    estimator errors to the aggregate accuracy table.  Seeds are independent,
+    so the campaign fans out over an {!Exp.Pool} of domains, with results
+    merged back in seed order — the outcome is a pure function of
+    [(start_seed, seeds, config)], regardless of [jobs].
+
+    A wall-clock budget turns the campaign into a best-effort sweep: tasks
+    that start after the deadline are skipped (and counted), which keeps the
+    pool drain prompt without killing domains mid-oracle. *)
+
+type failure = {
+  seed : int;  (** The seed that produced the violation. *)
+  property : string;  (** First violated property of that seed. *)
+  detail : string;  (** Its evidence. *)
+  spec : Case.spec;  (** The original (unshrunk) spec. *)
+  shrunk : Case.spec;  (** Locally minimal spec still violating [property]. *)
+  shrunk_actors : int;  (** Active actors of the shrunk case. *)
+}
+
+type accuracy = {
+  estimator : string;
+  samples : int;  (** (use-case, application) pairs measured. *)
+  mean_err : float;  (** Mean |estimate - simulated| / simulated, in %. *)
+  max_err : float;
+}
+
+type result = {
+  seeds : int;
+  ran : int;
+  skipped : int;  (** Seeds dropped by the budget. *)
+  failures : failure list;  (** Ascending by seed. *)
+  accuracy : accuracy list;  (** In {!Oracle.estimators} order. *)
+  elapsed_s : float;
+}
+
+val passed : result -> bool
+(** No failures {e and} nothing was skipped-because-crashed: skipped seeds
+    are fine (budget), failures are not. *)
+
+val still_fails : ?config:Oracle.config -> property:string -> Case.spec -> bool
+(** The shrink predicate: the spec materializes and {!Oracle.check} reports
+    at least one violation of [property].  Total. *)
+
+val check_seed : ?config:Oracle.config -> int -> Oracle.outcome
+(** One seed end to end, without shrinking — the unit the campaign runs in
+    parallel.  A spec that fails to materialize is a ["materialize"]
+    violation. *)
+
+val run :
+  ?config:Oracle.config ->
+  ?jobs:int ->
+  ?budget_s:float ->
+  ?max_shrink_attempts:int ->
+  ?start_seed:int ->
+  seeds:int ->
+  unit ->
+  result
+(** Run the campaign.  [jobs] defaults to {!Exp.Pool.default_jobs};
+    [budget_s] to unlimited; [start_seed] to 0.  Emits [check_*] counters to
+    {!Obs.Metric.default} and a span per seed when tracing is enabled. *)
+
+val to_corpus : failure -> Corpus.entry
+(** The corpus entry of a failure (shrunk spec + property + detail). *)
+
+val replay : ?config:Oracle.config -> dir:string -> unit -> (string * Oracle.outcome) list * (string * string) list
+(** Re-check every corpus entry: [(path, outcome)] for entries that parsed
+    (a corpus case documents a {e fixed} bug, so its outcome must be clean)
+    and [(path, error)] for files that did not. *)

@@ -1,0 +1,130 @@
+module Prob = Contention.Prob
+
+type violation = { property : string; detail : string }
+
+let violation property fmt = Printf.ksprintf (fun detail -> { property; detail }) fmt
+
+(* Relative closeness with an absolute floor: kernel outputs are sums of
+   [mu * p] products, so values far below any load's mu are pure rounding. *)
+let close ?(tol = 1e-9) a b =
+  Float.abs (a -. b) <= tol *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let kernels =
+  [
+    ("wc", Contention.Wcrt.waiting_time);
+    ("order-2", Contention.Approx.second_order);
+    ("order-4", Contention.Approx.fourth_order);
+    ("exact", Contention.Exact.waiting_time);
+  ]
+
+let permutation_invariance rng loads =
+  let arr = Array.of_list loads in
+  Sdfgen.Rng.shuffle rng arr;
+  let shuffled = Array.to_list arr in
+  let sym =
+    List.filter_map
+      (fun (name, kernel) ->
+        let w = kernel loads and w' = kernel shuffled in
+        if close w w' then None
+        else
+          Some
+            (violation "meta-permutation" "%s: %.17g reordered to %.17g" name
+               w w'))
+      kernels
+  in
+  (* The ⊗ fold is associative only to second order, so the composability
+     waiting product is genuinely order-dependent — only the ⊕ probability
+     component is exactly symmetric (Eq. 6). *)
+  let module C = Contention.Compose in
+  let agg l = C.combine_all (List.map C.of_load l) in
+  let p = (agg loads).C.p and p' = (agg shuffled).C.p in
+  if close p p' then sym
+  else
+    violation "meta-permutation" "comp ⊕: %.17g reordered to %.17g" p p'
+    :: sym
+
+let scale_load c (l : Prob.t) =
+  Prob.make ~p:l.p ~mu:(l.mu *. c) ~tau:(l.tau *. c)
+
+let time_scaling rng loads =
+  let c = 0.5 +. Sdfgen.Rng.float rng 7.5 in
+  let scaled = List.map (scale_load c) loads in
+  List.filter_map
+    (fun (name, kernel) ->
+      let w = kernel loads and w' = kernel scaled in
+      if close (w *. c) w' then None
+      else
+        Some
+          (violation "meta-scaling"
+             "%s: scaling blocking times by %g took W from %.17g to %.17g, \
+              expected %.17g"
+             name c w w' (w *. c)))
+    (kernels @ [ ("comp", Contention.Compose.waiting_time) ])
+
+let monotone_kernels =
+  (* Order 4 truncates after a negative term and is not monotone in added
+     contenders in general, so it is excluded here (its bounds are checked
+     against the exact series in the oracle instead). *)
+  [
+    ("wc", Contention.Wcrt.waiting_time);
+    ("order-2", Contention.Approx.second_order);
+    ("exact", Contention.Exact.waiting_time);
+    ("comp", Contention.Compose.waiting_time);
+  ]
+
+let monotonicity rng loads =
+  let tau = 1. +. Sdfgen.Rng.float rng 99. in
+  let extra =
+    Prob.make ~p:(0.05 +. Sdfgen.Rng.float rng 0.9) ~mu:(tau /. 2.) ~tau
+  in
+  List.filter_map
+    (fun (name, kernel) ->
+      let w = kernel loads and w' = kernel (loads @ [ extra ]) in
+      if w' >= w -. 1e-12 then None
+      else
+        Some
+          (violation "meta-monotonicity"
+             "%s: adding a contender (p=%g tau=%g) decreased W from %.17g to \
+              %.17g"
+             name extra.p extra.tau w w'))
+    monotone_kernels
+
+let compose_roundtrip loads =
+  let module C = Contention.Compose in
+  (* ⊗ is not associative beyond second order, so ⊖ only inverts the LAST
+     ⊕/⊗ application (the compose.mli contract): build the aggregate with
+     the probed load combined last, then remove it. *)
+  List.concat
+    (List.mapi
+       (fun i (l : Prob.t) ->
+         if l.p > 0.999 then
+           (* Near-saturated load: the ⊖ inverse divides by (1 - p) and
+              loses all precision; the paper notes the inverse does not
+              exist at p = 1, so skip rather than report numerics as
+              violations. *)
+           []
+         else
+           let others =
+             List.filteri (fun j _ -> j <> i) loads
+             |> List.map C.of_load |> C.combine_all
+           in
+           let total = C.combine others (C.of_load l) in
+           let recovered = C.remove ~total (C.of_load l) in
+           if
+             close ~tol:1e-6 recovered.C.p others.C.p
+             && close ~tol:1e-6 recovered.C.w others.C.w
+           then []
+           else
+             [
+               violation "meta-compose-roundtrip"
+                 "removing load %d (p=%g): recovered (p=%.17g w=%.17g), \
+                  direct (p=%.17g w=%.17g)"
+                 i l.p recovered.C.p recovered.C.w others.C.p others.C.w;
+             ])
+       loads)
+
+let all rng loads =
+  permutation_invariance rng loads
+  @ time_scaling rng loads
+  @ monotonicity rng loads
+  @ compose_roundtrip loads

@@ -1,0 +1,39 @@
+(** Metamorphic relations on the waiting-time kernels.
+
+    Where the differential oracle ({!Oracle}) compares estimators against a
+    reference value, the checks here compare each kernel {e against itself}
+    under input transformations whose effect on the output is known exactly
+    from the paper's formulae:
+
+    - {e permutation}: Eq. 4, its truncations, the worst case and the ⊕/⊗
+      fold describe sets of co-mapped actors, so the inflicted waiting time
+      must not depend on the order loads are listed in;
+    - {e time scaling}: multiplying every [mu] and [tau] by [c] (keeping the
+      dimensionless probabilities fixed) multiplies every waiting time by [c]
+      — Eq. 4 is linear in the blocking times;
+    - {e monotonicity}: adding one more contender can only increase the
+      expected wait (for the kernels where this holds exactly: worst case,
+      exact, order 2, composability);
+    - {e ⊕/⊖ round-trip}: removing a load from an aggregate with the Eq. 8–9
+      inverses recovers the aggregate of the remaining loads.
+
+    Each check returns the list of violated properties (empty = pass) and
+    never raises; the RNG drives the transformation parameters and is the
+    only source of variation between calls on the same loads. *)
+
+type violation = {
+  property : string;  (** Stable machine-readable name, e.g. ["meta-scaling"]. *)
+  detail : string;  (** Human-readable evidence: values, operands, deltas. *)
+}
+
+val permutation_invariance :
+  Sdfgen.Rng.t -> Contention.Prob.t list -> violation list
+
+val time_scaling : Sdfgen.Rng.t -> Contention.Prob.t list -> violation list
+
+val monotonicity : Sdfgen.Rng.t -> Contention.Prob.t list -> violation list
+
+val compose_roundtrip : Contention.Prob.t list -> violation list
+
+val all : Sdfgen.Rng.t -> Contention.Prob.t list -> violation list
+(** Every relation above, concatenated. *)

@@ -1,0 +1,94 @@
+(** The differential oracle: every property a materialized case must satisfy.
+
+    For one {!Case.t} the oracle cross-checks the estimator stack at three
+    levels, using mathematically provable relations rather than golden
+    values, so any reported violation is a real bug (or a tolerance to
+    justify), not drift:
+
+    {e Isolation periods} — the three independent throughput engines
+    (self-timed state space, HSDF + maximum cycle ratio, max-plus
+    eigenvalue) must agree on every application graph.
+
+    {e Waiting-time kernels} — per actor, against the co-mapped loads:
+    - Eq. 4 equals the exponential brute-force enumeration (≤ 6 contenders);
+    - the truncation sandwich: order 2 ≥ order 4 ≥ exact ≥ order 5 ≥ order 3
+      (even truncations over-estimate, odd under-estimate — Section 4.1);
+    - a truncation of order ≥ n is the exact value (the symmetric
+      polynomials of higher degree vanish);
+    - the worst case dominates the exact expectation
+      ([E(wait|S) = (2|S|-1)/|S| · Σ μ ≤ 2 Σ μ] for every subset);
+    - composability stays within a configurable envelope of exact;
+    - the {!Metamorphic} relations.
+
+    {e Periods under contention} — per use-case:
+    - every estimate is finite, positive, and at least the isolation period;
+    - the kernel ordering transfers to periods (cycle ratios are monotone in
+      execution times): wc ≥ order 2 ≥ order 4 ≥ exact;
+    - the simulated average period lies between isolation and the worst-case
+      bound (within [sim_tolerance], covering finite-window wobble);
+    - doubling every execution time doubles isolation and estimated periods;
+    - the simulator produced enough iterations to measure at all (a [nan]
+      average period is itself a violation).
+
+    As a by-product the oracle reports each estimator's percentage error
+    against the simulated period — the fuzz campaign aggregates these into
+    the accuracy table that mirrors the paper's Table 1. *)
+
+type violation = Metamorphic.violation = {
+  property : string;
+  detail : string;
+}
+
+type config = {
+  sim_tolerance : float;
+      (** Relative slack on simulator-vs-bound comparisons (finite horizon,
+          warm-up placement).  Default 0.02. *)
+  comp_envelope : float;
+      (** Maximum relative deviation of the composability kernel from the
+          exact series.  ⊗ matches Eq. 4 to second order only and
+          over-estimates increasingly under saturation (up to ~1.3× exact
+          observed on generated workloads), so this is an empirical
+          regression envelope, not a theorem; default 2.  Tight {e provable}
+          bounds on the fold — between the plain waiting-product sum and
+          that sum times 1.5^(n-1) — are always checked separately. *)
+  horizon_iterations : float;
+      (** Simulation horizon as a multiple of the largest worst-case period,
+          so even the slowest application completes well over the 20 warm-up
+          iterations.  Default 50. *)
+  scaling_factor : float;
+      (** Execution-time multiplier of the case-level scaling check.
+          Default 2 (keeps integer times integral). *)
+}
+
+val default_config : config
+
+type outcome = {
+  violations : violation list;
+  errors : (string * float) list;
+      (** One [(estimator name, |estimate - simulated| / simulated * 100)]
+          entry per estimator and active application; empty when the
+          simulation itself was flagged. *)
+}
+
+val passed : outcome -> bool
+
+val estimators : (string * Contention.Analysis.estimator) list
+(** The checked estimators with their report names, most conservative
+    first: wc, order-2, order-4, comp, exact. *)
+
+val check_kernel :
+  ?config:config ->
+  ?exact:(Contention.Prob.t list -> float) ->
+  Sdfgen.Rng.t ->
+  Contention.Prob.t list ->
+  violation list
+(** The per-actor kernel checks against one list of co-mapped loads.
+    [exact] substitutes the reference implementation of Eq. 4 — the hook the
+    tests use to prove the oracle catches an injected estimator bug (e.g. a
+    dropped [(-1)^(j+1)] sign) without patching the library. *)
+
+val check : ?config:config -> Case.t -> outcome
+(** Run every level on a case.  Deterministic: the metamorphic RNG is seeded
+    from the case spec.  Never raises — an escaped exception (the crash
+    detector for NaN/∞ guards, Invalid_argument, stack overflow) is reported
+    as a ["crash"] violation with its backtrace. *)

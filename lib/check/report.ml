@@ -1,0 +1,70 @@
+let first_line s =
+  match String.index_opt s '\n' with
+  | None -> s
+  | Some i -> String.sub s 0 i ^ " ..."
+
+let render (r : Fuzz.result) =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b
+    "contention check: %d seed%s (%d ran, %d skipped by budget) in %.1f s\n"
+    r.seeds
+    (if r.seeds = 1 then "" else "s")
+    r.ran r.skipped r.elapsed_s;
+  let measured =
+    List.filter (fun (a : Fuzz.accuracy) -> a.samples > 0) r.accuracy
+  in
+  if measured <> [] then begin
+    Buffer.add_string b
+      "\naccuracy vs simulation (abs % error of the estimated period)\n";
+    Buffer.add_string b
+      (Repro_stats.Table.render
+         ~header:[ "estimator"; "samples"; "mean"; "max" ]
+         (List.map
+            (fun (a : Fuzz.accuracy) ->
+              [
+                a.estimator;
+                string_of_int a.samples;
+                Repro_stats.Table.float_cell ~decimals:2 a.mean_err;
+                Repro_stats.Table.float_cell ~decimals:2 a.max_err;
+              ])
+            measured))
+  end;
+  (match r.failures with
+  | [] -> Buffer.add_string b "\nviolations: none\n"
+  | failures ->
+      Printf.bprintf b "\nviolations: %d\n" (List.length failures);
+      List.iter
+        (fun (f : Fuzz.failure) ->
+          Printf.bprintf b "\n  seed %d: %s\n    %s\n" f.seed f.property
+            (first_line f.detail);
+          Printf.bprintf b "    original: %s\n"
+            (Case.spec_to_line f.spec);
+          Printf.bprintf b "    shrunk:   %s  (%d active actors)\n"
+            (Case.spec_to_line f.shrunk)
+            f.shrunk_actors)
+        failures);
+  Buffer.contents b
+
+let render_replay outcomes errors =
+  let b = Buffer.create 256 in
+  let failed = ref 0 in
+  List.iter
+    (fun (path, (o : Oracle.outcome)) ->
+      match o.violations with
+      | [] -> Printf.bprintf b "  pass  %s\n" (Filename.basename path)
+      | vs ->
+          incr failed;
+          Printf.bprintf b "  FAIL  %s: %s\n" (Filename.basename path)
+            (String.concat ", "
+               (List.map (fun (v : Oracle.violation) -> v.property) vs)))
+    outcomes;
+  List.iter
+    (fun (path, msg) ->
+      incr failed;
+      Printf.bprintf b "  UNREADABLE  %s: %s\n" (Filename.basename path) msg)
+    errors;
+  Printf.bprintf b "corpus replay: %d case%s, %d failing\n"
+    (List.length outcomes + List.length errors)
+    (if List.length outcomes + List.length errors = 1 then "" else "s")
+    !failed;
+  Buffer.contents b

@@ -1,0 +1,12 @@
+(** Plain-text rendering of a fuzz campaign's outcome. *)
+
+val render : Fuzz.result -> string
+(** Campaign summary: totals, the per-estimator accuracy table (mean and
+    worst percentage error against the simulated period — same shape as the
+    paper's Table 1, measured over random workloads instead of the case
+    study), and one block per failure with the shrunk reproducing spec. *)
+
+val render_replay :
+  (string * Oracle.outcome) list -> (string * string) list -> string
+(** Summary of a corpus replay: per file, pass / the violated properties /
+    the parse error. *)

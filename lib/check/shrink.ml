@@ -1,0 +1,78 @@
+(* Clear bit [k] and shift the higher bits down — the use-case mask after
+   deleting application [k]. *)
+let drop_bit mask k =
+  let low = mask land ((1 lsl k) - 1) in
+  let high = (mask lsr (k + 1)) lsl k in
+  low lor high
+
+let drop_app (spec : Case.spec) k =
+  let napps = Array.length spec.apps in
+  if napps <= 1 then None
+  else
+    let usecase = drop_bit spec.usecase k in
+    if usecase = 0 then None
+    else
+      let apps =
+        Array.init (napps - 1) (fun i ->
+            spec.apps.(if i < k then i else i + 1))
+      in
+      Some { spec with usecase; apps }
+
+let with_app (spec : Case.spec) k app =
+  let apps = Array.copy spec.apps in
+  apps.(k) <- app;
+  { spec with apps }
+
+(* Candidates in decreasing payoff order; lazy so adopting an early one
+   skips generating (and evaluating) the rest of the pass. *)
+let candidates (spec : Case.spec) =
+  let napps = Array.length spec.apps in
+  let drops = List.init napps (fun k -> lazy (drop_app spec k)) in
+  let actor_cuts =
+    List.concat
+      (List.init napps (fun k ->
+           let a = spec.apps.(k) in
+           if a.actors <= 2 then []
+           else
+             let floor_ =
+               lazy (Some (with_app spec k { a with actors = 2 }))
+             in
+             let step =
+               lazy (Some (with_app spec k { a with actors = a.actors - 1 }))
+             in
+             if a.actors = 3 then [ step ] else [ floor_; step ]))
+  in
+  let halvings =
+    List.concat
+      (List.init napps (fun k ->
+           let a = spec.apps.(k) in
+           if a.exec_scale <= 1. /. 64. then []
+           else
+             [
+               lazy
+                 (Some
+                    (with_app spec k
+                       { a with exec_scale = a.exec_scale /. 2. }));
+             ]))
+  in
+  drops @ actor_cuts @ halvings
+
+let minimize ?(max_attempts = 200) ~still_fails spec =
+  let attempts = ref 0 in
+  let rec pass spec =
+    let rec try_candidates = function
+      | [] -> spec
+      | c :: rest -> (
+          match Lazy.force c with
+          | None -> try_candidates rest
+          | Some candidate ->
+              if !attempts >= max_attempts then spec
+              else begin
+                incr attempts;
+                if still_fails candidate then pass candidate
+                else try_candidates rest
+              end)
+    in
+    try_candidates (candidates spec)
+  in
+  pass spec

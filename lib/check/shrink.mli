@@ -1,0 +1,28 @@
+(** Greedy minimization of failing specs.
+
+    Shrinking happens in genotype space ({!Case.spec}), so every candidate
+    re-materializes through the generator and is a well-formed workload by
+    construction.  Candidates are tried in decreasing order of payoff:
+
+    + drop a whole application (compacting the use-case mask);
+    + reduce an application's actor count — first straight to the floor of
+      2, then one by one;
+    + halve an application's execution-time scale (down to 1/64).
+
+    Whenever a candidate still fails it is adopted and the pass restarts;
+    the result is a local minimum: no single step above keeps it failing.
+    Each candidate costs one [still_fails] evaluation (typically a full
+    {!Oracle.check}), so the total work is capped by [max_attempts]. *)
+
+val minimize :
+  ?max_attempts:int ->
+  still_fails:(Case.spec -> bool) ->
+  Case.spec ->
+  Case.spec
+(** [minimize ~still_fails spec] assumes [still_fails spec = true] (it is
+    not re-checked) and returns a spec on which [still_fails] returned
+    [true], every single shrink step of which passed — or the input itself
+    if nothing shrank.  [max_attempts] (default 200) bounds the number of
+    [still_fails] calls.  [still_fails] must be total: candidates that fail
+    to materialize should return [false] (see {!Fuzz} for the standard
+    predicate). *)

@@ -1,0 +1,251 @@
+module Rng = Sdfgen.Rng
+
+type result = {
+  requests : int;
+  violations : Metamorphic.violation list;
+}
+
+let passed r = r.violations = []
+
+let violation property fmt =
+  Printf.ksprintf
+    (fun detail -> { Metamorphic.property; detail })
+    fmt
+
+let printable = "abcdefghijklmnopqrstuvwxyz0123456789{}[]\",:.+-eE\\/ "
+
+let random_bytes rng len =
+  (* '\n' excluded: over a socket it would merely split the frame, and
+     handle_line is specified per line. *)
+  String.init len (fun _ ->
+      let c = Char.chr (Rng.int rng 256) in
+      if c = '\n' then 'x' else c)
+
+let random_printable rng len =
+  String.init len (fun _ -> printable.[Rng.int rng (String.length printable)])
+
+let deep_array depth =
+  String.concat "" (List.init depth (fun _ -> "["))
+  ^ "1"
+  ^ String.concat "" (List.init depth (fun _ -> "]"))
+
+let deep_object depth =
+  String.concat "" (List.init depth (fun _ -> {|{"a":|}))
+  ^ "1"
+  ^ String.concat "" (List.init depth (fun _ -> "}"))
+
+let scalars =
+  [|
+    "1e999"; "-1e999"; "-0.0"; "99999999999999999999999999";
+    "0.00000000000000000001"; "null"; "true"; "false"; "[]"; "{}"; "42";
+    {|"cmd"|}; {|{"cmd": 42}|}; {|{"cmd": null}|}; {|{"cmd": ""}|};
+    {|{"cmd": "estimate"}|}; {|{"cmd": "upload"}|};
+    {|{"cmd": "admit", "session": 3}|};
+    {|{"cmd": "estimate", "digest": "nope", "estimator": "bogus"}|};
+    {|{"cmd": "release", "app": []}|}; {|[{"cmd": "ping"}]|};
+    {|{"cmd": "ping", "extra": {"deep": [1, [2, [3]]]}}|};
+    "\xff\xfe\x00garbage"; "{"; "}"; {|{"cmd": "ping"|}; {|"unterminated|};
+  |]
+
+(* Valid requests to mutate or truncate.  Shutdown is deliberately absent:
+   a fuzz line must never be able to request an orderly shutdown, or the
+   liveness probe would report a false crash. *)
+let template rng =
+  let open Serve.Protocol in
+  let reqs =
+    [|
+      Ping;
+      Stats;
+      Metrics;
+      Upload { payload = "graph \"A\"\nactor a0 10\nactor a1 5\n" };
+      Estimate
+        {
+          digest = "0123456789abcdef";
+          usecase = (if Rng.bool rng then None else Some [ "A"; "B" ]);
+          estimator = Contention.Analysis.Exact;
+        };
+      Admit
+        {
+          session = "s";
+          digest = "0123456789abcdef";
+          app = "A";
+          min_throughput = 0.25;
+        };
+      Release { session = "s"; app = "A" };
+    |]
+  in
+  Serve.Json.to_string (request_to_json reqs.(Rng.int rng (Array.length reqs)))
+
+let mutate rng s =
+  let b = Bytes.of_string s in
+  let flips = 1 + Rng.int rng 4 in
+  for _ = 1 to flips do
+    let i = Rng.int rng (Bytes.length b) in
+    let c = Char.chr (Rng.int rng 256) in
+    Bytes.set b i (if c = '\n' then 'x' else c)
+  done;
+  Bytes.to_string b
+
+let fuzz_line rng =
+  match Rng.int rng 9 with
+  | 0 -> random_bytes rng (Rng.int rng 300)
+  | 1 -> random_printable rng (Rng.int rng 200)
+  | 2 -> deep_array (8 + Rng.int rng 1992)
+  | 3 -> deep_object (8 + Rng.int rng 1992)
+  | 4 -> Rng.pick rng scalars
+  | 5 -> mutate rng (template rng)
+  | 6 ->
+      let s = template rng in
+      String.sub s 0 (Rng.int rng (String.length s))
+  | 7 -> {|{"cmd": "upload", "payload": "|} ^ random_printable rng 50 ^ {|"}|}
+  | _ -> "\"" ^ String.make (Rng.int rng 5000) 'a' ^ "\\u0000\""
+
+let ping_line = {|{"cmd": "ping"}|}
+
+let check_reply acc ~input reply =
+  match Serve.Json.of_string reply with
+  | Error msg ->
+      violation "wire-unparseable-reply" "input %S got non-JSON reply %S: %s"
+        input reply msg
+      :: acc
+  | Ok json -> (
+      match Serve.Protocol.unwrap_reply json with
+      | Ok _ | Error _ -> acc)
+
+let fuzz_lines ?(seeds = 200) server =
+  let rng = Rng.create 0x3117 in
+  let acc = ref [] in
+  let requests = ref 0 in
+  for i = 0 to seeds - 1 do
+    let line = fuzz_line rng in
+    incr requests;
+    (match Serve.Server.handle_line server line with
+    | reply -> acc := check_reply !acc ~input:line reply
+    | exception e ->
+        acc :=
+          violation "wire-crash" "handle_line raised %s on input %S (step %d)"
+            (Printexc.to_string e) line i
+          :: !acc);
+    (* The next well-formed request must be unaffected by whatever the
+       garbage did. *)
+    if i mod 25 = 24 then begin
+      incr requests;
+      match Serve.Server.handle_line server ping_line with
+      | reply -> (
+          match Serve.Json.of_string reply with
+          | Ok json when Serve.Protocol.unwrap_reply json |> Result.is_ok ->
+              ()
+          | _ ->
+              acc :=
+                violation "wire-state-poisoned"
+                  "ping after fuzz step %d got %S" i reply
+                :: !acc)
+      | exception e ->
+          acc :=
+            violation "wire-crash" "ping after fuzz step %d raised %s" i
+              (Printexc.to_string e)
+            :: !acc
+    end
+  done;
+  { requests = !requests; violations = List.rev !acc }
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          (* The server closed first (e.g. over-length frame): that is an
+             acceptable reaction to garbage, not a violation. *)
+          ()
+  in
+  go 0
+
+let fuzz_sockets ?(seeds = 32) ~host ~port () =
+  let rng = Rng.create 0x50c7 in
+  let acc = ref [] in
+  let requests = ref 0 in
+  for i = 0 to seeds - 1 do
+    incr requests;
+    match
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd
+            (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+          match i mod 4 with
+          | 0 ->
+              (* Junk lines, properly framed. *)
+              write_all fd (fuzz_line rng ^ "\n" ^ fuzz_line rng ^ "\n")
+          | 1 ->
+              (* Truncated frame: bytes but no newline, then hard close. *)
+              write_all fd (random_bytes rng (1 + Rng.int rng 100))
+          | 2 ->
+              (* Over-length line: exceeds the server's frame limit. *)
+              write_all fd (String.make 100_000 'a' ^ "\n")
+          | _ ->
+              (* Immediate disconnect. *)
+              ())
+    with
+    | () -> ()
+    | exception e ->
+        acc :=
+          violation "wire-socket" "connection %d: %s" i (Printexc.to_string e)
+          :: !acc
+  done;
+  (* Liveness: a clean client session must still work. *)
+  incr requests;
+  (match Serve.Client.connect ~host ~port () with
+  | Error msg ->
+      acc := violation "wire-dead" "connect after fuzzing: %s" msg :: !acc
+  | Ok client ->
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close client)
+        (fun () ->
+          match Serve.Client.ping client with
+          | Ok () -> ()
+          | Error msg ->
+              acc :=
+                violation "wire-dead" "ping after fuzzing: %s" msg :: !acc));
+  { requests = !requests; violations = List.rev !acc }
+
+let run ?(seeds = 200) () =
+  let config =
+    {
+      Serve.Server.default_config with
+      port = Some 0;
+      jobs = Some 2;
+      cache_capacity = 8;
+      max_line = 4096;
+    }
+  in
+  match Serve.Server.start ~config () with
+  | exception e ->
+      {
+        requests = 0;
+        violations =
+          [ violation "wire-crash" "server start: %s" (Printexc.to_string e) ];
+      }
+  | server ->
+      Fun.protect
+        ~finally:(fun () -> Serve.Server.stop server)
+        (fun () ->
+          let in_process = fuzz_lines ~seeds server in
+          let socket =
+            match Serve.Server.tcp_port server with
+            | None ->
+                {
+                  requests = 0;
+                  violations =
+                    [ violation "wire-socket" "server has no TCP port" ];
+                }
+            | Some port ->
+                fuzz_sockets ~seeds:(max 8 (seeds / 8)) ~host:"127.0.0.1"
+                  ~port ()
+          in
+          {
+            requests = in_process.requests + socket.requests;
+            violations = in_process.violations @ socket.violations;
+          })

@@ -28,6 +28,21 @@ let map_range ?jobs n f =
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
+    (* Keep the failure of the lowest task index.  A bare "first CAS wins"
+       races between domains, so which exception the caller sees would depend
+       on scheduling; ordering by index makes the propagated exception a
+       deterministic function of the tasks themselves (the one the sequential
+       loop would have raised first among those that ran). *)
+    let record_failure i e bt =
+      let rec go () =
+        match Atomic.get failure with
+        | Some (j, _, _) when j <= i -> ()
+        | cur ->
+            if not (Atomic.compare_and_set failure cur (Some (i, e, bt))) then
+              go ()
+      in
+      go ()
+    in
     let worker () =
       (* One span per worker lifetime: task spans fill the busy stretches
          of the domain's track, the gaps between them are idle time. *)
@@ -36,22 +51,26 @@ let map_range ?jobs n f =
         (fun () ->
           let continue = ref true in
           while !continue do
-            let i = Atomic.fetch_and_add next 1 in
-            if i >= n || Atomic.get failure <> None then continue := false
+            (* Check the flag before claiming, never after: a claimed index
+               always runs.  Index 0 is claimed before any failure can have
+               been recorded, so when every task raises, the caller
+               deterministically sees task 0's exception. *)
+            if Atomic.get failure <> None then continue := false
             else
-              match task i with
-              | v -> results.(i) <- Some v
-              | exception e ->
-                  let bt = Printexc.get_raw_backtrace () in
-                  (* Keep the first observed failure; later ones lose the race.
-                     The flag also stops idle workers from claiming new tasks. *)
-                  ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+              let i = Atomic.fetch_and_add next 1 in
+              if i >= n then continue := false
+              else
+                match task i with
+                | v -> results.(i) <- Some v
+                | exception e ->
+                    let bt = Printexc.get_raw_backtrace () in
+                    record_failure i e bt
           done)
     in
     let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
     Array.iter Domain.join domains;
     match Atomic.get failure with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
     | None ->
         Array.map
           (function Some v -> v | None -> assert false (* every index claimed *))

@@ -9,7 +9,10 @@
       use-cases) balance automatically;
     - {e exception propagation}: a task that raises stops the pool from
       claiming further work, and the exception is re-raised (with its
-      backtrace) on the calling domain after all workers have joined.
+      backtrace) on the calling domain after all workers have joined.  When
+      several tasks raise, the one with the {e lowest task index} wins — the
+      exception the sequential loop would have raised first among the tasks
+      that ran — so failure reports do not depend on domain scheduling.
 
     Tasks must be thread-safe with respect to each other: they run
     concurrently on separate domains and must not share mutable state
@@ -28,7 +31,8 @@ val map_range : ?jobs:int -> int -> (int -> 'a) -> 'a array
     [jobs = 1] (or [n <= 1]) everything runs sequentially on the calling
     domain, spawning nothing.  [n = 0] returns [[||]] without spawning.
     @raise Invalid_argument if [n] is negative or [jobs < 1];
-    re-raises the first exception observed in a worker. *)
+    re-raises the lowest-index worker exception with its original
+    backtrace. *)
 
 val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map_range} over the elements of a list, preserving order. *)

@@ -1,3 +1,14 @@
+(* Backslashes and double quotes would otherwise terminate the DOT string
+   early; graphviz understands the usual backslash escapes. *)
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      (match c with '"' | '\\' -> Buffer.add_char buf '\\' | _ -> ());
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let to_dot (g : Graph.t) =
   let buf = Buffer.create 512 in
   Buffer.add_string buf (Printf.sprintf "digraph %S {\n" g.name);
@@ -5,7 +16,8 @@ let to_dot (g : Graph.t) =
   Array.iter
     (fun (a : Graph.actor) ->
       Buffer.add_string buf
-        (Printf.sprintf "  a%d [label=\"%s\\n(%g)\"];\n" a.id a.name a.exec_time))
+        (Printf.sprintf "  a%d [label=\"%s\\n(%g)\"];\n" a.id (escape a.name)
+           a.exec_time))
     g.actors;
   Array.iter
     (fun (c : Graph.channel) ->

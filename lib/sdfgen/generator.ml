@@ -100,6 +100,19 @@ let generate ?(params = default_params) rng ~name =
   assert (Sdf.Repetition.is_consistent g);
   g
 
+let fuzz_params ?(actors_min = 2) ?(actors_max = 6) rng =
+  if actors_min < 2 || actors_max < actors_min then
+    invalid_arg "Sdfgen.Generator.fuzz_params: invalid actor count bounds";
+  let exec_min = Rng.int_in rng 1 10 in
+  {
+    actors_min;
+    actors_max;
+    exec_min;
+    exec_max = Rng.int_in rng exec_min (exec_min + 99);
+    repetition_max = Rng.int_in rng 1 4;
+    extra_channels = Rng.int_in rng 0 4;
+  }
+
 let generate_many ?params ~seed count =
   let rng = Rng.create seed in
   Array.init count (fun i ->

@@ -30,6 +30,15 @@ val default_params : params
     channels — mimicking the paper's "random SDFGs that mimic DSP or
     multimedia applications". *)
 
+val fuzz_params : ?actors_min:int -> ?actors_max:int -> Rng.t -> params
+(** A randomly drawn parameter set — the fuzzing hook of the {!Check}
+    differential harness.  Execution-time range, repetition bound and extra
+    channel count are sampled from [rng] (deterministically), so a fuzz seed
+    explores the generator's parameter space as well as its graph space.
+    The actor-count bounds are taken as given (default [2]–[6]: small graphs
+    keep oracle runs fast and shrunk counterexamples readable).
+    @raise Invalid_argument if [actors_min < 2] or [actors_max < actors_min]. *)
+
 val generate : ?params:params -> Rng.t -> name:string -> Sdf.Graph.t
 (** A fresh random graph drawn from [params].  Deterministic given the
     generator state.  Guaranteed strongly connected, consistent and live. *)

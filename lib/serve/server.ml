@@ -333,6 +333,50 @@ let cmd_name = function
 (* ------------------------------------------------------------------ *)
 (* Connection handling                                                 *)
 
+(* One request line through the full parse-and-dispatch path, returning the
+   reply line.  Shared by the connection workers and exposed as the
+   in-process fuzzing entry ({!Check.Wirefuzz}): whatever bytes come in, the
+   result is a serialized reply envelope, never an exception. *)
+let handle_line t line =
+  let t0 = Obs.Clock.now_ns () in
+  let cmd, reply =
+    match Json.of_string line with
+    | Error msg ->
+        ("invalid", Protocol.error (Printf.sprintf "bad frame: %s" msg))
+    | Ok json -> (
+        match Protocol.request_of_json json with
+        | Error msg ->
+            ("invalid", Protocol.error (Printf.sprintf "bad request: %s" msg))
+        | Ok request -> (
+            let cmd = cmd_name request in
+            match
+              Obs.Span.with_ ~name:("serve." ^ cmd)
+                ~args:(fun () -> [ ("cmd", cmd) ])
+                (fun () -> dispatch t request)
+            with
+            | reply -> (cmd, reply)
+            | exception e ->
+                (* A dispatch bug must never take the daemon down with
+                   the connection. *)
+                ( cmd,
+                  Protocol.error
+                    (Printf.sprintf "internal error: %s"
+                       (Printexc.to_string e)) )))
+  in
+  let reply_line = Json.to_string reply in
+  let latency_s = Obs.Clock.elapsed_s ~since:t0 in
+  Metrics.record t.metrics ~cmd ~latency_s;
+  Obs.Metric.Counter.inc
+    (Obs.Metric.Counter.v ~registry:t.registry
+       ~help:"Requests served, by command." ~labels:[ ("cmd", cmd) ]
+       "contention_serve_requests_total");
+  Obs.Metric.Histogram.observe
+    (Obs.Metric.Histogram.v ~registry:t.registry
+       ~help:"Request latency in seconds, by command."
+       ~labels:[ ("cmd", cmd) ] "contention_serve_request_seconds")
+    latency_s;
+  reply_line
+
 let handle_connection t fd =
   Metrics.incr_connections t.metrics;
   let reader = Wire.reader ~max_line:t.config.max_line fd in
@@ -346,43 +390,7 @@ let handle_connection t fd =
           (Json.to_string (Protocol.error "request line too long"))
     | Wire.Line "" -> serve ()
     | Wire.Line line ->
-        let t0 = Obs.Clock.now_ns () in
-        let cmd, reply =
-          match Json.of_string line with
-          | Error msg ->
-              ("invalid", Protocol.error (Printf.sprintf "bad frame: %s" msg))
-          | Ok json -> (
-              match Protocol.request_of_json json with
-              | Error msg ->
-                  ("invalid", Protocol.error (Printf.sprintf "bad request: %s" msg))
-              | Ok request -> (
-                  let cmd = cmd_name request in
-                  match
-                    Obs.Span.with_ ~name:("serve." ^ cmd)
-                      ~args:(fun () -> [ ("cmd", cmd) ])
-                      (fun () -> dispatch t request)
-                  with
-                  | reply -> (cmd, reply)
-                  | exception e ->
-                      (* A dispatch bug must never take the daemon down with
-                         the connection. *)
-                      ( cmd,
-                        Protocol.error
-                          (Printf.sprintf "internal error: %s"
-                             (Printexc.to_string e)) )))
-        in
-        Wire.write_line fd (Json.to_string reply);
-        let latency_s = Obs.Clock.elapsed_s ~since:t0 in
-        Metrics.record t.metrics ~cmd ~latency_s;
-        Obs.Metric.Counter.inc
-          (Obs.Metric.Counter.v ~registry:t.registry
-             ~help:"Requests served, by command." ~labels:[ ("cmd", cmd) ]
-             "contention_serve_requests_total");
-        Obs.Metric.Histogram.observe
-          (Obs.Metric.Histogram.v ~registry:t.registry
-             ~help:"Request latency in seconds, by command."
-             ~labels:[ ("cmd", cmd) ] "contention_serve_request_seconds")
-          latency_s;
+        Wire.write_line fd (handle_line t line);
         serve ()
   in
   (match serve () with

@@ -46,6 +46,14 @@ val shutdown_requested : t -> bool
 (** True once a client issued the [shutdown] command; the owner of the
     handle is expected to react by calling {!stop}. *)
 
+val handle_line : t -> string -> string
+(** One request line through the exact parse-and-dispatch path a connection
+    worker uses, returning the serialized reply line (no trailing newline).
+    Total: malformed JSON, unknown commands and dispatch exceptions all come
+    back as [{"error": ...}] envelopes.  This is the in-process fuzzing entry
+    used by {!Check.Wirefuzz} — arbitrary bytes in, one JSON reply out,
+    never an exception. *)
+
 val metrics_registry : t -> Obs.Metric.registry
 (** The server's own metric registry — per-command request counters and
     latency histograms, cache hit/miss counters, pool gauges.  This is what

@@ -1,0 +1,85 @@
+(* DOT export: the format is consumed by Graphviz in documentation builds,
+   so the exact bytes are pinned on a fixed fixture — label syntax, escaping
+   and token annotations are all load-bearing. *)
+
+let golden_a =
+  "digraph \"A\" {\n\
+  \  rankdir=LR;\n\
+  \  node [shape=circle];\n\
+  \  a0 [label=\"a0\\n(100)\"];\n\
+  \  a1 [label=\"a1\\n(50)\"];\n\
+  \  a2 [label=\"a2\\n(100)\"];\n\
+  \  a0 -> a1 [label=\"2/1\"];\n\
+  \  a1 -> a2 [label=\"1/2\"];\n\
+  \  a2 -> a0 [label=\"1/1 [1]\"];\n\
+   }\n"
+
+let test_golden_graph_a () =
+  Alcotest.(check string)
+    "exact DOT bytes" golden_a
+    (Sdf.Dot.to_dot (Fixtures.graph_a ()))
+
+let test_token_label_only_when_present () =
+  (* Channels without initial tokens must not carry a token annotation;
+     the self-loop fixture has one token and must show it. *)
+  let dot = Sdf.Dot.to_dot (Fixtures.single ~tau:7. ()) in
+  if not (Fixtures.contains ~affix:"a0 -> a0 [label=\"1/1 [1]\"]" dot) then
+    Alcotest.failf "self-loop token missing in %s" dot;
+  let dot_a = Sdf.Dot.to_dot (Fixtures.graph_a ()) in
+  if Fixtures.contains ~affix:"2/1 [" dot_a then
+    Alcotest.fail "token annotation on a token-free channel"
+
+let test_structure_parse_back () =
+  (* Sanity parse of our own output: one node line per actor, one edge line
+     per channel, braces balanced — enough to catch quoting regressions on
+     arbitrary generated graphs, not just the fixture. *)
+  let g =
+    Sdfgen.Generator.generate
+      ~params:
+        {
+          Sdfgen.Generator.default_params with
+          actors_min = 5;
+          actors_max = 8;
+        }
+      (Sdfgen.Rng.create 11) ~name:"odd \"name\""
+  in
+  let dot = Sdf.Dot.to_dot g in
+  let lines = String.split_on_char '\n' dot in
+  let count pred = List.length (List.filter pred lines) in
+  let is_edge l = Fixtures.contains ~affix:" -> " l in
+  let is_node l = Fixtures.contains ~affix:"[label=\"" l && not (is_edge l) in
+  Alcotest.(check int) "node lines" (Sdf.Graph.num_actors g) (count is_node);
+  Alcotest.(check int) "edge lines" (Sdf.Graph.num_channels g) (count is_edge);
+  Alcotest.(check bool) "quoted graph name" true
+    (Fixtures.contains ~affix:"digraph \"odd \\\"name\\\"\"" dot);
+  (* Actor names inherit the graph name; the quote must be escaped inside
+     the label too, or the attribute terminates early. *)
+  Alcotest.(check bool) "quoted actor label" true
+    (Fixtures.contains ~affix:"[label=\"odd \\\"name\\\"0" dot);
+  Alcotest.(check bool) "closing brace" true
+    (Fixtures.contains ~affix:"}\n" dot)
+
+let test_write_file () =
+  let path = Filename.temp_file "dot_test" ".dot" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let g = Fixtures.graph_a () in
+      Sdf.Dot.write_file path g;
+      let ic = open_in_bin path in
+      let contents =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Alcotest.(check string) "file contents = to_dot" (Sdf.Dot.to_dot g) contents)
+
+let suite =
+  [
+    Alcotest.test_case "golden DOT for Figure 2 graph A" `Quick test_golden_graph_a;
+    Alcotest.test_case "token labels only where tokens exist" `Quick
+      test_token_label_only_when_present;
+    Alcotest.test_case "structural parse-back on a generated graph" `Quick
+      test_structure_parse_back;
+    Alcotest.test_case "write_file round-trip" `Quick test_write_file;
+  ]

@@ -55,6 +55,34 @@ let test_exception_propagates () =
         Alcotest.failf "jobs=%d: unexpected exception %s" jobs (Printexc.to_string e)
   done
 
+let test_first_exception_deterministic () =
+  (* When several tasks raise, the caller must always see the lowest-index
+     failure with its payload intact — not whichever worker won the CAS
+     race.  Every task raising makes index 0 the unique correct answer;
+     repeat to give scheduling a chance to expose nondeterminism. *)
+  Printexc.record_backtrace true;
+  for _ = 1 to 25 do
+    for jobs = 2 to 4 do
+      match Exp.Pool.map_range ~jobs 64 (fun i -> raise (Boom i)) with
+      | _ -> Alcotest.failf "jobs=%d: exception swallowed" jobs
+      | exception Boom 0 -> ()
+      | exception Boom i ->
+          Alcotest.failf "jobs=%d: propagated task %d, not the first" jobs i
+      | exception e ->
+          Alcotest.failf "jobs=%d: unexpected exception %s" jobs
+            (Printexc.to_string e)
+    done
+  done;
+  (* The re-raise must carry the worker's backtrace, not a fresh one from
+     the joining code: the trace names this test's raising function. *)
+  let deep_raise i = raise (Boom i) in
+  (match Exp.Pool.map_range ~jobs:2 8 (fun i -> deep_raise i + 1) with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Boom 0 ->
+      let bt = Printexc.get_backtrace () in
+      if String.length bt = 0 then
+        Alcotest.fail "backtrace lost across the domain join")
+
 let test_exception_stops_claiming () =
   (* After the failure flag is set, workers stop pulling work, so strictly
      fewer than n tasks run.  The stop is guaranteed only eventually (the
@@ -93,6 +121,8 @@ let suite =
     Alcotest.test_case "more jobs than items" `Quick test_more_jobs_than_items;
     Alcotest.test_case "invalid jobs" `Quick test_invalid_jobs;
     Alcotest.test_case "worker exception re-raised" `Quick test_exception_propagates;
+    Alcotest.test_case "lowest-index exception wins deterministically" `Quick
+      test_first_exception_deterministic;
     Alcotest.test_case "failure stops the queue" `Quick test_exception_stops_claiming;
     Alcotest.test_case "map_list" `Quick test_map_list;
     Alcotest.test_case "default_jobs positive" `Quick test_default_jobs_positive;
