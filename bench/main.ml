@@ -18,7 +18,14 @@
      TDMA                the preemptive TDMA worst-case baseline ([3])
      EXPLORE             estimator-in-the-loop mapping search
      SERVE               request throughput of the in-process serve daemon
+     ESTIMATOR           batched kernel engine vs the list-based reference
      MICRO   Bechamel OLS estimates for kernels and full-path operations
+
+   Flags:
+     --quick       run only the trajectory sections (SWEEP, ESTIMATOR, SERVE,
+                   CHECK) — what CI's bench-smoke job measures
+     --json FILE   write the machine-readable trajectory (schema
+                   "contention-bench/1", see EXPERIMENTS.md) to FILE
 
    Environment knobs:
      CONTENTION_SEED      workload seed            (default 2007)
@@ -30,7 +37,9 @@
                           domain count - 1; the TIMING section also re-runs
                           the sweep sequentially to report the speedup)
      CONTENTION_TRACE     write a Chrome/Perfetto trace of the whole run to
-                          this file (spans recording is off otherwise) *)
+                          this file (spans recording is off otherwise)
+     CONTENTION_REV       revision label stamped into the --json output
+                          (default "dev") *)
 
 open Bechamel
 
@@ -46,6 +55,26 @@ let num_apps = env_int "CONTENTION_APPS" 10
 let quota = env_float "CONTENTION_QUOTA" 0.5
 let trace_file = Sys.getenv_opt "CONTENTION_TRACE"
 let () = if trace_file <> None then Obs.Span.set_enabled true
+
+(* No cmdliner in the bench — two flags do not justify the dependency. *)
+let quick, json_path =
+  let quick = ref false and json = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--json" :: path :: rest ->
+        json := Some path;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "bench: unknown argument %s (expected --quick, --json FILE)\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (!quick, !json)
+
+let full = not quick
 
 (* All wall-clock deltas below come from the monotonic clock: the bench can
    run for a long time and an NTP step must not bend a timing row. *)
@@ -63,8 +92,10 @@ let workload = Exp.Workload.make ~seed ~num_apps ~procs:10 ()
 (* Figure 5                                                            *)
 
 let () =
-  section "FIG5";
-  print_string (Exp.Figures.render_fig5 (Exp.Figures.fig5 ~horizon workload))
+  if full then begin
+    section "FIG5";
+    print_string (Exp.Figures.render_fig5 (Exp.Figures.fig5 ~horizon workload))
+  end
 
 (* ------------------------------------------------------------------ *)
 (* The sweep behind Table 1 and Figure 6                               *)
@@ -99,7 +130,19 @@ let sweep, parallel_wall_s =
   let s = Exp.Sweep.run ~horizon ~usecases:sweep_usecases ~progress ~jobs workload in
   (s, elapsed_s t0)
 
+let sweep_json =
+  let n = List.length sweep_usecases in
+  Serve.Json.Obj
+    [
+      ("usecases", Serve.Json.Num (float_of_int n));
+      ("jobs", Serve.Json.Num (float_of_int jobs));
+      ("wall_s", Serve.Json.Num parallel_wall_s);
+      ( "usecases_per_s",
+        Serve.Json.Num (float_of_int n /. Float.max 1e-9 parallel_wall_s) );
+    ]
+
 let () =
+  if full then begin
   section "TABLE1";
   print_string (Exp.Figures.render_table1 (Exp.Figures.table1 sweep));
   section "FIG6";
@@ -122,6 +165,114 @@ let () =
      \  parallel sweep speedup               : %.2fx\n"
     sequential_wall_s jobs parallel_wall_s
     (sequential_wall_s /. Float.max 1e-9 parallel_wall_s)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The estimator kernel: batched zero-allocation engine vs reference   *)
+
+let estimator_json =
+  section "ESTIMATOR";
+  print_endline
+    "Batched kernel engine (Analysis.estimate_periods_into) against the\n\
+     list-based reference (Analysis.estimate_prepared_reference): whole-sweep\n\
+     passes over every use-case of the workload, per estimator";
+  let caches = Array.map Contention.Analysis.prepare workload.apps in
+  let prepared = Contention.Analysis.prepare_workload ~caches workload.apps in
+  let ucs = Array.of_list (Contention.Usecase.all ~napps:num_apps) in
+  let n_ucs = Array.length ucs in
+  let pairs =
+    Array.map
+      (fun uc ->
+        List.map
+          (fun i -> (workload.apps.(i), caches.(i)))
+          (Contention.Usecase.to_list uc))
+      ucs
+  in
+  let ws = Contention.Analysis.workspace () in
+  let out = Array.make num_apps 0. in
+  let kernel_pass est =
+    for u = 0 to n_ucs - 1 do
+      ignore
+        (Contention.Analysis.estimate_periods_into ws est prepared
+           ~usecase:ucs.(u) ~out)
+    done
+  in
+  let reference_pass est =
+    for u = 0 to n_ucs - 1 do
+      ignore (Contention.Analysis.estimate_prepared_reference est pairs.(u))
+    done
+  in
+  (* Adaptive repetition: one warm pass, then enough timed whole-sweep passes
+     to cover ~0.2 s, so the per-use-case figure is stable on both the 1023
+     use-cases of the full workload and CI's handful. *)
+  let seconds_per_usecase f =
+    f ();
+    let t0 = Obs.Clock.now_ns () in
+    f ();
+    let once = elapsed_s t0 in
+    let reps = Int.max 1 (int_of_float (0.2 /. Float.max 1e-6 once)) in
+    let t0 = Obs.Clock.now_ns () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    elapsed_s t0 /. float_of_int (reps * n_ucs)
+  in
+  let rows = ref [] and per_est = ref [] and speedups = ref [] in
+  List.iter
+    (fun est ->
+      let kernel_s = seconds_per_usecase (fun () -> kernel_pass est) in
+      let reference_s = seconds_per_usecase (fun () -> reference_pass est) in
+      let speedup = reference_s /. Float.max 1e-12 kernel_s in
+      speedups := speedup :: !speedups;
+      let name = Contention.Analysis.estimator_name est in
+      rows :=
+        [
+          name;
+          Printf.sprintf "%.1f" (kernel_s *. 1e6);
+          Printf.sprintf "%.1f" (reference_s *. 1e6);
+          Printf.sprintf "%.2fx" speedup;
+        ]
+        :: !rows;
+      per_est :=
+        Serve.Json.Obj
+          [
+            ("name", Serve.Json.Str name);
+            ("kernel_ns_per_usecase", Serve.Json.Num (kernel_s *. 1e9));
+            ("reference_ns_per_usecase", Serve.Json.Num (reference_s *. 1e9));
+            ( "kernel_usecases_per_s",
+              Serve.Json.Num (1. /. Float.max 1e-12 kernel_s) );
+            ("speedup", Serve.Json.Num speedup);
+          ]
+        :: !per_est)
+    Contention.Analysis.all_paper_estimators;
+  print_string
+    (Repro_stats.Table.render
+       ~header:[ "Estimator"; "Kernel us/uc"; "Reference us/uc"; "Speedup" ]
+       (List.rev !rows));
+  (* Allocation on the warm kernel path, from the GC's own counters.  The
+     only allocation inside the measured window is Gc.minor_words boxing its
+     float return — a constant few words independent of the pass count. *)
+  let alloc_est = Contention.Analysis.Order 2 in
+  kernel_pass alloc_est;
+  let alloc_passes = 10 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to alloc_passes do
+    kernel_pass alloc_est
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  let words_per_uc = dw /. float_of_int (alloc_passes * n_ucs) in
+  let mean_speedup = Repro_stats.Stats.mean !speedups in
+  Printf.printf
+    "\nwarm kernel allocation: %.3f minor words/use-case (%d use-cases)\n\
+     mean speedup over the reference path: %.2fx\n"
+    words_per_uc n_ucs mean_speedup;
+  Serve.Json.Obj
+    [
+      ("usecases", Serve.Json.Num (float_of_int n_ucs));
+      ("per_estimator", Serve.Json.Arr (List.rev !per_est));
+      ("kernel_minor_words_per_usecase", Serve.Json.Num words_per_uc);
+      ("mean_speedup", Serve.Json.Num mean_speedup);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: order of the Equation 5 truncation                        *)
@@ -130,21 +281,25 @@ let full_usecase = Contention.Usecase.full ~napps:num_apps
 let full_apps = Exp.Workload.analysis_apps workload full_usecase
 
 let simulated_full =
-  let results, _ =
-    Desim.Engine.run ~horizon ~procs:workload.procs
-      (Exp.Workload.sim_apps workload full_usecase)
-  in
-  Array.map (fun r -> r.Desim.Engine.avg_period) results
+  (* Lazy: only the full-run ablation sections force this simulation. *)
+  lazy
+    (let results, _ =
+       Desim.Engine.run ~horizon ~procs:workload.procs
+         (Exp.Workload.sim_apps workload full_usecase)
+     in
+     Array.map (fun r -> r.Desim.Engine.avg_period) results)
 
 let mean_err estimated =
+  let simulated = Lazy.force simulated_full in
   Repro_stats.Stats.mean
     (List.mapi
-       (fun i p -> Repro_stats.Stats.abs_pct_error ~reference:simulated_full.(i) p)
+       (fun i p -> Repro_stats.Stats.abs_pct_error ~reference:simulated.(i) p)
        estimated)
 
 let periods est = List.map (fun (r : Contention.Analysis.estimate) -> r.period) (Contention.Analysis.estimate est full_apps)
 
 let () =
+  if full then begin
   section "ABLATION-ORDER";
   print_endline
     "Mean abs % period error on the maximum-contention use-case, by truncation order";
@@ -164,11 +319,13 @@ let () =
   in
   print_string
     (Repro_stats.Table.render ~header:[ "Estimator"; "Err (%)"; "Time (ms)" ] rows)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: single pass vs fixed-point refinement                     *)
 
 let () =
+  if full then begin
   section "ABLATION-ITERATION";
   print_endline "Fixed-point refinement of blocking probabilities (Order 2)";
   let rows =
@@ -183,11 +340,13 @@ let () =
       [ 1; 2; 3; 5 ]
   in
   print_string (Repro_stats.Table.render ~header:[ "Iterations"; "Err (%)" ] rows)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: period computation backends                               *)
 
 let () =
+  if full then begin
   section "ABLATION-ENGINE";
   print_endline "Period backend parity on the workload graphs";
   let rows =
@@ -208,11 +367,13 @@ let () =
     (Repro_stats.Table.render
        ~header:[ "App"; "Statespace"; "HSDF/MCM"; "Exact rational"; "Abs diff" ]
        rows)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: variable execution times (Section 6 extension)            *)
 
 let () =
+  if full then begin
   section "ABLATION-STOCHASTIC";
   print_endline
     "Estimate vs stochastic simulation as execution-time spread grows\n\
@@ -270,11 +431,13 @@ let () =
     (Repro_stats.Table.render
        ~header:[ "Spread"; "Estimated"; "Simulated (95% CI)"; "Err (%)" ]
        rows)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: run-time calibration (Section 6)                          *)
 
 let () =
+  if full then begin
   section "ABLATION-CALIBRATION";
   print_endline
     "Re-estimating with measured (simulated) periods as the probability\n\
@@ -285,7 +448,8 @@ let () =
      admission control, where a NEW application is estimated against the\n\
      currently measured system (see Contention.Admission).";
   let measured =
-    List.mapi (fun i a -> (a, simulated_full.(i))) full_apps
+    let simulated = Lazy.force simulated_full in
+    List.mapi (fun i a -> (a, simulated.(i))) full_apps
   in
   let rows =
     List.map
@@ -307,11 +471,13 @@ let () =
     (Repro_stats.Table.render
        ~header:[ "Estimator"; "Plain err (%)"; "Calibrated err (%)" ]
        rows)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: contention density (processor count)                      *)
 
 let () =
+  if full then begin
   section "ABLATION-DENSITY";
   print_endline
     "Accuracy vs contention density: the same six applications squeezed onto\n\
@@ -355,21 +521,25 @@ let () =
        ~header:
          [ "Procs"; "Mean util"; "Worst case"; "Second order"; "Fourth order"; "Exact" ]
        rows)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Expected performance under a usage model                            *)
 
 let () =
+  if full then begin
   section "SCENARIO";
   print_endline
     "Expected period per application when every application is independently\n\
      active half the time (product-form usage model over the sweep)";
   print_string (Exp.Scenario.render (Exp.Scenario.uniform ~napps:num_apps 0.5) sweep)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Robustness: do the conclusions survive a different random workload? *)
 
 let () =
+  if full then begin
   section "SEEDS";
   print_endline
     "Table-1 period inaccuracies on freshly generated workloads (sampled\n\
@@ -396,11 +566,13 @@ let () =
     (Repro_stats.Table.render
        ~header:[ "Seed"; "Worst case"; "Fourth order"; "Second order"; "Composability" ]
        rows)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Buffer/throughput trade-off (references [16]/[20] of the paper)     *)
 
 let () =
+  if full then begin
   section "CAPACITY";
   let g = workload.apps.(0).Contention.Analysis.graph in
   Printf.printf "Buffer/throughput trade-off for application A (period %.0f unbounded)\n\n"
@@ -445,11 +617,13 @@ let () =
       (Sdf.Capacity.sweep_uniform pipeline ~max_capacity:5)
   in
   print_string (Repro_stats.Table.render ~header:[ "Uniform capacity"; "Period" ] rows)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Arbitration policies vs the analysis assumption                     *)
 
 let () =
+  if full then begin
   section "ARBITRATION";
   print_endline
     "Simulated periods of the full use-case under FCFS (the paper's model),\n\
@@ -501,11 +675,13 @@ let () =
      with incommensurate rates cannot follow it and stall — the coupling the\n\
      paper's Section 2 holds against static-order analyses, and the reason\n\
      its own approach imposes no ordering."
+  end
 
 (* ------------------------------------------------------------------ *)
 (* TDMA baseline (related work, reference [3])                         *)
 
 let () =
+  if full then begin
   section "TDMA";
   print_endline
     "TDMA (wheel 100, one slice per mapped actor): the preemptive simulation\n\
@@ -539,11 +715,13 @@ let () =
        ~header:
          [ "App"; "Second order"; "RR worst case"; "TDMA simulated"; "TDMA bound" ]
        rows)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Mapping exploration driven by the estimator                         *)
 
 let () =
+  if full then begin
   section "EXPLORE";
   let graphs =
     Array.to_list
@@ -562,11 +740,12 @@ let () =
      %d estimator evaluations in %.2f s\n"
     outcome.initial_score outcome.final_score outcome.moves outcome.evaluations
     (elapsed_s t0)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* The serve daemon: request throughput against an in-process server    *)
 
-let () =
+let serve_json =
   section "SERVE";
   let reqs = env_int "CONTENTION_SERVE_REQS" 2_000 in
   let config =
@@ -597,15 +776,19 @@ let () =
       match f () with Ok _ -> () | Error msg -> fail msg
     done;
     let dt = elapsed_s t0 in
+    let rate = float_of_int reqs /. Float.max 1e-9 dt in
     Printf.printf "%-28s %8.0f req/s  (%.1f us/req over %d requests)\n" name
-      (float_of_int reqs /. dt)
+      rate
       (dt /. float_of_int reqs *. 1e6)
-      reqs
+      reqs;
+    rate
   in
-  time_reqs "ping" (fun () -> Serve.Client.ping client);
-  time_reqs "estimate (cached)" (fun () ->
-      Serve.Client.estimate client ~digest
-        ~estimator:(Contention.Analysis.Order 2) ());
+  let ping_rate = time_reqs "ping" (fun () -> Serve.Client.ping client) in
+  let estimate_rate =
+    time_reqs "estimate (cached)" (fun () ->
+        Serve.Client.estimate client ~digest
+          ~estimator:(Contention.Analysis.Order 2) ())
+  in
   (match Serve.Client.stats client with
   | Ok (s : Serve.Protocol.stats_reply) ->
       Printf.printf
@@ -615,12 +798,18 @@ let () =
         s.latency_p99_us
   | Error msg -> fail msg);
   Serve.Client.close client;
-  Serve.Server.stop server
+  Serve.Server.stop server;
+  Serve.Json.Obj
+    [
+      ("reqs", Serve.Json.Num (float_of_int reqs));
+      ("ping_req_per_s", Serve.Json.Num ping_rate);
+      ("estimate_req_per_s", Serve.Json.Num estimate_rate);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Differential fuzzing throughput and accuracy                        *)
 
-let () =
+let check_json =
   section "CHECK";
   let seeds = env_int "CONTENTION_CHECK_SEEDS" 200 in
   print_endline
@@ -629,9 +818,14 @@ let () =
      metamorphic relations (see `contention check`)";
   let r = Check.Fuzz.run ~seeds () in
   print_string (Check.Report.render r);
-  Printf.printf "throughput: %.0f seeds/s (%d seeds in %.2f s)\n"
-    (float_of_int r.ran /. Float.max 1e-9 r.elapsed_s)
-    r.ran r.elapsed_s
+  let seeds_per_s = float_of_int r.ran /. Float.max 1e-9 r.elapsed_s in
+  Printf.printf "throughput: %.0f seeds/s (%d seeds in %.2f s)\n" seeds_per_s
+    r.ran r.elapsed_s;
+  Serve.Json.Obj
+    [
+      ("seeds", Serve.Json.Num (float_of_int r.ran));
+      ("seeds_per_s", Serve.Json.Num seeds_per_s);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -719,6 +913,7 @@ let tests =
     ]
 
 let () =
+  if full then begin
   section "MICRO";
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None ~stabilize:true ()
@@ -752,7 +947,38 @@ let () =
         [ name; cell ])
       rows
   in
-  print_string (Repro_stats.Table.render ~header:[ "Benchmark"; "Time/run" ] cells);
+  print_string (Repro_stats.Table.render ~header:[ "Benchmark"; "Time/run" ] cells)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Trajectory output                                                   *)
+
+let () =
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let rev =
+        match Sys.getenv_opt "CONTENTION_REV" with Some r -> r | None -> "dev"
+      in
+      let doc =
+        Serve.Json.Obj
+          [
+            ("schema", Serve.Json.Str "contention-bench/1");
+            ("rev", Serve.Json.Str rev);
+            ("seed", Serve.Json.Num (float_of_int seed));
+            ("apps", Serve.Json.Num (float_of_int num_apps));
+            ("horizon", Serve.Json.Num horizon);
+            ("quick", Serve.Json.Bool quick);
+            ("sweep", sweep_json);
+            ("estimator", estimator_json);
+            ("serve", serve_json);
+            ("check", check_json);
+          ]
+      in
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc (Serve.Json.to_string doc);
+          output_char oc '\n');
+      Printf.printf "\nwrote %s\n" path);
   (match trace_file with
   | None -> ()
   | Some path ->

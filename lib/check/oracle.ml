@@ -170,6 +170,78 @@ let engine_agreement (a : Analysis.app) acc =
   let acc = pair acc "state-space" ss "mcm" mcm in
   pair acc "state-space" ss "max-plus" mp
 
+(* The zero-allocation kernel engine against the list-based reference: both
+   evaluate the same Figure-4 pass, and the kernel replicates the reference's
+   floating-point operation sequences, so waits, response times, and periods
+   must agree to 1e-9 for every estimator — and the batched entry point must
+   reproduce the one-at-a-time results bit for bit. *)
+let kernel_agreement apps acc =
+  match apps with
+  | [] -> acc
+  | apps ->
+      let arr = Array.of_list apps in
+      let caches = Array.map Analysis.prepare arr in
+      let prepared = Analysis.prepare_workload ~caches arr in
+      let pairs = List.map2 (fun a c -> (a, c)) apps (Array.to_list caches) in
+      let napps = Array.length arr in
+      List.fold_left
+        (fun acc (name, est) ->
+          let kernel = Analysis.estimate_prepared est pairs in
+          let reference = Analysis.estimate_prepared_reference est pairs in
+          let acc =
+            List.fold_left2
+              (fun acc (k : Analysis.estimate) (r : Analysis.estimate) ->
+                let acc =
+                  if rel_close k.period r.period then acc
+                  else
+                    violation "kernel-engine"
+                      "%s period of %S: kernel %.17g, reference %.17g" name
+                      k.for_app.graph.Sdf.Graph.name k.period r.period
+                    :: acc
+                in
+                let fold_arr what ka ra acc =
+                  snd
+                    (Array.fold_left
+                       (fun (i, acc) kv ->
+                         ( i + 1,
+                           if rel_close kv ra.(i) then acc
+                           else
+                             violation "kernel-engine"
+                               "%s %s.(%d) of %S: kernel %.17g, reference %.17g"
+                               name what i k.for_app.graph.Sdf.Graph.name kv
+                               ra.(i)
+                             :: acc ))
+                       (0, acc) ka)
+                in
+                acc
+                |> fold_arr "waiting_times" k.waiting_times r.waiting_times
+                |> fold_arr "response_times" k.response_times r.response_times)
+              acc kernel reference
+          in
+          if napps >= 30 then acc
+          else
+            let batch =
+              List.concat
+                (Analysis.estimate_batch est prepared
+                   [ Contention.Usecase.full ~napps ])
+            in
+            List.fold_left2
+              (fun acc (k : Analysis.estimate) (b : Analysis.estimate) ->
+                if
+                  Float.equal k.period b.period
+                  && Array.for_all2 Float.equal k.waiting_times b.waiting_times
+                  && Array.for_all2 Float.equal k.response_times
+                       b.response_times
+                then acc
+                else
+                  violation "kernel-batch"
+                    "%s estimate of %S: batch differs from one-at-a-time \
+                     (period %.17g vs %.17g)"
+                    name k.for_app.graph.Sdf.Graph.name b.period k.period
+                  :: acc)
+              acc kernel batch)
+        acc estimators
+
 (* Per-processor load groups across the active applications; each entry is
    an actor's own load paired with the loads it competes with. *)
 let contender_lists procs apps =
@@ -327,6 +399,7 @@ let check ?(config = default_config) (t : Case.t) =
         acc
         (contender_lists t.spec.procs apps)
     in
+    let acc = kernel_agreement apps acc in
     let estimates, acc = check_estimates apps acc in
     let results, acc = simulate config t (List.assoc "wc" estimates) acc in
     let acc = scaling_check config t acc in

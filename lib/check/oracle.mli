@@ -20,6 +20,10 @@
     - composability stays within a configurable envelope of exact;
     - the {!Metamorphic} relations.
 
+    {e Engine equivalence} — per use-case, the zero-allocation kernel
+    engine against the list-based reference path for every estimator
+    ({!kernel_agreement}).
+
     {e Periods under contention} — per use-case:
     - every estimate is finite, positive, and at least the isolation period;
     - the kernel ordering transfers to periods (cycle ratios are monotone in
@@ -86,6 +90,18 @@ val check_kernel :
     [exact] substitutes the reference implementation of Eq. 4 — the hook the
     tests use to prove the oracle catches an injected estimator bug (e.g. a
     dropped [(-1)^(j+1)] sign) without patching the library. *)
+
+val kernel_agreement :
+  Contention.Analysis.app list ->
+  violation list ->
+  violation list
+(** Differential check of the zero-allocation kernel engine
+    ({!Contention.Analysis.estimate_prepared}) against the list-based
+    reference ({!Contention.Analysis.estimate_prepared_reference}) on one
+    use-case, for every estimator: waits, response times, and periods must
+    agree to 1e-9, and the batched entry point
+    ({!Contention.Analysis.estimate_batch}) must reproduce the
+    one-at-a-time results bit for bit.  Part of {!check}. *)
 
 val check : ?config:config -> Case.t -> outcome
 (** Run every level on a case.  Deterministic: the metamorphic RNG is seeded

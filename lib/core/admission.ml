@@ -12,17 +12,30 @@ type entry = {
   req : requirement;
   mutable loads : Prob.t array;
   mutable measured : float option;
+  mutable ids : int array;  (* per-actor member id in its processor group *)
 }
 
 type t = {
   nprocs : int;
   aggregates : Compose.t array;  (* one per processor, all admitted actors *)
+  groups : Kernel.Group.t array;
+      (* one per processor: the same population with its symmetric-polynomial
+         basis maintained incrementally (⊕ on admit, ⊖ on withdraw, O(n)
+         update on observe), backing the Eq. 4 estimators of
+         {!estimated_period_via} without per-query rebuilds *)
+  mutable next_id : int;
   mutable entries : (string * entry) list;
 }
 
 let create ~procs =
   if procs < 1 then invalid_arg "Contention.Admission.create: procs < 1";
-  { nprocs = procs; aggregates = Array.make procs Compose.empty; entries = [] }
+  {
+    nprocs = procs;
+    aggregates = Array.make procs Compose.empty;
+    groups = Array.init procs (fun _ -> Kernel.Group.create ());
+    next_id = 0;
+    entries = [];
+  }
 
 let procs t = t.nprocs
 
@@ -87,7 +100,34 @@ let remove_loads aggregates (e : entry) =
 
 let entry_of app req =
   ( app.Analysis.graph.Sdf.Graph.name,
-    { app; req; loads = Analysis.loads app; measured = None } )
+    { app; req; loads = Analysis.loads app; measured = None; ids = [||] } )
+
+(* Keep the per-processor incremental groups in lockstep with [entries]. *)
+let groups_admit t (e : entry) =
+  e.ids <-
+    Array.mapi
+      (fun actor (l : Prob.t) ->
+        let id = t.next_id in
+        t.next_id <- t.next_id + 1;
+        Kernel.Group.add t.groups.(e.app.Analysis.mapping.(actor)) ~id ~p:l.p
+          ~mu:l.mu ~tau:l.tau;
+        id)
+      e.loads
+
+let groups_withdraw t (e : entry) =
+  Array.iteri
+    (fun actor id ->
+      Kernel.Group.remove t.groups.(e.app.Analysis.mapping.(actor)) ~id)
+    e.ids;
+  e.ids <- [||]
+
+let groups_update t (e : entry) =
+  Array.iteri
+    (fun actor (l : Prob.t) ->
+      Kernel.Group.update
+        t.groups.(e.app.Analysis.mapping.(actor))
+        ~id:e.ids.(actor) ~p:l.p ~mu:l.mu ~tau:l.tau)
+    e.loads
 
 let try_admit t app req =
   let name, candidate = entry_of app req in
@@ -121,6 +161,7 @@ let try_admit t app req =
     | None ->
         Array.blit tentative 0 t.aggregates 0 t.nprocs;
         t.entries <- (name, candidate) :: t.entries;
+        groups_admit t candidate;
         Admitted
 
 let find t name =
@@ -139,6 +180,7 @@ let rebuild_aggregates t =
 let withdraw t name =
   let e = find t name in
   t.entries <- List.remove_assoc name t.entries;
+  groups_withdraw t e;
   let invertible = Array.for_all (fun (l : Prob.t) -> l.p < 1.) e.loads in
   if invertible then begin
     let updated = remove_loads t.aggregates e in
@@ -156,10 +198,38 @@ let observe t name ~measured_period =
   e.measured <- Some measured_period;
   e.loads <- Analysis.loads_at_period e.app ~period:measured_period;
   (* Loads changed: the incremental inverses no longer know the old
-     contributions, so rebuild the aggregates from the population. *)
+     contributions, so rebuild the aggregates from the population.  The
+     kernel groups do keep per-member state, so each actor is an O(n)
+     deconvolve/refold delta instead. *)
+  groups_update t e;
   rebuild_aggregates t
 
 let observed_period t name = (find t name).measured
 
 let estimated_period t name = period_under t.entries t.aggregates (find t name)
 let estimated_throughput t name = 1. /. estimated_period t name
+
+let estimated_period_via t est name =
+  match (est : Analysis.estimator) with
+  | Analysis.Composability ->
+      (* The aggregate/inverse path IS the composability estimator. *)
+      estimated_period t name
+  | _ ->
+      let e = find t name in
+      let g = e.app.Analysis.graph in
+      let response =
+        Array.init (Sdf.Graph.num_actors g) (fun actor ->
+            let group = t.groups.(e.app.Analysis.mapping.(actor)) in
+            let excluding = Some e.ids.(actor) in
+            let waiting =
+              match est with
+              | Analysis.Worst_case -> Kernel.Group.wc_waiting group ~excluding
+              | Analysis.Order m -> Kernel.Group.order_waiting group ~order:m ~excluding
+              | Analysis.Exact -> Kernel.Group.exact_waiting group ~excluding
+              | Analysis.Composability -> assert false
+            in
+            (Sdf.Graph.actor g actor).exec_time +. waiting)
+      in
+      Sdf.Hsdf.period (Sdf.Graph.with_exec_times g response)
+
+let estimated_throughput_via t est name = 1. /. estimated_period_via t est name

@@ -62,3 +62,17 @@ val estimated_period : t -> string -> float
     @raise Not_found if not admitted. *)
 
 val estimated_throughput : t -> string -> float
+
+val estimated_period_via : t -> Analysis.estimator -> string -> float
+(** {!estimated_period} with the estimator of your choice.  The controller
+    maintains one incremental {!Kernel.Group} per processor alongside the
+    composability aggregates — admissions are ⊕, withdrawals ⊖, and
+    {!observe} re-bases each actor with an O(n) update — so the Eq. 4
+    estimators ([Exact], [Order m], [Worst_case]) answer straight from the
+    maintained symmetric-polynomial bases without re-analysing the
+    population.  [Composability] is the aggregate path of
+    {!estimated_period} itself.
+    @raise Not_found if not admitted.
+    @raise Invalid_argument if [Order m] with [m < 2]. *)
+
+val estimated_throughput_via : t -> Analysis.estimator -> string -> float

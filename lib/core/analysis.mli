@@ -110,15 +110,90 @@ type cache
 
 val prepare : app -> cache
 
+type workspace
+(** Preallocated buffers for the kernel engine's Figure-4 pass ({!Kernel}):
+    per-processor member layout, flat load/wait arrays, period-search
+    scratch.  Buffers grow to the workload's high-water mark and are then
+    reused — after warm-up a pass performs no heap allocation.  Not
+    thread-safe: use one per domain. *)
+
+val workspace : unit -> workspace
+
+val shared_workspace : unit -> workspace
+(** The calling domain's workspace (domain-local storage) — what the
+    [?workspace] arguments default to.  Parallel sweeps ({!Exp.Pool}) thus
+    reuse one set of buffers per domain with no sharing or locking. *)
+
 val estimate_prepared :
-  ?engine:period_engine -> estimator -> (app * cache) list -> estimate list
+  ?engine:period_engine ->
+  ?workspace:workspace ->
+  ?exact_check:bool ->
+  estimator ->
+  (app * cache) list ->
+  estimate list
 (** Exactly {!estimate} with [iterations = 1], but with the per-app
     isolation work supplied by the caller instead of being recomputed: the
     results are bit-identical to [estimate est apps].  This is the hot path
     of {!Exp.Sweep}, where each application's cache is hit by up to
     [2^(n-1)] use-cases.
+
+    With the default [Mcm] engine the pass runs on the zero-allocation
+    {!Kernel} evaluators over [workspace] (default: the domain's
+    {!shared_workspace}); the kernel replicates the reference's
+    floating-point operation sequences, so the switch is invisible in the
+    results.  [exact_check] (default [false]) re-runs every use-case on
+    {!estimate_prepared_reference} and fails if any waiting time, response
+    time, or period differs by more than [1e-9] — the belt-and-braces mode
+    for long unattended runs.
     @raise Invalid_argument when a cache was prepared from a different
-    application than the one it is paired with. *)
+    application than the one it is paired with.
+    @raise Failure on an [exact_check] divergence. *)
+
+val estimate_prepared_reference :
+  ?engine:period_engine -> estimator -> (app * cache) list -> estimate list
+(** The list-based reference implementation {!estimate_prepared} is checked
+    against (and the pre-kernel behaviour): {!waiting_time_for} per actor,
+    {!Sdf.Hsdf.period_of_expansion} per app.  Kept as the baseline for
+    [exact_check], the fuzzing oracle, and the benchmark's speedup ratio. *)
+
+(** {1 Batched evaluation}
+
+    Sweeping the use-cases of one workload evaluates the same applications
+    under up to [2^n - 1] activation masks.  [prepared] fixes the workload
+    once; {!estimate_batch} and {!estimate_periods_into} then evaluate many
+    masks against it, sharing one {!workspace} across calls. *)
+
+type prepared
+(** A fixed workload: applications and their caches, validated once. *)
+
+val prepare_workload : ?caches:cache array -> app array -> prepared
+(** [prepare_workload apps] runs {!prepare} on each app (or adopts [caches]
+    when given, e.g. ones already hoisted by a sweep).
+    @raise Invalid_argument on a cache/app mismatch or length mismatch. *)
+
+val estimate_batch :
+  ?engine:period_engine ->
+  ?workspace:workspace ->
+  ?exact_check:bool ->
+  estimator ->
+  prepared ->
+  Usecase.t list ->
+  estimate list list
+(** One {!estimate_prepared} per use-case (apps ascending by index, as
+    {!Usecase.to_list}), bit-identical to the one-at-a-time calls but with
+    the workspace shared across the whole batch.  An empty use-case yields
+    [[]]. *)
+
+val estimate_periods_into :
+  workspace -> estimator -> prepared -> usecase:Usecase.t -> out:float array -> int
+(** The allocation-free core: evaluates one use-case and writes the period
+    of the [k]-th active application (ascending by index) to [out.(k)],
+    returning the number of active applications.  No estimate records, no
+    spans, no lists — once the workspace is warm, a call performs {e zero}
+    heap allocation (enforced by the test suite's allocation budget).
+    [out] must have room for {!Usecase.cardinal}[ usecase] periods.  Only
+    the [Mcm] engine's semantics; validation is done by
+    {!prepare_workload}. *)
 
 val waiting_time_for : estimator -> Prob.t list -> float
 (** The raw per-actor waiting-time kernel used by {!estimate}: expected wait

@@ -7,20 +7,23 @@ let waiting_time ~order loads =
       let n = Array.length ps in
       let max_degree = Int.min (order - 1) (n - 1) in
       let es = Sympoly.up_to (max_degree + 1) ps in
-      List.fold_left
-        (fun acc (l : Prob.t) ->
-          (* Deconvolve only the degrees the truncation needs. *)
+      let acc = ref 0. in
+      List.iteri
+        (fun i (l : Prob.t) ->
+          (* Deconvolve only the degrees the truncation needs; on catastrophic
+             cancellation fall back to refolding the other loads directly
+             (same guard as {!Sympoly.remove}, truncated). *)
           let others = Array.make (max_degree + 1) 0. in
-          others.(0) <- 1.;
-          for j = 1 to max_degree do
-            others.(j) <- es.(j) -. (l.p *. others.(j - 1))
-          done;
+          Sympoly.deconvolve_into ~es ~xs:ps ~skip:i ~out:others ~n:(max_degree + 1);
+          if not (Sympoly.deconv_stable ~es ~out:others ~n:(max_degree + 1)) then
+            Sympoly.refold_trunc_into ~xs:ps ~m:n ~skip:i ~k:max_degree ~out:others;
           let series = ref 1. in
           for j = 1 to max_degree do
             series := !series +. (Exact.series_coefficient j *. others.(j))
           done;
-          acc +. (Prob.waiting_product l *. !series))
-        0. loads
+          acc := !acc +. (Prob.waiting_product l *. !series))
+        loads;
+      !acc
 
 let second_order loads =
   (* Closed form of Equation 5: W = sum_i w_i (1 + 1/2 sum_(j<>i) P_j). *)

@@ -7,15 +7,20 @@ let waiting_time loads =
       let ps = Array.of_list (List.map (fun (l : Prob.t) -> l.p) loads) in
       let es = Sympoly.all ps in
       let n = Array.length ps in
-      List.fold_left
-        (fun acc (l : Prob.t) ->
-          let others = Sympoly.without es l.p in
+      (* Guarded removal by index ({!Sympoly.remove}): the plain deconvolution
+         cancels catastrophically when one load dominates a degree, and the
+         by-value [Sympoly.without] could not recompute. *)
+      let acc = ref 0. in
+      List.iteri
+        (fun i (l : Prob.t) ->
+          let others = Sympoly.remove ~xs:ps ~skip:i es in
           let series = ref 1. in
           for j = 1 to n - 1 do
             series := !series +. (series_coefficient j *. others.(j))
           done;
-          acc +. (Prob.waiting_product l *. !series))
-        0. loads
+          acc := !acc +. (Prob.waiting_product l *. !series))
+        loads;
+      !acc
 
 let waiting_time_brute_force loads =
   let arr = Array.of_list loads in

@@ -17,8 +17,56 @@ val without : float array -> float -> float array
     basis:
     given [es = all xs] it returns [all (xs minus one occurrence of x_i)]
     in O(n) time by deconvolution: [e'_j = e_j - x_i * e'_(j-1)].
-    Numerically stable for [|x_i| <= 1] (probabilities). *)
+    Raw primitive: well-conditioned for [|x_i| <= 1] (probabilities) as long
+    as the remaining coefficients keep a comparable magnitude, but the
+    subtraction cancels catastrophically when they do not (removing an
+    [x_i ~ 1] whose co-elements are tiny).  {!remove} is the guarded form
+    that detects this and recomputes. *)
+
+val remove : xs:float array -> skip:int -> float array -> float array
+(** [remove ~xs ~skip es] is [all (xs minus the element at skip)] given
+    [es = all xs]: the O(n) deconvolution of {!without}, guarded — when a
+    running coefficient turns negative or has lost eight decimal digits to
+    cancellation ([e'_j < 1e-8 e_j]), the result is recomputed from [xs]
+    directly (O(n²), bit-identical to [all] of the remaining elements).
+    This is the ⊖ of the incremental estimator state; {!fold_in} is its ⊕.
+    @raise Invalid_argument if [skip] is out of range or [es] was not built
+    from [xs]. *)
+
+val fold_in : float array -> float -> float array
+(** [fold_in es x] extends the basis by one element in O(n): given
+    [es = all xs] it returns [all (xs + [x])], bit-identical to folding [x]
+    last in {!all}.  @raise Invalid_argument on an empty basis. *)
 
 val brute_force : int -> float array -> float
 (** [brute_force j xs]: direct subset-sum definition, exponential; used only
     by tests as an oracle.  @raise Invalid_argument if [j < 0]. *)
+
+(** {1 Allocation-free primitives}
+
+    The building blocks behind {!remove}, shared with {!Kernel} and the
+    guarded deconvolutions of {!Exact}/{!Approx}.  All of them operate on
+    caller-provided buffers, take elements as [(array, index)] pairs rather
+    than raw floats (so nothing is boxed at the call boundary), and perform
+    no allocation — they are safe inside the zero-allocation estimator
+    loops. *)
+
+val deconvolve_into :
+  es:float array -> xs:float array -> skip:int -> out:float array -> n:int -> unit
+(** Write degrees [0..n-1] of the basis minus [xs.(skip)] into [out]
+    ([out.(0) = 1]), reading degrees [1..n-1] of [es].  Unguarded. *)
+
+val deconv_stable : es:float array -> out:float array -> n:int -> bool
+(** Whether a {!deconvolve_into} result is trustworthy: no coefficient in
+    degrees [1..n-1] went negative or fell below [1e-8] of the corresponding
+    full-basis coefficient (eight decimal digits lost to cancellation). *)
+
+val refold_skip_into :
+  xs:float array -> m:int -> skip:int -> out:float array -> unit
+(** Recompute fallback: degrees [0..m-1] of [xs.(0..m-1)] minus [xs.(skip)]
+    by the {!all} recurrence (bit-identical to [all] of a compacted copy). *)
+
+val refold_trunc_into :
+  xs:float array -> m:int -> skip:int -> k:int -> out:float array -> unit
+(** As {!refold_skip_into} but truncated at degree [k] ({!up_to}'s
+    recurrence) — the fallback of the order-m estimator's deconvolution. *)

@@ -29,7 +29,7 @@ type task_result = {
 }
 
 let run ?(horizon = 500_000.) ?estimators ?usecases ?progress ?jobs
-    (w : Workload.t) =
+    ?(exact_check = false) (w : Workload.t) =
   let estimators =
     Option.value ~default:Contention.Analysis.all_paper_estimators estimators
   in
@@ -84,7 +84,12 @@ let run ?(horizon = 500_000.) ?estimators ?usecases ?progress ?jobs
                Obs.Span.with_ ~name:"sweep.estimate"
                  ~args:(fun () ->
                    [ ("estimator", Contention.Analysis.estimator_name est) ])
-                 (fun () -> Contention.Analysis.estimate_prepared est pairs)
+                 (fun () ->
+                   (* The kernel engine over this domain's workspace: every
+                      use-case this task analyses reuses the same buffers. *)
+                   Contention.Analysis.estimate_prepared
+                     ~workspace:(Contention.Analysis.shared_workspace ())
+                     ~exact_check est pairs)
              in
              task_analysis_s.(k) <- Obs.Clock.elapsed_s ~since:t0;
              ( est,

@@ -87,6 +87,10 @@ type t = {
   m_cache_misses : Obs.Metric.Counter.t;
   sessions : (string, Contention.Admission.t) Hashtbl.t;
   sessions_mutex : Mutex.t;
+  (* Per-workload analysis caches (loads, HSDF expansion, kernel graph),
+     keyed by digest: computed once, shared by every estimate served. *)
+  prepared : (string, Contention.Analysis.cache array) Hashtbl.t;
+  prepared_mutex : Mutex.t;
   conns : Unix.file_descr Chan.t;
   listeners : Unix.file_descr list;
   bound_tcp_port : int option;
@@ -156,7 +160,29 @@ let resolve_usecase w = function
                   Error (Printf.sprintf "unknown application %S" name)))
         (Ok 0) names
 
-let estimate_rows estimator apps =
+let prepared_for t ~digest (w : Exp.Workload.t) =
+  Mutex.lock t.prepared_mutex;
+  match Hashtbl.find_opt t.prepared digest with
+  | Some caches ->
+      Mutex.unlock t.prepared_mutex;
+      caches
+  | None ->
+      Mutex.unlock t.prepared_mutex;
+      (* Prepare outside the lock — it is pure per-app work, and two workers
+         racing on a fresh digest just compute identical caches. *)
+      let caches = Array.map Contention.Analysis.prepare w.apps in
+      Mutex.lock t.prepared_mutex;
+      let caches =
+        match Hashtbl.find_opt t.prepared digest with
+        | Some existing -> existing
+        | None ->
+            Hashtbl.add t.prepared digest caches;
+            caches
+      in
+      Mutex.unlock t.prepared_mutex;
+      caches
+
+let estimate_rows estimator pairs =
   List.map
     (fun (r : Contention.Analysis.estimate) ->
       {
@@ -165,7 +191,12 @@ let estimate_rows estimator apps =
         isolation_period = r.for_app.isolation_period;
         throughput = Contention.Analysis.throughput r;
       })
-    (Contention.Analysis.estimate estimator apps)
+    (* The kernel engine over this worker domain's workspace; bit-identical
+       to [Contention.Analysis.estimate estimator apps], so cached and fresh
+       replies stay equal. *)
+    (Contention.Analysis.estimate_prepared
+       ~workspace:(Contention.Analysis.shared_workspace ())
+       estimator pairs)
 
 let handle_estimate t ~digest ~usecase ~estimator =
   match Store.find t.store digest with
@@ -183,9 +214,13 @@ let handle_estimate t ~digest ~usecase ~estimator =
                 (true, rows)
             | None ->
                 Obs.Metric.Counter.inc t.m_cache_misses;
-                let rows =
-                  estimate_rows estimator (Exp.Workload.analysis_apps w mask)
+                let caches = prepared_for t ~digest w in
+                let pairs =
+                  List.map
+                    (fun i -> (w.apps.(i), caches.(i)))
+                    (Contention.Usecase.to_list mask)
                 in
+                let rows = estimate_rows estimator pairs in
                 Lru.put t.cache key rows;
                 (false, rows)
           in
@@ -541,6 +576,8 @@ let start ?(config = default_config) () =
       m_cache_misses;
       sessions = Hashtbl.create 8;
       sessions_mutex = Mutex.create ();
+      prepared = Hashtbl.create 8;
+      prepared_mutex = Mutex.create ();
       conns = Chan.create ();
       listeners;
       bound_tcp_port = Option.map snd tcp;

@@ -63,6 +63,83 @@ let prop_sum_bound =
       let es = Sympoly.all (Array.of_list xs) in
       Array.for_all (fun e -> e >= -1e-12) es)
 
+let test_remove_near_cancellation () =
+  (* The adversarial case for the raw deconvolution: removing an element
+     close to 1 whose co-elements are many orders of magnitude smaller wipes
+     out every significant digit of [e_j - x e'_(j-1)].  The guarded remove
+     must detect the cancellation and recompute — bit-identical to [all] of
+     the survivors. *)
+  let xs = [| 0.9999999999; 1e-9; 3e-10; 1e-9 |] in
+  let es = Sympoly.all xs in
+  let removed = Sympoly.remove ~xs ~skip:0 es in
+  let expected = Sympoly.all [| 1e-9; 3e-10; 1e-9 |] in
+  Alcotest.(check int) "length" (Array.length expected) (Array.length removed);
+  Array.iteri
+    (fun j e ->
+      if not (Float.equal e removed.(j)) then
+        Alcotest.failf "degree %d: expected %.17g, got %.17g" j e removed.(j))
+    expected;
+  (* The raw primitive really is unstable here — the guard is not vacuous. *)
+  let raw = Sympoly.without es 0.9999999999 in
+  let drift =
+    Float.abs (raw.(2) -. expected.(2)) /. Float.max epsilon_float expected.(2)
+  in
+  if drift < 1e-4 then
+    Alcotest.failf "unguarded deconvolution unexpectedly accurate (drift %g)" drift
+
+let test_remove_stable_path () =
+  (* Away from cancellation the O(n) deconvolution is used and stays within
+     roundoff of the direct rebuild. *)
+  let xs = [| 0.3; 0.5; 0.7; 0.2 |] in
+  let removed = Sympoly.remove ~xs ~skip:1 (Sympoly.all xs) in
+  let expected = Sympoly.all [| 0.3; 0.7; 0.2 |] in
+  Array.iteri
+    (fun j e -> Fixtures.check_float ~eps:1e-12 "stable remove" e removed.(j))
+    expected
+
+let test_fold_in_roundtrip () =
+  let xs = [| 0.4; 0.9; 0.1 |] in
+  let folded = Sympoly.fold_in (Sympoly.all xs) 0.6 in
+  let direct = Sympoly.all [| 0.4; 0.9; 0.1; 0.6 |] in
+  Alcotest.(check int) "length" (Array.length direct) (Array.length folded);
+  Array.iteri
+    (fun j e ->
+      if not (Float.equal e folded.(j)) then
+        Alcotest.failf "fold_in degree %d: expected %.17g, got %.17g" j e folded.(j))
+    direct;
+  match Sympoly.fold_in [||] 0.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty basis accepted"
+
+let extreme_probs_gen =
+  (* Mixed magnitudes: the regime where deconvolution goes unstable. *)
+  QCheck2.Gen.(
+    list_size (int_range 1 7)
+      (oneof
+         [
+           float_range 0.9 1.0;
+           float_range 0. 1e-8;
+           float_bound_inclusive 1.;
+         ]))
+
+let prop_remove_any_index =
+  Fixtures.qcheck_case "guarded remove = rebuild, adversarial magnitudes"
+    extreme_probs_gen
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let es = Sympoly.all arr in
+      List.for_all
+        (fun skip ->
+          let removed = Sympoly.remove ~xs:arr ~skip es in
+          let survivors =
+            Array.of_list (List.filteri (fun i _ -> i <> skip) xs)
+          in
+          let expected = Sympoly.all survivors in
+          Array.for_all2
+            (fun a b -> Fixtures.float_eq ~eps:1e-9 a b)
+            expected removed)
+        (List.init (Array.length arr) Fun.id))
+
 let suite =
   [
     Alcotest.test_case "known values" `Quick test_known_values;
@@ -73,4 +150,8 @@ let suite =
     prop_matches_brute_force;
     prop_without_roundtrip;
     prop_sum_bound;
+    Alcotest.test_case "remove near cancellation" `Quick test_remove_near_cancellation;
+    Alcotest.test_case "remove stable path" `Quick test_remove_stable_path;
+    Alcotest.test_case "fold_in roundtrip" `Quick test_fold_in_roundtrip;
+    prop_remove_any_index;
   ]
