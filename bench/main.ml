@@ -18,12 +18,14 @@
      TDMA                the preemptive TDMA worst-case baseline ([3])
      EXPLORE             estimator-in-the-loop mapping search
      SERVE               request throughput of the in-process serve daemon
+     CLUSTER             open-loop load against one shard vs the full
+                         consistent-hash ring (aggregate cache scaling)
      ESTIMATOR           batched kernel engine vs the list-based reference
      MICRO   Bechamel OLS estimates for kernels and full-path operations
 
    Flags:
      --quick       run only the trajectory sections (SWEEP, ESTIMATOR, SERVE,
-                   CHECK) — what CI's bench-smoke job measures
+                   CLUSTER, CHECK) — what CI's bench-smoke job measures
      --json FILE   write the machine-readable trajectory (schema
                    "contention-bench/1", see EXPERIMENTS.md) to FILE
 
@@ -39,7 +41,13 @@
      CONTENTION_TRACE     write a Chrome/Perfetto trace of the whole run to
                           this file (spans recording is off otherwise)
      CONTENTION_REV       revision label stamped into the --json output
-                          (default "dev") *)
+                          (default "dev")
+     CONTENTION_CLUSTER_SHARDS    ring size for the CLUSTER section (default 4)
+     CONTENTION_CLUSTER_RATE      offered load in req/s        (default 6000)
+     CONTENTION_CLUSTER_DURATION  open-loop duration seconds   (default 0.5)
+     CONTENTION_CLUSTER_JOBS      workers per shard            (default 2)
+     CONTENTION_CLUSTER_CACHE     estimate-cache entries/shard (default 8)
+     CONTENTION_CLUSTER_DIGESTS   load working-set size        (default 16) *)
 
 open Bechamel
 
@@ -807,6 +815,109 @@ let serve_json =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Sharded cluster: open-loop throughput, single shard vs the ring      *)
+
+let cluster_json =
+  section "CLUSTER";
+  let shards = env_int "CONTENTION_CLUSTER_SHARDS" 4 in
+  let rate = env_float "CONTENTION_CLUSTER_RATE" 12_000. in
+  let duration = env_float "CONTENTION_CLUSTER_DURATION" 0.5 in
+  let jobs = env_int "CONTENTION_CLUSTER_JOBS" 2 in
+  let cache = env_int "CONTENTION_CLUSTER_CACHE" 8 in
+  let working_set = env_int "CONTENTION_CLUSTER_DIGESTS" 16 in
+  let fail msg = failwith ("bench cluster: " ^ msg) in
+  Printf.printf
+    "Open-loop load (%.0f req/s offered, uniform arrivals over %d digests,\n\
+     %.1f s) against one shard, then the full %d-shard ring over unix\n\
+     sockets — %d worker(s) and a %d-entry estimate cache per shard, client\n\
+     pool sized to the workers.  The working set outgrows one node's cache\n\
+     but the ring partitions it: aggregate cache capacity is what scales.\n"
+    rate working_set duration shards jobs cache;
+  let start_shard i =
+    let path =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "contention-bench-%d-%d.sock" (Unix.getpid ()) i)
+    in
+    (try Sys.remove path with Sys_error _ -> ());
+    let config =
+      {
+        Serve.Server.default_config with
+        port = None;
+        unix_path = Some path;
+        jobs = Some jobs;
+        cache_capacity = cache;
+      }
+    in
+    (Serve.Server.start ~config (), Cluster.Endpoint.Unix_sock path)
+  in
+  let servers = List.init shards start_shard in
+  let endpoints = List.map snd servers in
+  let payloads =
+    List.init working_set (fun i ->
+        Exp.Workload.to_string
+          (Exp.Workload.make ~seed:(seed + i) ~num_apps:3 ~procs:2 ()))
+  in
+  let measure label eps =
+    let router = Cluster.Router.create ~pool_size:jobs ~timeout:10. eps in
+    Fun.protect
+      ~finally:(fun () -> Cluster.Router.close router)
+      (fun () ->
+        let digests =
+          Array.of_list
+            (List.map
+               (fun payload ->
+                 match Cluster.Router.upload router ~payload with
+                 | Ok (up : Serve.Protocol.upload_reply) -> up.digest
+                 | Error msg -> fail msg)
+               payloads)
+        in
+        let config =
+          {
+            Cluster.Loadgen.rate;
+            duration_s = duration;
+            concurrency = jobs * List.length eps;
+            arrival = Cluster.Loadgen.Uniform;
+            skew = 0.;
+            seed;
+            estimator = Contention.Analysis.Order 2;
+          }
+        in
+        let report =
+          Cluster.Loadgen.run
+            ~registry:(Obs.Metric.create_registry ())
+            config ~router ~digests
+        in
+        Printf.printf
+          "%-16s %8.0f req/s  p50 %8.3f ms  p99 %8.3f ms  (%d ok, %d shed, %d errors)\n"
+          label report.Cluster.Loadgen.achieved_rps report.Cluster.Loadgen.p50_ms
+          report.Cluster.Loadgen.p99_ms report.Cluster.Loadgen.ok
+          report.Cluster.Loadgen.shed report.Cluster.Loadgen.errors;
+        report)
+  in
+  let single = measure "single shard" [ List.hd endpoints ] in
+  let multi = measure (Printf.sprintf "%d shards" shards) endpoints in
+  List.iter (fun (server, _) -> Serve.Server.stop server) servers;
+  let side (r : Cluster.Loadgen.report) =
+    Serve.Json.Obj
+      [
+        ("req_per_s", Serve.Json.Num r.achieved_rps);
+        ("p50_ms", Serve.Json.Num r.p50_ms);
+        ("p99_ms", Serve.Json.Num r.p99_ms);
+        ("ok", Serve.Json.Num (float_of_int r.ok));
+        ("shed", Serve.Json.Num (float_of_int r.shed));
+        ("errors", Serve.Json.Num (float_of_int r.errors));
+      ]
+  in
+  Serve.Json.Obj
+    [
+      ("shards", Serve.Json.Num (float_of_int shards));
+      ("offered_rps", Serve.Json.Num rate);
+      ("single", side single);
+      ("multi", side multi);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Differential fuzzing throughput and accuracy                        *)
 
 let check_json =
@@ -972,6 +1083,7 @@ let () =
             ("sweep", sweep_json);
             ("estimator", estimator_json);
             ("serve", serve_json);
+            ("cluster", cluster_json);
             ("check", check_json);
           ]
       in

@@ -480,16 +480,58 @@ let unix_arg =
   let doc = "Also (serve) or instead (query) use a Unix-domain socket at $(docv)." in
   Arg.(value & opt (some string) None & info [ "unix" ] ~docv:"PATH" ~doc)
 
+(* Peer lists are shared between serve (forwarding) and loadgen (routing):
+   --peers takes the endpoints inline, --peers-file reads one per line. *)
+let peers_arg =
+  let doc =
+    "Comma-separated shard endpoints (host:port or unix:PATH) forming the \
+     cluster, in the same order on every node and client."
+  in
+  Arg.(value & opt (some string) None & info [ "peers" ] ~docv:"LIST" ~doc)
+
+let peers_file_arg =
+  let doc = "File with one shard endpoint per line ($(i,#) comments allowed)." in
+  Arg.(value & opt (some string) None & info [ "peers-file" ] ~docv:"FILE" ~doc)
+
+let resolve_peers peers peers_file =
+  match (peers, peers_file) with
+  | Some _, Some _ -> Error "--peers and --peers-file are mutually exclusive"
+  | Some list, None -> Result.map Option.some (Cluster.Endpoint.parse_list list)
+  | None, Some file -> Result.map Option.some (Cluster.Endpoint.load_file file)
+  | None, None -> Ok None
+
 let serve_cmd =
   let cache_arg =
     let doc = "Estimate-cache capacity in entries." in
     Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N" ~doc)
   in
-  let run host port unix_path jobs cache =
+  let max_queue_arg =
+    let doc =
+      "Accept-queue bound: connections beyond this many waiting for a worker \
+       receive a shed verdict instead of queueing (0 = unbounded)."
+    in
+    Arg.(value & opt int 1024 & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let hot_threshold_arg =
+    let doc =
+      "Estimate requests per cache entry before it counts as hot and is \
+       replicated to the digest's failover peer (needs $(b,--peers); 0 = off)."
+    in
+    Arg.(value & opt int 3 & info [ "hot-threshold" ] ~docv:"N" ~doc)
+  in
+  let run host port unix_path jobs cache max_queue hot_threshold peers
+      peers_file =
     if cache < 1 then begin
       prerr_endline "cache capacity must be at least 1";
       exit 2
     end;
+    let peers =
+      match resolve_peers peers peers_file with
+      | Ok v -> v
+      | Error msg ->
+          Printf.eprintf "contention serve: %s\n" msg;
+          exit 2
+    in
     let config =
       {
         Serve.Server.default_config with
@@ -498,10 +540,33 @@ let serve_cmd =
         unix_path;
         jobs;
         cache_capacity = cache;
+        max_queue;
+        hot_threshold = (if peers = None then 0 else hot_threshold);
       }
     in
+    (* This node's own entry in the peer list, so hot entries are forwarded
+       to the digest's failover peer rather than back to ourselves. *)
+    let self_of endpoints =
+      List.find_opt
+        (function
+          | Cluster.Endpoint.Unix_sock p -> Some p = unix_path
+          | Cluster.Endpoint.Tcp t -> t.host = host && t.port = port)
+        endpoints
+    in
+    let router =
+      Option.map
+        (fun endpoints ->
+          let r = Cluster.Router.create ~pool_size:2 ~timeout:5. endpoints in
+          (r, self_of endpoints))
+        peers
+    in
+    let on_hot =
+      Option.map
+        (fun (r, self) entry -> Cluster.Router.forward_hot r ~self entry)
+        router
+    in
     let server =
-      try Serve.Server.start ~config ()
+      try Serve.Server.start ?on_hot ~config ()
       with Unix.Unix_error (err, _, _) ->
         Printf.eprintf "cannot start server: %s\n" (Unix.error_message err);
         exit 1
@@ -521,10 +586,13 @@ let serve_cmd =
     Serve.Server.run_until_stopped
       ~should_stop:(fun () -> Atomic.get interrupted)
       server;
+    Option.iter (fun (r, _) -> Cluster.Router.close r) router;
     Printf.printf "contention serve: drained in-flight requests, stopped\n%!"
   in
   let term =
-    Term.(const run $ host_arg $ port_arg $ unix_arg $ jobs_arg $ cache_arg)
+    Term.(
+      const run $ host_arg $ port_arg $ unix_arg $ jobs_arg $ cache_arg
+      $ max_queue_arg $ hot_threshold_arg $ peers_arg $ peers_file_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -628,6 +696,9 @@ let print_stats (s : Serve.Protocol.stats_reply) =
   Printf.printf "pool: %d of %d workers busy (occupancy %.0f%%)\n"
     s.active_connections s.workers
     (100. *. Serve.Protocol.pool_occupancy s);
+  Printf.printf "backpressure: queue bound %s, %d connections shed\n"
+    (if s.queue_capacity = 0 then "off" else string_of_int s.queue_capacity)
+    s.shed;
   Printf.printf "admission: %d admitted, %d rejected (candidate), %d rejected \
                  (victim), %d released\n"
     s.admitted s.rejected_candidate s.rejected_victim s.released;
@@ -780,6 +851,132 @@ let stats_cmd =
           prints a scrape-ready exposition")
     term
 
+(* ------------------------------------------------------------------ *)
+(* loadgen                                                             *)
+
+let loadgen_cmd =
+  let rate_arg =
+    let doc = "Target aggregate request rate in req/s (open loop)." in
+    Arg.(value & opt float 200. & info [ "rate" ] ~docv:"RPS" ~doc)
+  in
+  let duration_arg =
+    let doc = "Run length in seconds." in
+    Arg.(value & opt float 5. & info [ "duration" ] ~docv:"SECS" ~doc)
+  in
+  let threads_arg =
+    let doc = "Worker threads issuing requests." in
+    Arg.(value & opt int 16 & info [ "threads" ] ~docv:"N" ~doc)
+  in
+  let arrival_arg =
+    let doc = "Arrival process: $(b,poisson) or $(b,uniform)." in
+    Arg.(
+      value
+      & opt
+          (Arg.enum
+             [
+               ("poisson", Cluster.Loadgen.Poisson);
+               ("uniform", Cluster.Loadgen.Uniform);
+             ])
+          Cluster.Loadgen.Poisson
+      & info [ "arrival" ] ~docv:"KIND" ~doc)
+  in
+  let working_set_arg =
+    let doc = "Distinct workloads in the working set." in
+    Arg.(value & opt int 8 & info [ "working-set" ] ~docv:"N" ~doc)
+  in
+  let skew_arg =
+    let doc = "Zipf exponent over the working set (0 = uniform popularity)." in
+    Arg.(value & opt float 1.0 & info [ "skew" ] ~docv:"S" ~doc)
+  in
+  let apps_arg =
+    let doc = "Apps per generated workload." in
+    Arg.(value & opt int 4 & info [ "apps" ] ~docv:"N" ~doc)
+  in
+  let procs_arg =
+    let doc = "Processors per generated workload." in
+    Arg.(value & opt int 2 & info [ "procs" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Write the contention-bench/1 report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Per-connection connect/read/write timeout in seconds." in
+    Arg.(value & opt float 10. & info [ "timeout" ] ~docv:"SECS" ~doc)
+  in
+  let pool_arg =
+    let doc = "Connections per shard (bounds in-flight requests per shard)." in
+    Arg.(value & opt int 8 & info [ "pool" ] ~docv:"N" ~doc)
+  in
+  let fail fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt in
+  let run peers peers_file rate duration threads arrival working_set skew apps
+      procs seed estimator json timeout pool =
+    let endpoints =
+      match resolve_peers peers peers_file with
+      | Ok (Some endpoints) -> endpoints
+      | Ok None -> fail "loadgen needs --peers or --peers-file"
+      | Error msg -> fail "%s" msg
+    in
+    if working_set < 1 then fail "working set must be at least 1";
+    let router =
+      Cluster.Router.create ~pool_size:pool ~timeout endpoints
+    in
+    Fun.protect
+      ~finally:(fun () -> Cluster.Router.close router)
+      (fun () ->
+        (* Fixed working set, uploaded (broadcast) before the clock starts. *)
+        let digests =
+          Array.init working_set (fun i ->
+              let w =
+                Exp.Workload.make ~seed:(seed + i) ~num_apps:apps ~procs ()
+              in
+              match
+                Cluster.Router.upload router
+                  ~payload:(Exp.Workload.to_string w)
+              with
+              | Ok r -> r.Serve.Protocol.digest
+              | Error msg -> fail "%s" msg)
+        in
+        let config =
+          {
+            Cluster.Loadgen.rate;
+            duration_s = duration;
+            concurrency = threads;
+            arrival;
+            skew;
+            seed;
+            estimator;
+          }
+        in
+        let report = Cluster.Loadgen.run config ~router ~digests in
+        print_string (Cluster.Loadgen.render report);
+        Option.iter
+          (fun path ->
+            Out_channel.with_open_text path (fun oc ->
+                output_string oc
+                  (Serve.Json.to_string (Cluster.Loadgen.report_to_json report));
+                output_char oc '\n');
+            Printf.printf "wrote %s\n" path)
+          json;
+        (* Sheds are the cluster behaving correctly under overload; errors
+           are not — make them a failing exit so CI can assert on it. *)
+        if report.Cluster.Loadgen.errors > 0 then exit 1)
+  in
+  let term =
+    Term.(
+      const run $ peers_arg $ peers_file_arg $ rate_arg $ duration_arg
+      $ threads_arg $ arrival_arg $ working_set_arg $ skew_arg $ apps_arg
+      $ procs_arg $ seed_arg $ estimator_arg $ json_arg $ timeout_arg
+      $ pool_arg)
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Open-loop load harness for a serve cluster: fixed-rate Poisson or \
+          uniform arrivals over a Zipf-skewed working set, with \
+          consistent-hash routing and a latency/shed report")
+    term
+
 let () =
   (* Fail malformed CONTENTION_JOBS here, once, with a clean message — not
      as an uncaught Invalid_argument from deep inside a sweep. *)
@@ -798,4 +995,4 @@ let () =
        (Cmd.group info
           [ generate_cmd; analyze_cmd; simulate_cmd; experiment_cmd; sweep_cmd;
             export_cmd; inspect_cmd; report_cmd; sensitivity_cmd; check_cmd;
-            serve_cmd; query_cmd; stats_cmd ]))
+            serve_cmd; query_cmd; stats_cmd; loadgen_cmd ]))

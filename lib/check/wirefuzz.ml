@@ -43,6 +43,11 @@ let scalars =
     {|{"cmd": "admit", "session": 3}|};
     {|{"cmd": "estimate", "digest": "nope", "estimator": "bogus"}|};
     {|{"cmd": "release", "app": []}|}; {|[{"cmd": "ping"}]|};
+    {|{"cmd": "cache-put"}|};
+    {|{"cmd": "cache-put", "workload": "0123456789abcdef", "mask": "x"}|};
+    {|{"cmd": "cache-put", "workload": "0123456789abcdef", "mask": -3, "estimator": "o2", "results": []}|};
+    {|{"cmd": "cache-put", "workload": "0123456789abcdef", "mask": 3, "estimator": "bogus", "results": [{"app": "A"}]}|};
+    {|{"shed": {"queue_depth": 1}}|}; {|{"shed": {}}|};
     {|{"cmd": "ping", "extra": {"deep": [1, [2, [3]]]}}|};
     "\xff\xfe\x00garbage"; "{"; "}"; {|{"cmd": "ping"|}; {|"unterminated|};
   |]
@@ -72,6 +77,21 @@ let template rng =
           min_throughput = 0.25;
         };
       Release { session = "s"; app = "A" };
+      Cache_put
+        {
+          digest = "0123456789abcdef";
+          mask = 3;
+          estimator = "second-order";
+          rows =
+            [
+              {
+                app = "A";
+                period = 12.;
+                isolation_period = 10.;
+                throughput = 0.1;
+              };
+            ];
+        };
     |]
   in
   Serve.Json.to_string (request_to_json reqs.(Rng.int rng (Array.length reqs)))
@@ -109,8 +129,15 @@ let check_reply acc ~input reply =
         input reply msg
       :: acc
   | Ok json -> (
-      match Serve.Protocol.unwrap_reply json with
-      | Ok _ | Error _ -> acc)
+      match Serve.Protocol.classify_reply json with
+      | Serve.Protocol.Reply_ok _ | Serve.Protocol.Reply_error _ -> acc
+      | Serve.Protocol.Reply_shed _ ->
+          (* Shedding happens at accept time, before a worker ever parses a
+             line; a shed verdict out of handle_line means the backpressure
+             path leaked into request handling. *)
+          violation "wire-shed-inline" "input %S got an inline shed verdict"
+            input
+          :: acc)
 
 let fuzz_lines ?(seeds = 200) server =
   let rng = Rng.create 0x3117 in

@@ -1,0 +1,74 @@
+type t = Tcp of { host : string; port : int } | Unix_sock of string
+
+let to_string = function
+  | Tcp { host; port } -> Printf.sprintf "%s:%d" host port
+  | Unix_sock path -> "unix:" ^ path
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" then Error "empty endpoint"
+  else if String.length s >= 5 && String.sub s 0 5 = "unix:" then begin
+    let path = String.sub s 5 (String.length s - 5) in
+    if path = "" then Error "unix: endpoint needs a socket path"
+    else Ok (Unix_sock path)
+  end
+  else
+    match String.rindex_opt s ':' with
+    | None ->
+        Error
+          (Printf.sprintf "%S: expected \"host:port\" or \"unix:PATH\"" s)
+    | Some i -> (
+        let host = String.sub s 0 i in
+        let host = if host = "" then "127.0.0.1" else host in
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+        | Some port when port > 0 && port < 65536 -> Ok (Tcp { host; port })
+        | Some port -> Error (Printf.sprintf "%d: port out of range" port)
+        | None -> Error (Printf.sprintf "%S: malformed port" s))
+
+let ( let* ) = Result.bind
+
+let check_peers endpoints =
+  let* () = if endpoints = [] then Error "no peers given" else Ok () in
+  let seen = Hashtbl.create 8 in
+  List.fold_left
+    (fun acc e ->
+      let* () = acc in
+      let key = to_string e in
+      if Hashtbl.mem seen key then
+        Error (Printf.sprintf "duplicate peer %s" key)
+      else begin
+        Hashtbl.replace seen key ();
+        Ok ()
+      end)
+    (Ok ()) endpoints
+  |> Result.map (fun () -> endpoints)
+
+let parse_all specs =
+  let* endpoints =
+    List.fold_right
+      (fun spec acc ->
+        let* acc = acc in
+        let* e = of_string spec in
+        Ok (e :: acc))
+      specs (Ok [])
+  in
+  check_peers endpoints
+
+let parse_list s =
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+  |> parse_all
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_lines with
+  | lines ->
+      lines
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+      |> parse_all
+  | exception Sys_error msg -> Error msg
+
+let connect ?timeout = function
+  | Tcp { host; port } -> Serve.Client.connect ~host ?timeout ~port ()
+  | Unix_sock path -> Serve.Client.connect_unix ?timeout path

@@ -1,0 +1,30 @@
+(** Where a shard listens: a TCP host/port or a Unix-domain socket path.
+
+    The textual form is what [--peers] takes on the command line and what a
+    peers file holds, and it doubles as the peer's identity on the
+    {!Ring} — two shards are the same peer iff their endpoints render to
+    the same string. *)
+
+type t =
+  | Tcp of { host : string; port : int }
+  | Unix_sock of string  (** Socket path. *)
+
+val to_string : t -> string
+(** ["host:port"] or ["unix:/path"].  [of_string (to_string e) = Ok e]. *)
+
+val of_string : string -> (t, string) result
+(** Accepts ["host:port"] (host defaults to 127.0.0.1 when empty, as in
+    [":4557"]) and ["unix:PATH"].  Total: never raises. *)
+
+val parse_list : string -> (t list, string) result
+(** A comma-separated [--peers] value.  Rejects an empty list and duplicate
+    endpoints — a duplicated peer would silently own twice the ring. *)
+
+val load_file : string -> (t list, string) result
+(** One endpoint per line; blank lines and [#] comments ignored.  Same
+    duplicate/empty checks as {!parse_list}. *)
+
+val connect :
+  ?timeout:float -> t -> (Serve.Client.t, string) result
+(** Dial the endpoint with {!Serve.Client.connect} / [connect_unix],
+    passing [timeout] through. *)

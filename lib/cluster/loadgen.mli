@@ -1,0 +1,71 @@
+(** Open-loop load harness for a serve cluster.
+
+    Open loop means the arrival schedule is fixed {e before} the run
+    (Poisson or uniform gaps at a target rate) and never slows down because
+    the server is slow — unlike a closed loop, which hides overload by
+    waiting for replies before sending more.  Latency is measured from the
+    {e scheduled} arrival, not the actual send, so queueing delay inside
+    the harness counts against the server (the standard correction for
+    coordinated omission).
+
+    The working set is a fixed array of uploaded workload digests with
+    Zipf-skewed popularity: [skew = 0] is uniform, [skew ≈ 1] gives the
+    hot-key traffic that exercises estimate-cache hits and hot-entry
+    forwarding.  Schedule and digest choices are precomputed from the seed,
+    so two runs at the same seed issue the identical request sequence
+    regardless of thread interleaving. *)
+
+type arrival = Poisson | Uniform
+
+type config = {
+  rate : float;  (** Target aggregate request rate, req/s. *)
+  duration_s : float;
+  concurrency : int;  (** Worker threads issuing requests. *)
+  arrival : arrival;
+  skew : float;  (** Zipf exponent over the working set; 0 = uniform. *)
+  seed : int;
+  estimator : Contention.Analysis.estimator;
+}
+
+val default_config : config
+(** 200 req/s for 5 s, 16 threads, Poisson arrivals, skew 1.0, seed 2007,
+    second-order estimator. *)
+
+type report = {
+  target_rps : float;
+  arrival : arrival;
+  offered : int;  (** Scheduled (= issued) requests. *)
+  ok : int;
+  shed : int;  (** Backpressure verdicts — the server saying "later". *)
+  errors : int;  (** Transport and protocol failures. *)
+  wall_s : float;
+  achieved_rps : float;  (** [ok] over wall time. *)
+  mean_ms : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;  (** Latency of served requests, scheduled-arrival based. *)
+}
+
+val run :
+  ?registry:Obs.Metric.registry ->
+  config ->
+  router:Router.t ->
+  digests:string array ->
+  report
+(** Drive the cluster through [router] over the given working set.  Each
+    served request lands in the
+    [contention_loadgen_latency_seconds] histogram and every outcome bumps
+    [contention_loadgen_requests_total{outcome=...}] in [registry]
+    (default {!Obs.Metric.default}), so a long-running harness can be
+    scraped mid-flight.
+    @raise Invalid_argument on an empty digest array, [rate <= 0],
+    [duration_s <= 0] or [concurrency < 1]. *)
+
+val report_to_json : report -> Serve.Json.t
+(** A [{"schema": "contention-bench/1", ...}] document with the run under a
+    ["loadgen"] key — same envelope as [contention bench --json], so the
+    same tooling ingests both. *)
+
+val render : report -> string
+(** Human-readable summary table. *)

@@ -1,0 +1,157 @@
+type t = {
+  endpoint : Endpoint.t;
+  size : int;
+  timeout : float option;
+  dial_attempts : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable idle : Serve.Client.t list;
+  mutable outstanding : int;  (* checked out + idle *)
+  mutable dials : int;
+  mutable discarded : int;
+  mutable closed : bool;
+}
+
+let create ?(size = 8) ?timeout ?(dial_attempts = 4) endpoint =
+  if size < 1 then invalid_arg "Cluster.Pool.create: size < 1";
+  if dial_attempts < 1 then invalid_arg "Cluster.Pool.create: dial_attempts < 1";
+  {
+    endpoint;
+    size;
+    timeout;
+    dial_attempts;
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    idle = [];
+    outstanding = 0;
+    dials = 0;
+    discarded = 0;
+    closed = false;
+  }
+
+let endpoint t = t.endpoint
+
+let dial t =
+  let rec go attempt =
+    match Endpoint.connect ?timeout:t.timeout t.endpoint with
+    | Ok c -> Ok c
+    | Error _ as e when attempt >= t.dial_attempts -> e
+    | Error _ ->
+        (* 20 ms, 40 ms, 80 ms, … — enough for a restarting shard to come
+           back without turning a dead one into a long stall. *)
+        Unix.sleepf (0.02 *. Float.of_int (1 lsl (attempt - 1)));
+        go (attempt + 1)
+  in
+  go 1
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let checkout t =
+  let action =
+    locked t (fun () ->
+        let rec wait () =
+          if t.closed then `Closed
+          else
+            match t.idle with
+            | c :: rest ->
+                t.idle <- rest;
+                `Conn c
+            | [] ->
+                if t.outstanding < t.size then begin
+                  (* Reserve the slot before dialing so concurrent checkouts
+                     cannot overshoot [size]; the dial itself happens outside
+                     the lock. *)
+                  t.outstanding <- t.outstanding + 1;
+                  t.dials <- t.dials + 1;
+                  `Dial
+                end
+                else begin
+                  Condition.wait t.cond t.mutex;
+                  wait ()
+                end
+        in
+        wait ())
+  in
+  match action with
+  | `Closed -> Error "pool: closed"
+  | `Conn c -> Ok c
+  | `Dial -> (
+      match dial t with
+      | Ok c -> Ok c
+      | Error _ as e ->
+          locked t (fun () ->
+              t.outstanding <- t.outstanding - 1;
+              Condition.signal t.cond);
+          e)
+
+let checkin t c =
+  let keep =
+    locked t (fun () ->
+        if t.closed then begin
+          t.outstanding <- t.outstanding - 1;
+          false
+        end
+        else begin
+          t.idle <- c :: t.idle;
+          Condition.signal t.cond;
+          true
+        end)
+  in
+  if not keep then Serve.Client.close c
+
+let discard t c =
+  Serve.Client.close c;
+  locked t (fun () ->
+      t.outstanding <- t.outstanding - 1;
+      t.discarded <- t.discarded + 1;
+      Condition.signal t.cond)
+
+let is_transport_error msg =
+  String.length msg >= 10 && String.sub msg 0 10 = "transport:"
+
+let ( let* ) = Result.bind
+
+let with_client t f =
+  let* c = checkout t in
+  let run c =
+    match f c with
+    | v -> v
+    | exception e ->
+        discard t c;
+        raise e
+  in
+  match run c with
+  | Error msg when is_transport_error msg -> (
+      discard t c;
+      (* The connection may have idled past a server restart: one retry on
+         a fresh dial, then the error stands. *)
+      let* c = checkout t in
+      match run c with
+      | Error msg as e when is_transport_error msg ->
+          discard t c;
+          e
+      | v ->
+          checkin t c;
+          v)
+  | v ->
+      checkin t c;
+      v
+
+let reconnects t = locked t (fun () -> t.discarded)
+
+let close t =
+  let idle =
+    locked t (fun () ->
+        if t.closed then []
+        else begin
+          t.closed <- true;
+          let idle = t.idle in
+          t.idle <- [];
+          t.outstanding <- t.outstanding - List.length idle;
+          Condition.broadcast t.cond;
+          idle
+        end)
+  in
+  List.iter Serve.Client.close idle

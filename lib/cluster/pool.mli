@@ -1,0 +1,51 @@
+(** A blocking pool of {!Serve.Client} connections to one shard.
+
+    The pool bounds the shard's concurrency from this process: at most
+    [size] connections exist at once (the server pins one worker domain per
+    live connection, so an unbounded pool would silently queue on the
+    server instead).  {!checkout} hands out an idle connection, dials a new
+    one when under the bound, and blocks otherwise until a connection is
+    returned.  Dialing retries with exponential backoff — a shard that is
+    restarting looks like a slow dial, not an error.
+
+    Connections returned with {!checkin} are reused; {!discard} closes a
+    connection whose transport failed (or that received a shed frame — the
+    server has already closed its end).  The next checkout reconnects. *)
+
+type t
+
+val create :
+  ?size:int -> ?timeout:float -> ?dial_attempts:int -> Endpoint.t -> t
+(** [size] defaults to 8 connections, [dial_attempts] to 4 (backoff sleeps
+    20 ms, 40 ms, 80 ms between tries).  [timeout] is passed to
+    {!Serve.Client.connect} and so also bounds reads/writes on every pooled
+    connection.
+    @raise Invalid_argument if [size < 1] or [dial_attempts < 1]. *)
+
+val endpoint : t -> Endpoint.t
+
+val checkout : t -> (Serve.Client.t, string) result
+(** Blocks while [size] connections are outstanding and none is idle.
+    [Error] after all dial attempts fail, or once the pool is closed. *)
+
+val checkin : t -> Serve.Client.t -> unit
+(** Return a healthy connection for reuse. *)
+
+val discard : t -> Serve.Client.t -> unit
+(** Close a broken connection and free its slot. *)
+
+val with_client :
+  t -> (Serve.Client.t -> ('a, string) result) -> ('a, string) result
+(** Checkout, run, checkin — with one transparent retry on a fresh
+    connection when [f] reports a transport error (an [Error] whose message
+    starts with ["transport:"]): the pooled connection may simply have gone
+    stale since its last use.  The broken connection is discarded either
+    way. *)
+
+val reconnects : t -> int
+(** Connections discarded as broken so far — each one forces a fresh dial
+    on some later checkout. *)
+
+val close : t -> unit
+(** Close idle connections and fail all future checkouts.  Outstanding
+    connections are closed as they come back.  Idempotent. *)

@@ -1,0 +1,81 @@
+(* Points are raw 16-byte MD5 digests compared as strings: an arbitrary but
+   total order, which is all a ring needs. *)
+
+type t = {
+  replicas : int;
+  order : string list;  (* insertion order, for [peers] *)
+  points : (string * string) array;  (* (point, peer), sorted by point *)
+}
+
+let point_of key = Digest.string key
+
+let vnode_points ~replicas peer =
+  List.init replicas (fun i ->
+      (Digest.string (Printf.sprintf "%s\000%d" peer i), peer))
+
+let sort_points points =
+  let arr = Array.of_list points in
+  (* Tie-break on the peer name so equal points (astronomically unlikely,
+     but possible) still sort deterministically. *)
+  Array.sort compare arr;
+  arr
+
+let create ?(replicas = 128) order =
+  if replicas < 1 then invalid_arg "Cluster.Ring.create: replicas < 1";
+  if order = [] then invalid_arg "Cluster.Ring.create: no peers";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem seen p then
+        invalid_arg ("Cluster.Ring.create: duplicate peer " ^ p);
+      Hashtbl.replace seen p ())
+    order;
+  let points =
+    sort_points (List.concat_map (vnode_points ~replicas) order)
+  in
+  { replicas; order; points }
+
+let peers t = t.order
+
+(* Index of the first point >= [p], or 0 (wrap) when [p] is past the last
+   point. *)
+let owner_index t p =
+  let n = Array.length t.points in
+  let rec search lo hi =
+    (* Invariant: points below [lo] are < p, points at/above [hi] are >= p. *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if fst t.points.(mid) < p then search (mid + 1) hi else search lo mid
+  in
+  let i = search 0 n in
+  if i = n then 0 else i
+
+let lookup t key = snd t.points.(owner_index t (point_of key))
+
+let successors t key =
+  let n = Array.length t.points in
+  let start = owner_index t (point_of key) in
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  for off = 0 to n - 1 do
+    let peer = snd t.points.((start + off) mod n) in
+    if not (Hashtbl.mem seen peer) then begin
+      Hashtbl.replace seen peer ();
+      out := peer :: !out
+    end
+  done;
+  List.rev !out
+
+let remove t peer =
+  if not (List.mem peer t.order) then t
+  else begin
+    let order = List.filter (fun p -> p <> peer) t.order in
+    if order = [] then invalid_arg "Cluster.Ring.remove: removing last peer";
+    {
+      t with
+      order;
+      points = Array.of_seq
+          (Seq.filter (fun (_, p) -> p <> peer) (Array.to_seq t.points));
+    }
+  end

@@ -1,0 +1,35 @@
+(** Consistent-hash ring over peer names.
+
+    Each peer owns [replicas] virtual points on the ring (MD5 of
+    ["peer\000index"]); a key (here: a workload's content digest) belongs
+    to the peer owning the first point at or after MD5 of the key, wrapping
+    around.  Virtual points give balance — with the default 128 replicas,
+    4 peers split 10k random keys well within 15% of each other — and make
+    membership changes cheap: removing a peer remaps {e only} the keys that
+    peer owned, because every other peer's points are untouched.
+
+    Lookup is a binary search over a sorted point array: O(log(peers ×
+    replicas)), no allocation beyond the key digest.  The ring is
+    immutable; {!remove} returns a new one. *)
+
+type t
+
+val create : ?replicas:int -> string list -> t
+(** [replicas] defaults to 128 points per peer.
+    @raise Invalid_argument on an empty or duplicate-containing peer list,
+    or [replicas < 1]. *)
+
+val peers : t -> string list
+(** In insertion order. *)
+
+val lookup : t -> string -> string
+(** The peer owning the key. *)
+
+val successors : t -> string -> string list
+(** All peers in ring order starting at the key's owner — the failover
+    order: if the owner is unreachable, the next distinct peer clockwise
+    takes over, deterministically and agreed on by every client. *)
+
+val remove : t -> string -> t
+(** Ring without the given peer's points.  Unknown peers are a no-op.
+    @raise Invalid_argument when removing the last peer. *)

@@ -1,26 +1,71 @@
 type t = { fd : Unix.file_descr; reader : Wire.reader }
 
+(* A server that hangs up mid-write must surface as EPIPE on the call, not
+   kill the client process.  Set once, lazily, by the first connect; outside
+   a Unix process (no sigpipe) the call raises and we carry on. *)
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ())
+
 let wrap_transport f =
   match f () with
   | v -> Ok v
   | exception Unix.Unix_error (err, fn, _) ->
       Error (Printf.sprintf "transport: %s (%s)" (Unix.error_message err) fn)
 
-let connect ?(host = "127.0.0.1") ~port () =
+(* Connect with a deadline: flip the socket non-blocking, start the connect,
+   wait for writability with [select], then read back SO_ERROR — the
+   classic portable shape.  Infinite patience (no timeout) keeps the plain
+   blocking connect. *)
+let connect_fd fd addr ~timeout =
+  match timeout with
+  | None -> Unix.connect fd addr
+  | Some limit ->
+      Unix.set_nonblock fd;
+      (match Unix.connect fd addr with
+      | () -> ()
+      | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _)
+        -> (
+          match Unix.select [] [ fd ] [] limit with
+          | [], [], [] ->
+              raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+          | _ -> (
+              match Unix.getsockopt_error fd with
+              | None -> ()
+              | Some err -> raise (Unix.Unix_error (err, "connect", "")))));
+      Unix.clear_nonblock fd
+
+(* After connect the same deadline bounds every read and write via the
+   socket-level timeouts, so a stuck server turns into EAGAIN instead of a
+   hung client. *)
+let apply_io_timeout fd = function
+  | None -> ()
+  | Some limit ->
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO limit;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO limit
+
+let connect ?(host = "127.0.0.1") ?timeout ~port () =
+  Lazy.force ignore_sigpipe;
   wrap_transport (fun () ->
       let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
       try
-        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+        connect_fd fd
+          (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+          ~timeout;
+        apply_io_timeout fd timeout;
         { fd; reader = Wire.reader fd }
       with e ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
         raise e)
 
-let connect_unix path =
+let connect_unix ?timeout path =
+  Lazy.force ignore_sigpipe;
   wrap_transport (fun () ->
       let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       try
-        Unix.connect fd (Unix.ADDR_UNIX path);
+        connect_fd fd (Unix.ADDR_UNIX path) ~timeout;
+        apply_io_timeout fd timeout;
         { fd; reader = Wire.reader fd }
       with e ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -30,22 +75,34 @@ let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
 let ( let* ) = Result.bind
 
-let request t json =
+let transport_error err =
+  match err with
+  | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT -> Error "transport: timeout"
+  | Unix.EPIPE | Unix.ECONNRESET ->
+      Error "transport: connection closed by peer"
+  | _ -> Error (Printf.sprintf "transport: %s" (Unix.error_message err))
+
+let exchange t json =
   let* () =
     match Wire.write_line t.fd (Json.to_string json) with
     | () -> Ok ()
-    | exception Unix.Unix_error (err, _, _) ->
-        Error (Printf.sprintf "transport: %s" (Unix.error_message err))
+    | exception Unix.Unix_error (err, _, _) -> transport_error err
   in
   match Wire.read_frame t.reader with
   | Wire.Eof -> Error "transport: connection closed by server"
   | Wire.Too_long -> Error "transport: oversized reply"
   | Wire.Line line ->
-      let* reply =
-        Result.map_error (Printf.sprintf "transport: bad reply frame: %s")
-          (Json.of_string line)
-      in
-      Protocol.unwrap_reply reply
+      Result.map_error (Printf.sprintf "transport: bad reply frame: %s")
+        (Json.of_string line)
+  | exception Unix.Unix_error (err, _, _) -> transport_error err
+
+let request_classified t json =
+  let* reply = exchange t json in
+  Ok (Protocol.classify_reply reply)
+
+let request t json =
+  let* reply = exchange t json in
+  Protocol.unwrap_reply reply
 
 let typed t req decode =
   let* payload = request t (Protocol.request_to_json req) in
@@ -60,6 +117,11 @@ let estimate t ~digest ?usecase ~estimator () =
   typed t
     (Protocol.Estimate { digest; usecase; estimator })
     Protocol.estimate_reply_of_json
+
+let cache_put t ~digest ~mask ~estimator ~rows =
+  typed t
+    (Protocol.Cache_put { digest; mask; estimator; rows })
+    (fun _ -> Ok ())
 
 let admit t ?(session = Protocol.default_session) ~digest ~app ~min_throughput
     () =

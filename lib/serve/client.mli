@@ -5,21 +5,34 @@
     One request/reply round-trip per call; replies are decoded into the
     {!Protocol} payload types.  Transport failures surface as
     [Error "transport: …"]; protocol-level failures carry the server's
-    message. *)
+    message.  The first connect sets [SIGPIPE] to ignore, so a peer that
+    hangs up mid-write yields [Error "transport: connection closed by
+    peer"] instead of killing the process. *)
 
 type t
 
-val connect : ?host:string -> port:int -> unit -> (t, string) result
-(** TCP to [host] (default 127.0.0.1). *)
+val connect : ?host:string -> ?timeout:float -> port:int -> unit -> (t, string) result
+(** TCP to [host] (default 127.0.0.1).  [timeout] (seconds) bounds the
+    connect {e and} every subsequent read/write on the connection
+    ([SO_RCVTIMEO]/[SO_SNDTIMEO]); an expired deadline surfaces as
+    [Error "transport: timeout"].  Omitted = block forever, as before. *)
 
-val connect_unix : string -> (t, string) result
-(** Unix-domain socket at the given path. *)
+val connect_unix : ?timeout:float -> string -> (t, string) result
+(** Unix-domain socket at the given path; [timeout] as in {!connect}. *)
 
 val close : t -> unit
 
 val request : t -> Json.t -> (Json.t, string) result
 (** Raw round-trip: send one frame, read one frame, unwrap the ok/error
-    envelope.  The typed helpers below are built on this. *)
+    envelope.  A shed verdict maps to [Error "shed: …"]; use
+    {!request_classified} to tell sheds from errors.  The typed helpers
+    below are built on this. *)
+
+val request_classified : t -> Json.t -> (Protocol.reply, string) result
+(** Like {!request} but returns the classified envelope, keeping the shed
+    verdict distinct — what the cluster router and load generator need to
+    count sheds without string-matching error messages.  [Error] is
+    reserved for transport failures. *)
 
 val ping : t -> (unit, string) result
 val upload : t -> payload:string -> (Protocol.upload_reply, string) result
@@ -31,6 +44,17 @@ val estimate :
   estimator:Contention.Analysis.estimator ->
   unit ->
   (Protocol.estimate_reply, string) result
+
+val cache_put :
+  t ->
+  digest:string ->
+  mask:int ->
+  estimator:string ->
+  rows:Protocol.estimate_row list ->
+  (unit, string) result
+(** Install precomputed estimate rows into the server's cache — the
+    replication half of hot-entry forwarding (see {!Server.start}'s
+    [on_hot]). *)
 
 val admit :
   t ->

@@ -10,6 +10,7 @@ type t = {
   mutable rejected_candidate : int;
   mutable rejected_victim : int;
   mutable released : int;
+  mutable shed : int;  (* connections refused with a shed verdict *)
   reservoir : float array;  (* seconds; ring buffer of recent latencies *)
   mutable samples : int;  (* total recorded; ring index = samples mod size *)
   mutable latency_sum : float;
@@ -27,6 +28,7 @@ let create () =
     rejected_candidate = 0;
     rejected_victim = 0;
     released = 0;
+    shed = 0;
     reservoir = Array.make reservoir_size 0.;
     samples = 0;
     latency_sum = 0.;
@@ -59,6 +61,7 @@ let record_admission_verdict t verdict =
           t.rejected_victim <- t.rejected_victim + 1)
 
 let incr_released t = locked t (fun () -> t.released <- t.released + 1)
+let incr_shed t = locked t (fun () -> t.shed <- t.shed + 1)
 
 type snapshot = {
   uptime_s : float;
@@ -69,6 +72,7 @@ type snapshot = {
   rejected_candidate : int;
   rejected_victim : int;
   released : int;
+  shed : int;
   latency_mean_us : float;
   latency_p50_us : float;
   latency_p90_us : float;
@@ -94,6 +98,7 @@ let snapshot t =
         rejected_candidate = t.rejected_candidate;
         rejected_victim = t.rejected_victim;
         released = t.released;
+        shed = t.shed;
         latency_mean_us =
           (if t.total = 0 then 0. else us (t.latency_sum /. float_of_int t.total));
         latency_p50_us = pct 50.;

@@ -19,6 +19,9 @@ val record : t -> cmd:string -> latency_s:float -> unit
 val record_admission_verdict : t -> Protocol.verdict -> unit
 val incr_released : t -> unit
 
+val incr_shed : t -> unit
+(** A connection was refused with a shed verdict (bounded queue full). *)
+
 type snapshot = {
   uptime_s : float;
   connections : int;
@@ -28,6 +31,7 @@ type snapshot = {
   rejected_candidate : int;
   rejected_victim : int;
   released : int;
+  shed : int;  (** Connections refused with a shed verdict. *)
   latency_mean_us : float;
   latency_p50_us : float;
   latency_p90_us : float;

@@ -1,3 +1,10 @@
+type estimate_row = {
+  app : string;
+  period : float;
+  isolation_period : float;
+  throughput : float;
+}
+
 type request =
   | Ping
   | Upload of { payload : string }
@@ -13,6 +20,15 @@ type request =
       min_throughput : float;
     }
   | Release of { session : string; app : string }
+  | Cache_put of {
+      digest : string;
+      mask : int;
+      estimator : string;
+      rows : estimate_row list;
+    }
+      (** Peer-to-peer: install precomputed estimate rows into the receiving
+          server's cache, keyed by [(digest, mask, estimator)].  Sent by the
+          cluster router to replicate hot entries. *)
   | Stats
   | Metrics
   | Shutdown
@@ -77,6 +93,30 @@ let str_list json =
           | _ -> None)
         xs (Some [])
 
+let estimate_row_to_json r =
+  Json.Obj
+    [
+      ("app", Json.Str r.app);
+      ("period", Json.Num r.period);
+      ("isolation_period", Json.Num r.isolation_period);
+      ("throughput", Json.Num r.throughput);
+    ]
+
+let estimate_row_of_json json =
+  let* app = field "app" Json.get_str json in
+  let* period = field "period" Json.get_num json in
+  let* isolation_period = field "isolation_period" Json.get_num json in
+  let* throughput = field "throughput" Json.get_num json in
+  Ok { app; period; isolation_period; throughput }
+
+let rows_of_json rows_json =
+  List.fold_right
+    (fun r acc ->
+      let* acc = acc in
+      let* row = estimate_row_of_json r in
+      Ok (row :: acc))
+    rows_json (Ok [])
+
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
 
@@ -107,6 +147,15 @@ let request_to_json = function
           ("cmd", Json.Str "release");
           ("session", Json.Str session);
           ("app", Json.Str app);
+        ]
+  | Cache_put { digest; mask; estimator; rows } ->
+      Json.Obj
+        [
+          ("cmd", Json.Str "cache-put");
+          ("workload", Json.Str digest);
+          ("mask", Json.Num (float_of_int mask));
+          ("estimator", Json.Str estimator);
+          ("results", Json.Arr (List.map estimate_row_to_json rows));
         ]
   | Stats -> Json.Obj [ ("cmd", Json.Str "stats") ]
   | Metrics -> Json.Obj [ ("cmd", Json.Str "metrics") ]
@@ -155,6 +204,14 @@ let request_of_json json =
           in
           let* app = field "app" Json.get_str json in
           Ok (Release { session; app })
+      | "cache-put" ->
+          let* digest = field "workload" Json.get_str json in
+          let* mask = field "mask" Json.get_int json in
+          let* estimator = field "estimator" Json.get_str json in
+          let* rows_json = field "results" Json.get_arr json in
+          let* rows = rows_of_json rows_json in
+          if mask < 0 then Error "mask must be non-negative"
+          else Ok (Cache_put { digest; mask; estimator; rows })
       | "stats" -> Ok Stats
       | "metrics" -> Ok Metrics
       | "shutdown" -> Ok Shutdown
@@ -164,13 +221,6 @@ let request_of_json json =
 (* Replies                                                             *)
 
 type upload_reply = { digest : string; apps : string list; procs : int }
-
-type estimate_row = {
-  app : string;
-  period : float;
-  isolation_period : float;
-  throughput : float;
-}
 
 type estimate_reply = {
   cached : bool;
@@ -196,6 +246,8 @@ type stats_reply = {
   cache_misses : int;
   active_connections : int;
   workers : int;
+  queue_capacity : int;
+  shed : int;
   admitted : int;
   rejected_candidate : int;
   rejected_victim : int;
@@ -238,22 +290,6 @@ let upload_reply_of_json json =
   let* procs = field "procs" Json.get_int json in
   Ok { digest; apps; procs }
 
-let estimate_row_to_json r =
-  Json.Obj
-    [
-      ("app", Json.Str r.app);
-      ("period", Json.Num r.period);
-      ("isolation_period", Json.Num r.isolation_period);
-      ("throughput", Json.Num r.throughput);
-    ]
-
-let estimate_row_of_json json =
-  let* app = field "app" Json.get_str json in
-  let* period = field "period" Json.get_num json in
-  let* isolation_period = field "isolation_period" Json.get_num json in
-  let* throughput = field "throughput" Json.get_num json in
-  Ok { app; period; isolation_period; throughput }
-
 let estimate_reply_to_json r =
   Json.Obj
     [
@@ -266,14 +302,7 @@ let estimate_reply_of_json json =
   let* cached = field "cached" Json.get_bool json in
   let* estimator = field "estimator" Json.get_str json in
   let* rows_json = field "results" Json.get_arr json in
-  let* rows =
-    List.fold_right
-      (fun r acc ->
-        let* acc = acc in
-        let* row = estimate_row_of_json r in
-        Ok (row :: acc))
-      rows_json (Ok [])
-  in
+  let* rows = rows_of_json rows_json in
   Ok { cached; estimator; rows }
 
 let verdict_to_json = function
@@ -339,6 +368,8 @@ let stats_reply_to_json s =
           [
             ("active_connections", Json.Num (float_of_int s.active_connections));
             ("workers", Json.Num (float_of_int s.workers));
+            ("queue_capacity", Json.Num (float_of_int s.queue_capacity));
+            ("shed", Json.Num (float_of_int s.shed));
           ] );
       ( "admission",
         Json.Obj
@@ -384,6 +415,8 @@ let stats_reply_of_json json =
   let* pool = field "pool" (fun j -> Some j) json in
   let* active_connections = field "active_connections" Json.get_int pool in
   let* workers = field "workers" Json.get_int pool in
+  let* queue_capacity = field "queue_capacity" Json.get_int pool in
+  let* shed = field "shed" Json.get_int pool in
   let* admission = field "admission" (fun j -> Some j) json in
   let* admitted = field "admitted" Json.get_int admission in
   let* rejected_candidate = field "rejected_candidate" Json.get_int admission in
@@ -410,6 +443,8 @@ let stats_reply_of_json json =
       cache_misses;
       active_connections;
       workers;
+      queue_capacity;
+      shed;
       admitted;
       rejected_candidate;
       rejected_victim;
@@ -428,10 +463,36 @@ let stats_reply_of_json json =
 let ok payload = Json.Obj [ ("ok", payload) ]
 let error msg = Json.Obj [ ("error", Json.Str msg) ]
 
-let unwrap_reply json =
+let shed ~queue_depth =
+  Json.Obj
+    [ ("shed", Json.Obj [ ("queue_depth", Json.Num (float_of_int queue_depth)) ]) ]
+
+type reply =
+  | Reply_ok of Json.t
+  | Reply_error of string
+  | Reply_shed of { queue_depth : int }
+
+let classify_reply json =
   match Json.member "ok" json with
-  | Some payload -> Ok payload
+  | Some payload -> Reply_ok payload
   | None -> (
       match Option.bind (Json.member "error" json) Json.get_str with
-      | Some msg -> Error msg
-      | None -> Error "malformed reply: neither \"ok\" nor \"error\"")
+      | Some msg -> Reply_error msg
+      | None -> (
+          match Json.member "shed" json with
+          | Some payload ->
+              let queue_depth =
+                Option.value ~default:0
+                  (Option.bind (Json.member "queue_depth" payload) Json.get_int)
+              in
+              Reply_shed { queue_depth }
+          | None ->
+              Reply_error "malformed reply: neither \"ok\", \"error\" nor \"shed\""))
+
+let unwrap_reply json =
+  match classify_reply json with
+  | Reply_ok payload -> Ok payload
+  | Reply_error msg -> Error msg
+  | Reply_shed { queue_depth } ->
+      Error
+        (Printf.sprintf "shed: server overloaded (queue depth %d)" queue_depth)

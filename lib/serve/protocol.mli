@@ -2,13 +2,23 @@
 
     One request per line, one reply per line, both JSON objects.  A request
     carries a ["cmd"] field naming the command plus command-specific fields;
-    a reply is [{"ok": <payload>}] on success or [{"error": "<message>"}] on
-    failure.  Protocol errors (malformed JSON, unknown command, missing
-    fields, unknown digests…) are {e replies}, never connection drops — a
-    misbehaving client must not crash or stall the server.
+    a reply is [{"ok": <payload>}] on success, [{"error": "<message>"}] on
+    failure, or [{"shed": {"queue_depth": N}}] when the server's bounded
+    accept queue is full and the connection is refused under load (the
+    backpressure verdict — see {!Server}).  Protocol errors (malformed JSON,
+    unknown command, missing fields, unknown digests…) are {e replies},
+    never connection drops — a misbehaving client must not crash or stall
+    the server.
 
     Both the server's dispatcher and {!Client} are written against this
     module, so the codecs are exercised from both ends in the tests. *)
+
+type estimate_row = {
+  app : string;
+  period : float;
+  isolation_period : float;
+  throughput : float;
+}
 
 type request =
   | Ping
@@ -26,6 +36,19 @@ type request =
       min_throughput : float;
     }
   | Release of { session : string; app : string }
+  | Cache_put of {
+      digest : string;  (** Content digest of the (uploaded) workload. *)
+      mask : int;  (** Use-case mask, the cache key's second component. *)
+      estimator : string;  (** Canonical estimator name. *)
+      rows : estimate_row list;
+    }
+      (** Peer-to-peer cache replication: install precomputed estimate rows
+          into the receiving server's estimate cache.  The cluster router
+          forwards hot entries this way so a failover peer can answer from
+          cache.  The digest must name a workload the receiver has (upload
+          is broadcast in cluster mode), and the estimator must be a valid
+          {!estimator_of_string} name — the key is re-canonicalised so a
+          forwarded entry actually hits. *)
   | Stats
   | Metrics
       (** Prometheus exposition of the server's {!Obs.Metric} registry, so
@@ -53,13 +76,6 @@ val request_of_json : Json.t -> (request, string) result
 
 type upload_reply = { digest : string; apps : string list; procs : int }
 
-type estimate_row = {
-  app : string;
-  period : float;
-  isolation_period : float;
-  throughput : float;
-}
-
 type estimate_reply = {
   cached : bool;  (** Whether the answer came from the estimate cache. *)
   estimator : string;  (** Canonical estimator name. *)
@@ -85,6 +101,8 @@ type stats_reply = {
   cache_misses : int;
   active_connections : int;  (** Connections being served right now. *)
   workers : int;  (** Worker domains — the pool's capacity. *)
+  queue_capacity : int;  (** Accept-queue bound; 0 = unbounded. *)
+  shed : int;  (** Connections refused with a shed verdict so far. *)
   admitted : int;
   rejected_candidate : int;
   rejected_victim : int;
@@ -125,6 +143,21 @@ val ok : Json.t -> Json.t
 val error : string -> Json.t
 (** [{"error": message}] *)
 
+val shed : queue_depth:int -> Json.t
+(** [{"shed": {"queue_depth": N}}] — the backpressure verdict: the server's
+    bounded accept queue was full, the request was not served, and the
+    client should back off and retry (possibly against another shard). *)
+
+type reply =
+  | Reply_ok of Json.t
+  | Reply_error of string
+  | Reply_shed of { queue_depth : int }
+
+val classify_reply : Json.t -> reply
+(** Total classification of a reply envelope; a frame that is none of the
+    three cases classifies as [Reply_error]. *)
+
 val unwrap_reply : Json.t -> (Json.t, string) result
-(** [Ok payload] for an ok envelope, [Error msg] for an error envelope or a
-    frame that is neither. *)
+(** [Ok payload] for an ok envelope, [Error msg] otherwise; a shed verdict
+    maps to [Error "shed: …"] so shed-unaware callers degrade cleanly
+    (use {!classify_reply} to tell sheds apart). *)

@@ -5,6 +5,8 @@ type config = {
   jobs : int option;
   cache_capacity : int;
   max_line : int;
+  max_queue : int;
+  hot_threshold : int;
 }
 
 let default_config =
@@ -15,7 +17,16 @@ let default_config =
     jobs = None;
     cache_capacity = 256;
     max_line = 8 * 1024 * 1024;
+    max_queue = 1024;
+    hot_threshold = 0;
   }
+
+type hot_entry = {
+  hot_digest : string;
+  hot_mask : Contention.Usecase.t;
+  hot_estimator : string;
+  hot_rows : Protocol.estimate_row list;
+}
 
 (* ------------------------------------------------------------------ *)
 (* A closeable blocking queue of accepted connections                  *)
@@ -85,6 +96,13 @@ type t = {
   m_queue_depth : Obs.Metric.Gauge.t;  (* accepted, waiting for a worker *)
   m_cache_hits : Obs.Metric.Counter.t;
   m_cache_misses : Obs.Metric.Counter.t;
+  m_shed : Obs.Metric.Counter.t;  (* connections refused: queue full *)
+  (* Hot-digest tracking: estimate-request counts per cache key.  When a
+     key's count crosses [hot_threshold], [on_hot] fires once with the rows
+     so the owner (the CLI's cluster glue) can replicate them to peers. *)
+  hot : (cache_key, int) Hashtbl.t;
+  hot_mutex : Mutex.t;
+  on_hot : (hot_entry -> unit) option;
   sessions : (string, Contention.Admission.t) Hashtbl.t;
   sessions_mutex : Mutex.t;
   (* Per-workload analysis caches (loads, HSDF expansion, kernel graph),
@@ -198,6 +216,31 @@ let estimate_rows estimator pairs =
        ~workspace:(Contention.Analysis.shared_workspace ())
        estimator pairs)
 
+(* Bump the request count of a cache key; the crossing of [hot_threshold]
+   (exactly once per key) hands the rows to [on_hot] so the cluster glue can
+   replicate the entry to peers.  A failing hook must not fail the request. *)
+let note_hot t ~digest ~mask ~name rows =
+  match t.on_hot with
+  | None -> ()
+  | Some hook when t.config.hot_threshold > 0 ->
+      let key = (digest, mask, name) in
+      Mutex.lock t.hot_mutex;
+      let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.hot key) in
+      Hashtbl.replace t.hot key n;
+      Mutex.unlock t.hot_mutex;
+      if n = t.config.hot_threshold then begin
+        try
+          hook
+            {
+              hot_digest = digest;
+              hot_mask = mask;
+              hot_estimator = name;
+              hot_rows = rows;
+            }
+        with _ -> ()
+      end
+  | Some _ -> ()
+
 let handle_estimate t ~digest ~usecase ~estimator =
   match Store.find t.store digest with
   | None -> Protocol.error (Printf.sprintf "unknown workload digest %S" digest)
@@ -224,9 +267,32 @@ let handle_estimate t ~digest ~usecase ~estimator =
                 Lru.put t.cache key rows;
                 (false, rows)
           in
+          note_hot t ~digest ~mask ~name rows;
           Protocol.ok
             (Protocol.estimate_reply_to_json
                { Protocol.cached; estimator = name; rows }))
+
+let handle_cache_put t ~digest ~mask ~estimator ~rows =
+  (* Accept only keys an estimate request could produce: a stored workload
+     and a canonical estimator name — otherwise the entry could never hit. *)
+  match Store.find t.store digest with
+  | None -> Protocol.error (Printf.sprintf "unknown workload digest %S" digest)
+  | Some w -> (
+      match Protocol.estimator_of_string estimator with
+      | Error msg -> Protocol.error msg
+      | Ok est ->
+          let napps = Exp.Workload.num_apps w in
+          if mask <= 0 || mask >= 1 lsl napps then
+            Protocol.error
+              (Printf.sprintf "mask %d out of range for %d applications" mask
+                 napps)
+          else begin
+            let name = Protocol.estimator_to_string est in
+            Lru.put t.cache (digest, mask, name) rows;
+            Protocol.ok
+              (Json.Obj
+                 [ ("installed", Json.Bool true); ("estimator", Json.Str name) ])
+          end)
 
 let handle_admit t ~session ~digest ~app ~min_throughput =
   match Store.find t.store digest with
@@ -314,6 +380,8 @@ let handle_stats t =
          cache_misses = Lru.misses t.cache;
          active_connections = active_count t;
          workers = t.workers;
+         queue_capacity = t.config.max_queue;
+         shed = m.shed;
          admitted = m.admitted;
          rejected_candidate = m.rejected_candidate;
          rejected_victim = m.rejected_victim;
@@ -346,6 +414,8 @@ let dispatch t (request : Protocol.request) =
   | Protocol.Admit { session; digest; app; min_throughput } ->
       handle_admit t ~session ~digest ~app ~min_throughput
   | Protocol.Release { session; app } -> handle_release t ~session ~app
+  | Protocol.Cache_put { digest; mask; estimator; rows } ->
+      handle_cache_put t ~digest ~mask ~estimator ~rows
   | Protocol.Stats -> handle_stats t
   | Protocol.Metrics ->
       Protocol.ok
@@ -361,6 +431,7 @@ let cmd_name = function
   | Protocol.Estimate _ -> "estimate"
   | Protocol.Admit _ -> "admit"
   | Protocol.Release _ -> "release"
+  | Protocol.Cache_put _ -> "cache-put"
   | Protocol.Stats -> "stats"
   | Protocol.Metrics -> "metrics"
   | Protocol.Shutdown -> "shutdown"
@@ -453,6 +524,19 @@ let worker t () =
   in
   loop ()
 
+(* Backpressure: the accept queue is bounded.  A connection arriving when
+   [max_queue] connections are already waiting for a worker is answered with
+   one shed frame and closed — the daemon's load-shedding verdict, preferred
+   over unbounded queueing (latency collapse) or silent drops (client
+   timeouts).  The write is a single small frame into a fresh socket buffer,
+   so it cannot block the acceptor. *)
+let shed_connection t fd ~queue_depth =
+  Metrics.incr_shed t.metrics;
+  Obs.Metric.Counter.inc t.m_shed;
+  (try Wire.write_line fd (Json.to_string (Protocol.shed ~queue_depth))
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
 let acceptor t listener () =
   let rec loop () =
     (* Re-checked after every wake-up: stop () nudges a blocked accept with
@@ -462,7 +546,10 @@ let acceptor t listener () =
     else
       match Unix.accept ~cloexec:true listener with
       | fd, _ ->
-          if Chan.push t.conns fd then
+          let depth = Chan.length t.conns in
+          if t.config.max_queue > 0 && depth >= t.config.max_queue then
+            shed_connection t fd ~queue_depth:depth
+          else if Chan.push t.conns fd then
             Obs.Metric.Gauge.set t.m_queue_depth
               (float_of_int (Chan.length t.conns))
           else (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -482,7 +569,7 @@ let acceptor t listener () =
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
 
-let start ?(config = default_config) () =
+let start ?on_hot ?(config = default_config) () =
   if config.cache_capacity < 1 then
     invalid_arg "Serve.Server.start: cache_capacity < 1";
   if config.port = None && config.unix_path = None then
@@ -547,6 +634,11 @@ let start ?(config = default_config) () =
       ~help:"Accepted connections waiting for a worker domain."
       "contention_serve_queue_depth"
   in
+  let m_shed =
+    Obs.Metric.Counter.v ~registry
+      ~help:"Connections refused with a shed verdict (accept queue full)."
+      "contention_serve_shed_total"
+  in
   let m_cache_hits =
     Obs.Metric.Counter.v ~registry
       ~help:"Estimate-cache lookups answered from the cache."
@@ -572,8 +664,12 @@ let start ?(config = default_config) () =
       registry;
       m_active;
       m_queue_depth;
+      m_shed;
       m_cache_hits;
       m_cache_misses;
+      hot = Hashtbl.create 8;
+      hot_mutex = Mutex.create ();
+      on_hot;
       sessions = Hashtbl.create 8;
       sessions_mutex = Mutex.create ();
       prepared = Hashtbl.create 8;

@@ -24,18 +24,42 @@ type config = {
   jobs : int option;  (** Worker domains; default {!Exp.Pool.default_jobs}. *)
   cache_capacity : int;  (** Estimate-cache entries. *)
   max_line : int;  (** Maximum request frame in bytes. *)
+  max_queue : int;
+      (** Accept-queue bound: a connection arriving when this many accepted
+          connections are already waiting for a worker is answered with one
+          [{"shed": ...}] frame and closed — explicit backpressure instead
+          of unbounded queueing.  [0] disables the bound. *)
+  hot_threshold : int;
+      (** Estimate requests per cache key before the entry counts as hot and
+          the [on_hot] hook (see {!start}) fires.  [0] disables hot
+          tracking. *)
 }
 
 val default_config : config
 (** 127.0.0.1, TCP port 4557, no Unix socket, default jobs, 256 cache
-    entries, 8 MiB frames. *)
+    entries, 8 MiB frames, 1024-deep accept queue, hot tracking off. *)
+
+type hot_entry = {
+  hot_digest : string;
+  hot_mask : Contention.Usecase.t;
+  hot_estimator : string;  (** Canonical estimator name. *)
+  hot_rows : Protocol.estimate_row list;
+}
+(** A cache entry whose request count just crossed [hot_threshold] — exactly
+    what a peer needs to install it via [cache-put]. *)
 
 type t
 
-val start : ?config:config -> unit -> t
+val start : ?on_hot:(hot_entry -> unit) -> ?config:config -> unit -> t
 (** Bind, listen and spawn the accept/worker domains.  [SIGPIPE] is set to
     ignore (a dead peer must surface as [EPIPE] on the worker, not kill the
     daemon).
+
+    [on_hot] fires at most once per cache key, from the worker domain
+    serving the request that crossed [config.hot_threshold]; exceptions it
+    raises are swallowed.  The cluster layer uses it to replicate hot
+    estimate-cache entries to peers ({!Cluster} lives above {!Serve}, so
+    the wiring happens in the binary, not here).
     @raise Invalid_argument if no listener is configured or
     [cache_capacity < 1]; @raise Unix.Unix_error if binding fails. *)
 
