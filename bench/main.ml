@@ -881,6 +881,7 @@ let cluster_json =
             skew = 0.;
             seed;
             estimator = Contention.Analysis.Order 2;
+            trace_sample = 0;
           }
         in
         let report =

@@ -82,8 +82,9 @@ let trace_arg =
 
 (* Tracing wraps the whole command so a run that dies halfway still dumps
    the spans it recorded — that partial trace is exactly what one wants
-   when hunting the failure. *)
-let with_trace trace f =
+   when hunting the failure.  [process_name] labels the file's process
+   metadata so $(b,trace-merge) can tell a shard's file from the client's. *)
+let with_trace ?process_name trace f =
   match trace with
   | None -> f ()
   | Some path ->
@@ -91,7 +92,7 @@ let with_trace trace f =
       Fun.protect
         ~finally:(fun () ->
           Obs.Span.set_enabled false;
-          Obs.Trace.write_file ~path (Obs.Span.drain ());
+          Obs.Trace.write_file ?process_name ~path (Obs.Span.drain ());
           Printf.eprintf "wrote trace to %s\n%!" path)
         f
 
@@ -519,8 +520,42 @@ let serve_cmd =
     in
     Arg.(value & opt int 3 & info [ "hot-threshold" ] ~docv:"N" ~doc)
   in
+  let journal_arg =
+    let doc =
+      "Append sampled per-request records (trace id, command, shard, queue \
+       depth, outcome, latency) as JSONL to $(docv), size-rotated to \
+       $(docv).1."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let journal_sample_arg =
+    let doc =
+      "Journal 1 in $(docv) context-free requests (requests carrying a trace \
+       context follow the context's sampled bit instead)."
+    in
+    Arg.(value & opt int 16 & info [ "journal-sample" ] ~docv:"N" ~doc)
+  in
+  let journal_max_bytes_arg =
+    let doc = "Rotate the journal after it exceeds $(docv) bytes (0 = never)." in
+    Arg.(
+      value
+      & opt int (8 * 1024 * 1024)
+      & info [ "journal-max-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let slo_latency_arg =
+    let doc =
+      "Latency objective in milliseconds: slower requests (and sheds) burn \
+       the SLO error budget reported by $(b,stats) and the metrics page."
+    in
+    Arg.(value & opt float 50. & info [ "slo-latency-ms" ] ~docv:"MS" ~doc)
+  in
+  let slo_target_arg =
+    let doc = "SLO availability target, e.g. 0.999." in
+    Arg.(value & opt float 0.999 & info [ "slo-target" ] ~docv:"FRACTION" ~doc)
+  in
   let run host port unix_path jobs cache max_queue hot_threshold peers
-      peers_file =
+      peers_file journal journal_sample journal_max_bytes slo_latency_ms
+      slo_target trace =
     if cache < 1 then begin
       prerr_endline "cache capacity must be at least 1";
       exit 2
@@ -532,6 +567,26 @@ let serve_cmd =
           Printf.eprintf "contention serve: %s\n" msg;
           exit 2
     in
+    (* This node's own entry in the peer list, so hot entries are forwarded
+       to the digest's failover peer rather than back to ourselves.  The
+       same identity labels the journal's shard field and the trace file's
+       process name. *)
+    let self_of endpoints =
+      List.find_opt
+        (function
+          | Cluster.Endpoint.Unix_sock p -> Some p = unix_path
+          | Cluster.Endpoint.Tcp t -> t.host = host && t.port = port)
+        endpoints
+    in
+    let self = Option.bind peers self_of in
+    let self_name =
+      match self with
+      | Some e -> Cluster.Endpoint.to_string e
+      | None -> (
+          match unix_path with
+          | Some p when port = 0 -> "unix:" ^ p
+          | _ -> Printf.sprintf "%s:%d" host port)
+    in
     let config =
       {
         Serve.Server.default_config with
@@ -542,57 +597,58 @@ let serve_cmd =
         cache_capacity = cache;
         max_queue;
         hot_threshold = (if peers = None then 0 else hot_threshold);
+        journal_path = journal;
+        journal_sample;
+        journal_max_bytes;
+        slo_objective_ms = slo_latency_ms;
+        slo_target;
+        shard = Some self_name;
       }
-    in
-    (* This node's own entry in the peer list, so hot entries are forwarded
-       to the digest's failover peer rather than back to ourselves. *)
-    let self_of endpoints =
-      List.find_opt
-        (function
-          | Cluster.Endpoint.Unix_sock p -> Some p = unix_path
-          | Cluster.Endpoint.Tcp t -> t.host = host && t.port = port)
-        endpoints
     in
     let router =
       Option.map
         (fun endpoints ->
-          let r = Cluster.Router.create ~pool_size:2 ~timeout:5. endpoints in
-          (r, self_of endpoints))
+          Cluster.Router.create ~pool_size:2 ~timeout:5. endpoints)
         peers
     in
     let on_hot =
       Option.map
-        (fun (r, self) entry -> Cluster.Router.forward_hot r ~self entry)
+        (fun r entry -> Cluster.Router.forward_hot r ~self entry)
         router
     in
-    let server =
-      try Serve.Server.start ?on_hot ~config ()
-      with Unix.Unix_error (err, _, _) ->
-        Printf.eprintf "cannot start server: %s\n" (Unix.error_message err);
-        exit 1
-    in
-    (match Serve.Server.tcp_port server with
-    | Some p -> Printf.printf "contention serve: listening on %s:%d\n%!" host p
-    | None -> ());
-    Option.iter
-      (fun path -> Printf.printf "contention serve: listening on %s\n%!" path)
-      unix_path;
-    let interrupted = Atomic.make false in
-    let on_signal _ = Atomic.set interrupted true in
-    (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
-     with Invalid_argument _ -> ());
-    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
-     with Invalid_argument _ -> ());
-    Serve.Server.run_until_stopped
-      ~should_stop:(fun () -> Atomic.get interrupted)
-      server;
-    Option.iter (fun (r, _) -> Cluster.Router.close r) router;
-    Printf.printf "contention serve: drained in-flight requests, stopped\n%!"
+    with_trace ~process_name:self_name trace (fun () ->
+        let server =
+          try Serve.Server.start ?on_hot ~config ()
+          with Unix.Unix_error (err, _, _) ->
+            Printf.eprintf "cannot start server: %s\n" (Unix.error_message err);
+            exit 1
+        in
+        (match Serve.Server.tcp_port server with
+        | Some p ->
+            Printf.printf "contention serve: listening on %s:%d\n%!" host p
+        | None -> ());
+        Option.iter
+          (fun path -> Printf.printf "contention serve: listening on %s\n%!" path)
+          unix_path;
+        let interrupted = Atomic.make false in
+        let on_signal _ = Atomic.set interrupted true in
+        (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+         with Invalid_argument _ -> ());
+        (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+         with Invalid_argument _ -> ());
+        Serve.Server.run_until_stopped
+          ~should_stop:(fun () -> Atomic.get interrupted)
+          server;
+        Option.iter Cluster.Router.close router;
+        Printf.printf
+          "contention serve: drained in-flight requests, stopped\n%!")
   in
   let term =
     Term.(
       const run $ host_arg $ port_arg $ unix_arg $ jobs_arg $ cache_arg
-      $ max_queue_arg $ hot_threshold_arg $ peers_arg $ peers_file_arg)
+      $ max_queue_arg $ hot_threshold_arg $ peers_arg $ peers_file_arg
+      $ journal_arg $ journal_sample_arg $ journal_max_bytes_arg
+      $ slo_latency_arg $ slo_target_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -706,7 +762,11 @@ let print_stats (s : Serve.Protocol.stats_reply) =
     "latency: mean %.0fus, p50 %.0fus, p90 %.0fus, p99 %.0fus, max %.0fus \
      over %d requests\n"
     s.latency_mean_us s.latency_p50_us s.latency_p90_us s.latency_p99_us
-    s.latency_max_us s.latency_samples
+    s.latency_max_us s.latency_samples;
+  if s.slo_objective_ms > 0. then
+    Printf.printf
+      "slo: %.1fms at %.4g%%, burn rate %.2fx (1m) / %.2fx (1h)\n"
+      s.slo_objective_ms (100. *. s.slo_target) s.slo_burn_1m s.slo_burn_1h
 
 let with_client ~host ~port ~unix_path f =
   let fail fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt in
@@ -832,23 +892,104 @@ let stats_cmd =
     in
     Arg.(value & flag & info [ "prometheus" ] ~doc)
   in
-  let run host port unix_path prometheus =
-    with_client ~host ~port ~unix_path (fun client ->
-        if prometheus then
-          match Serve.Client.metrics client with
-          | Ok r -> print_string r.Serve.Protocol.prometheus
-          | Error msg -> prerr_endline msg; exit 1
-        else
-          match Serve.Client.stats client with
-          | Ok s -> print_stats s
-          | Error msg -> prerr_endline msg; exit 1)
+  let cluster_arg =
+    let doc =
+      "Fan out to every shard in $(b,--peers)/$(b,--peers-file) and merge: \
+       per-shard summaries plus cluster totals, or (with $(b,--prometheus)) \
+       one exposition with every series labelled by shard."
+    in
+    Arg.(value & flag & info [ "cluster" ] ~doc)
   in
-  let term = Term.(const run $ host_arg $ port_arg $ unix_arg $ prometheus_arg) in
+  (* Cluster totals that are meaningful to add up; latency percentiles are
+     per shard only (percentiles do not sum). *)
+  let print_cluster_summary replies =
+    let sum f = List.fold_left (fun acc (_, s) -> acc + f s) 0 replies in
+    let maxf f = List.fold_left (fun acc (_, s) -> Float.max acc (f s)) 0. replies in
+    Printf.printf "cluster: %d shards, %d requests, %d shed, %d admitted, %d \
+                   rejected\n"
+      (List.length replies)
+      (sum (fun (s : Serve.Protocol.stats_reply) -> s.requests_total))
+      (sum (fun s -> s.shed))
+      (sum (fun s -> s.admitted))
+      (sum (fun s -> s.rejected_candidate + s.rejected_victim));
+    Printf.printf "cluster: worst burn rate %.2fx (1m) / %.2fx (1h)\n"
+      (maxf (fun s -> s.slo_burn_1m))
+      (maxf (fun s -> s.slo_burn_1h))
+  in
+  let run_cluster endpoints prometheus =
+    let router = Cluster.Router.create ~pool_size:1 ~timeout:10. endpoints in
+    Fun.protect
+      ~finally:(fun () -> Cluster.Router.close router)
+      (fun () ->
+        let failed = ref false in
+        if prometheus then begin
+          let expositions =
+            List.filter_map
+              (fun (e, r) ->
+                match r with
+                | Ok (m : Serve.Protocol.metrics_reply) ->
+                    Some (Cluster.Endpoint.to_string e, m.prometheus)
+                | Error msg ->
+                    Printf.eprintf "shard %s: %s\n"
+                      (Cluster.Endpoint.to_string e) msg;
+                    failed := true;
+                    None)
+              (Cluster.Router.metrics_all router)
+          in
+          print_string (Cluster.Promerge.merge expositions)
+        end
+        else begin
+          let replies =
+            List.filter_map
+              (fun (e, r) ->
+                let name = Cluster.Endpoint.to_string e in
+                match r with
+                | Ok s -> Some (name, s)
+                | Error msg ->
+                    Printf.eprintf "shard %s: %s\n" name msg;
+                    failed := true;
+                    None)
+              (Cluster.Router.stats_all router)
+          in
+          List.iter
+            (fun (name, s) ->
+              Printf.printf "--- shard %s ---\n" name;
+              print_stats s)
+            replies;
+          if replies <> [] then print_cluster_summary replies
+        end;
+        if !failed then exit 1)
+  in
+  let run host port unix_path prometheus cluster peers peers_file =
+    if cluster then
+      match resolve_peers peers peers_file with
+      | Ok (Some endpoints) -> run_cluster endpoints prometheus
+      | Ok None ->
+          prerr_endline "stats --cluster needs --peers or --peers-file";
+          exit 2
+      | Error msg -> prerr_endline msg; exit 2
+    else
+      with_client ~host ~port ~unix_path (fun client ->
+          if prometheus then
+            match Serve.Client.metrics client with
+            | Ok r -> print_string r.Serve.Protocol.prometheus
+            | Error msg -> prerr_endline msg; exit 1
+          else
+            match Serve.Client.stats client with
+            | Ok s -> print_stats s
+            | Error msg -> prerr_endline msg; exit 1)
+  in
+  let term =
+    Term.(
+      const run $ host_arg $ port_arg $ unix_arg $ prometheus_arg $ cluster_arg
+      $ peers_arg $ peers_file_arg)
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Operational statistics of a running daemon; $(b,--prometheus) \
-          prints a scrape-ready exposition")
+          prints a scrape-ready exposition, $(b,--cluster) fans out to every \
+          shard and merges")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -908,9 +1049,20 @@ let loadgen_cmd =
     let doc = "Connections per shard (bounds in-flight requests per shard)." in
     Arg.(value & opt int 8 & info [ "pool" ] ~docv:"N" ~doc)
   in
+  let trace_sample_arg =
+    let doc =
+      "Set the head-based journal-sampling bit on 1 in $(docv) requests' \
+       trace contexts (0 = issue context-free requests)."
+    in
+    Arg.(value & opt int 16 & info [ "trace-sample" ] ~docv:"N" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Suppress the once-per-second progress line on stderr." in
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
+  in
   let fail fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt in
   let run peers peers_file rate duration threads arrival working_set skew apps
-      procs seed estimator json timeout pool =
+      procs seed estimator json timeout pool trace trace_sample quiet =
     let endpoints =
       match resolve_peers peers peers_file with
       | Ok (Some endpoints) -> endpoints
@@ -924,50 +1076,64 @@ let loadgen_cmd =
     Fun.protect
       ~finally:(fun () -> Cluster.Router.close router)
       (fun () ->
-        (* Fixed working set, uploaded (broadcast) before the clock starts. *)
-        let digests =
-          Array.init working_set (fun i ->
-              let w =
-                Exp.Workload.make ~seed:(seed + i) ~num_apps:apps ~procs ()
-              in
-              match
-                Cluster.Router.upload router
-                  ~payload:(Exp.Workload.to_string w)
-              with
-              | Ok r -> r.Serve.Protocol.digest
-              | Error msg -> fail "%s" msg)
-        in
-        let config =
-          {
-            Cluster.Loadgen.rate;
-            duration_s = duration;
-            concurrency = threads;
-            arrival;
-            skew;
-            seed;
-            estimator;
-          }
-        in
-        let report = Cluster.Loadgen.run config ~router ~digests in
-        print_string (Cluster.Loadgen.render report);
-        Option.iter
-          (fun path ->
-            Out_channel.with_open_text path (fun oc ->
-                output_string oc
-                  (Serve.Json.to_string (Cluster.Loadgen.report_to_json report));
-                output_char oc '\n');
-            Printf.printf "wrote %s\n" path)
-          json;
-        (* Sheds are the cluster behaving correctly under overload; errors
-           are not — make them a failing exit so CI can assert on it. *)
-        if report.Cluster.Loadgen.errors > 0 then exit 1)
+        with_trace ~process_name:"loadgen" trace (fun () ->
+            (* Fixed working set, uploaded (broadcast) before the clock
+               starts. *)
+            let digests =
+              Array.init working_set (fun i ->
+                  let w =
+                    Exp.Workload.make ~seed:(seed + i) ~num_apps:apps ~procs ()
+                  in
+                  match
+                    Cluster.Router.upload router
+                      ~payload:(Exp.Workload.to_string w)
+                  with
+                  | Ok r -> r.Serve.Protocol.digest
+                  | Error msg -> fail "%s" msg)
+            in
+            let config =
+              {
+                Cluster.Loadgen.rate;
+                duration_s = duration;
+                concurrency = threads;
+                arrival;
+                skew;
+                seed;
+                estimator;
+                trace_sample;
+              }
+            in
+            let on_progress =
+              if quiet then None
+              else
+                Some
+                  (fun p ->
+                    Printf.eprintf "%s\n%!" (Cluster.Loadgen.progress_line p))
+            in
+            let report = Cluster.Loadgen.run ?on_progress config ~router ~digests in
+            print_string (Cluster.Loadgen.render report);
+            if List.length report.Cluster.Loadgen.per_shard > 1 then
+              print_string (Cluster.Loadgen.render_per_shard report);
+            Option.iter
+              (fun path ->
+                Out_channel.with_open_text path (fun oc ->
+                    output_string oc
+                      (Serve.Json.to_string
+                         (Cluster.Loadgen.report_to_json report));
+                    output_char oc '\n');
+                Printf.printf "wrote %s\n" path)
+              json;
+            (* Sheds are the cluster behaving correctly under overload;
+               errors are not — make them a failing exit so CI can assert on
+               it. *)
+            if report.Cluster.Loadgen.errors > 0 then exit 1))
   in
   let term =
     Term.(
       const run $ peers_arg $ peers_file_arg $ rate_arg $ duration_arg
       $ threads_arg $ arrival_arg $ working_set_arg $ skew_arg $ apps_arg
       $ procs_arg $ seed_arg $ estimator_arg $ json_arg $ timeout_arg
-      $ pool_arg)
+      $ pool_arg $ trace_arg $ trace_sample_arg $ quiet_arg)
   in
   Cmd.v
     (Cmd.info "loadgen"
@@ -975,6 +1141,51 @@ let loadgen_cmd =
          "Open-loop load harness for a serve cluster: fixed-rate Poisson or \
           uniform arrivals over a Zipf-skewed working set, with \
           consistent-hash routing and a latency/shed report")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* trace-merge                                                         *)
+
+let trace_merge_cmd =
+  let out_arg =
+    let doc = "Write the merged Chrome/Perfetto trace to $(docv)." in
+    Arg.(
+      value & opt string "merged-trace.json" & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let inputs_arg =
+    let doc =
+      "Per-process trace files written with $(b,--trace) (shards, loadgen, \
+       any client)."
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"TRACE" ~doc)
+  in
+  let run out inputs =
+    let processes =
+      List.map
+        (fun path ->
+          match Cluster.Trace.load path with
+          | Ok p -> p
+          | Error msg ->
+              Printf.eprintf "cannot load %s: %s\n" path msg;
+              exit 1)
+        inputs
+    in
+    Out_channel.with_open_text out (fun oc ->
+        output_string oc (Obs.Trace.merged_chrome_json processes));
+    let spans =
+      List.fold_left (fun n p -> n + List.length p.Obs.Trace.p_spans) 0 processes
+    in
+    Printf.printf "merged %d spans from %d processes into %s\n"
+      spans (List.length processes) out
+  in
+  let term = Term.(const run $ out_arg $ inputs_arg) in
+  Cmd.v
+    (Cmd.info "trace-merge"
+       ~doc:
+         "Fuse per-process trace files (shards + client) into one \
+          Perfetto-loadable timeline: clocks are aligned via each file's \
+          clock_sync anchor and cross-process parent/child span links \
+          become flow arrows")
     term
 
 let () =
@@ -995,4 +1206,4 @@ let () =
        (Cmd.group info
           [ generate_cmd; analyze_cmd; simulate_cmd; experiment_cmd; sweep_cmd;
             export_cmd; inspect_cmd; report_cmd; sensitivity_cmd; check_cmd;
-            serve_cmd; query_cmd; stats_cmd; loadgen_cmd ]))
+            serve_cmd; query_cmd; stats_cmd; loadgen_cmd; trace_merge_cmd ]))

@@ -34,6 +34,12 @@ let deep_object depth =
   ^ "1"
   ^ String.concat "" (List.init depth (fun _ -> "}"))
 
+(* A recognisable trace id planted in fuzzed trace envelopes.  Replies must
+   never contain it: the trace context is observability metadata, and a
+   server that echoes a caller-supplied id back over the wire is leaking
+   one tenant's correlation ids to whoever shares the reply path. *)
+let foreign_trace_id = "feedfacefeedface"
+
 let scalars =
   [|
     "1e999"; "-1e999"; "-0.0"; "99999999999999999999999999";
@@ -49,6 +55,19 @@ let scalars =
     {|{"cmd": "cache-put", "workload": "0123456789abcdef", "mask": 3, "estimator": "bogus", "results": [{"app": "A"}]}|};
     {|{"shed": {"queue_depth": 1}}|}; {|{"shed": {}}|};
     {|{"cmd": "ping", "extra": {"deep": [1, [2, [3]]]}}|};
+    (* Trace envelopes: a valid one, one with unknown fields (forward
+       compatibility with newer clients), and malformed shapes that the
+       lenient parser must swallow without rejecting the request. *)
+    {|{"cmd": "ping", "trace": {"id": "feedfacefeedface", "parent": "0000000000000001", "sampled": true}}|};
+    {|{"cmd": "ping", "trace": {"id": "feedfacefeedface", "sampled": false, "baggage": {"tenant": "x"}, "flags": 7}}|};
+    {|{"cmd": "estimate", "digest": "0123456789abcdef", "trace": {"id": 42}}|};
+    {|{"cmd": "ping", "trace": {"id": "feedfacefeedface", "parent": "zzzz"}}|};
+    {|{"cmd": "ping", "trace": {"id": "not-hex-at-all"}}|};
+    {|{"cmd": "ping", "trace": {"id": "feedfacefeedface", "sampled": "yes"}}|};
+    {|{"cmd": "ping", "trace": "feedfacefeedface"}|};
+    {|{"cmd": "ping", "trace": null}|}; {|{"cmd": "ping", "trace": []}|};
+    {|{"cmd": "ping", "trace": {}}|};
+    {|{"cmd": "ping", "trace": {"id": "0000000000000000"}}|};
     "\xff\xfe\x00garbage"; "{"; "}"; {|{"cmd": "ping"|}; {|"unterminated|};
   |]
 
@@ -94,7 +113,20 @@ let template rng =
         };
     |]
   in
-  Serve.Json.to_string (request_to_json reqs.(Rng.int rng (Array.length reqs)))
+  let trace =
+    (* Half the templates carry a trace envelope with the foreign id, so
+       byte-flipping and truncation also hammer the trace parser. *)
+    if Rng.bool rng then None
+    else
+      Some
+        {
+          Obs.Span.trace_id = 0xfeedfacefeedfaceL;
+          parent_span = Int64.of_int (Rng.int rng 1000);
+          sampled = Rng.bool rng;
+        }
+  in
+  Serve.Json.to_string
+    (request_to_json ?trace reqs.(Rng.int rng (Array.length reqs)))
 
 let mutate rng s =
   let b = Bytes.of_string s in
@@ -122,7 +154,21 @@ let fuzz_line rng =
 
 let ping_line = {|{"cmd": "ping"}|}
 
+let contains_substring ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
 let check_reply acc ~input reply =
+  let acc =
+    if contains_substring ~needle:foreign_trace_id reply then
+      violation "wire-trace-echo" "input %S reply %S echoes the caller trace id"
+        input reply
+      :: acc
+    else acc
+  in
   match Serve.Json.of_string reply with
   | Error msg ->
       violation "wire-unparseable-reply" "input %S got non-JSON reply %S: %s"

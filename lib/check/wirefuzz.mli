@@ -2,10 +2,14 @@
 
     The contract under test is the one {!Serve.Protocol} states: malformed
     input of any kind — random bytes, truncated frames, pathologically deep
-    JSON, near-valid requests with flipped bytes — must come back as an
-    [{"error": ...}] reply (or, over a socket, at worst close that one
-    connection), never crash the server, never produce an unparseable reply,
-    and never affect the next request.
+    JSON, near-valid requests with flipped bytes, valid and malformed
+    [trace] envelopes — must come back as an [{"error": ...}] reply (or,
+    over a socket, at worst close that one connection), never crash the
+    server, never produce an unparseable reply, and never affect the next
+    request.  Trace envelopes additionally must never be echoed: a planted
+    foreign trace id appearing anywhere in a reply is a violation
+    ([wire-trace-echo]), since correlation ids are metadata for the
+    caller's own telemetry, not reply material.
 
     Two layers are fuzzed:
     - {!fuzz_lines} drives {!Serve.Server.handle_line} in process: every

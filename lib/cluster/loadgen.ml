@@ -10,6 +10,7 @@ type config = {
   skew : float;
   seed : int;
   estimator : Contention.Analysis.estimator;
+  trace_sample : int;
 }
 
 let default_config =
@@ -21,7 +22,27 @@ let default_config =
     skew = 1.0;
     seed = 2007;
     estimator = Contention.Analysis.Order 2;
+    trace_sample = 0;
   }
+
+type shard_stats = {
+  s_ok : int;
+  s_shed : int;
+  s_errors : int;
+  s_p50_ms : float;
+  s_p99_ms : float;
+}
+
+type progress = {
+  elapsed_s : float;
+  offered_so_far : int;
+  completed : int;
+  ok_so_far : int;
+  shed_so_far : int;
+  errors_so_far : int;
+  rolling_p50_ms : float;
+  rolling_p99_ms : float;
+}
 
 type report = {
   target_rps : float;
@@ -37,6 +58,7 @@ type report = {
   p90_ms : float;
   p99_ms : float;
   max_ms : float;
+  per_shard : (string * shard_stats) list;
 }
 
 (* Arrival offsets in seconds from the run's start, one per request. *)
@@ -88,9 +110,38 @@ type accum = {
   mutable a_shed : int;
   mutable a_errors : int;
   mutable a_latencies : float list;  (* seconds, served requests only *)
+  a_shards : (string, saccum) Hashtbl.t;  (* outcome/latency per shard *)
 }
 
-let run ?(registry = Obs.Metric.default) cfg ~router ~digests =
+and saccum = {
+  mutable sa_ok : int;
+  mutable sa_shed : int;
+  mutable sa_errors : int;
+  mutable sa_latencies : float list;
+}
+
+let saccum_for acc shard =
+  match Hashtbl.find_opt acc.a_shards shard with
+  | Some s -> s
+  | None ->
+      let s = { sa_ok = 0; sa_shed = 0; sa_errors = 0; sa_latencies = [] } in
+      Hashtbl.add acc.a_shards shard s;
+      s
+
+(* How many scheduled arrivals fall at or before [elapsed] — the offered
+   count a progress line reports.  [times] is nondecreasing for both
+   arrival processes, so a binary search gives the answer. *)
+let offered_before times elapsed =
+  let n = Array.length times in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if times.(mid) <= elapsed then search (mid + 1) hi else search lo mid
+  in
+  search 0 n
+
+let run ?(registry = Obs.Metric.default) ?on_progress cfg ~router ~digests =
   if Array.length digests = 0 then
     invalid_arg "Cluster.Loadgen.run: empty working set";
   if cfg.rate <= 0. then invalid_arg "Cluster.Loadgen.run: rate <= 0";
@@ -119,7 +170,13 @@ let run ?(registry = Obs.Metric.default) cfg ~router ~digests =
   let next = Atomic.make 0 in
   let accums =
     Array.init cfg.concurrency (fun _ ->
-        { a_ok = 0; a_shed = 0; a_errors = 0; a_latencies = [] })
+        {
+          a_ok = 0;
+          a_shed = 0;
+          a_errors = 0;
+          a_latencies = [];
+          a_shards = Hashtbl.create 4;
+        })
   in
   let t0 = Obs.Clock.now_ns () in
   let worker acc =
@@ -129,22 +186,40 @@ let run ?(registry = Obs.Metric.default) cfg ~router ~digests =
         let target_s = times.(i) in
         let now_s = Obs.Clock.elapsed_s ~since:t0 in
         if target_s > now_s then Unix.sleepf (target_s -. now_s);
-        let outcome =
-          Router.estimate router ~digest:digests.(choices.(i))
-            ~estimator:cfg.estimator ()
+        let issue () =
+          Obs.Span.with_ ~name:"client.estimate"
+            ~args:(fun () -> [ ("request", string_of_int i) ])
+            (fun () ->
+              Router.estimate_routed router ~digest:digests.(choices.(i))
+                ~estimator:cfg.estimator ())
+        in
+        let outcome, shard =
+          (* Every request roots its own trace; the sampled bit (1 in
+             [trace_sample]) is the head-based journal decision the shards
+             honour.  [trace_sample = 0] disables contexts entirely. *)
+          if cfg.trace_sample > 0 then
+            Obs.Span.with_context
+              (Obs.Span.new_trace ~sampled:(i mod cfg.trace_sample = 0) ())
+              issue
+          else issue ()
         in
         let latency = Obs.Clock.elapsed_s ~since:t0 -. target_s in
+        let sa = saccum_for acc shard in
         (match outcome with
         | Router.Served _ ->
             acc.a_ok <- acc.a_ok + 1;
             acc.a_latencies <- latency :: acc.a_latencies;
+            sa.sa_ok <- sa.sa_ok + 1;
+            sa.sa_latencies <- latency :: sa.sa_latencies;
             Obs.Metric.Histogram.observe h_latency latency;
             count "ok"
         | Router.Shed _ ->
             acc.a_shed <- acc.a_shed + 1;
+            sa.sa_shed <- sa.sa_shed + 1;
             count "shed"
         | Router.Failed _ ->
             acc.a_errors <- acc.a_errors + 1;
+            sa.sa_errors <- sa.sa_errors + 1;
             count "error");
         loop ()
       end
@@ -155,7 +230,53 @@ let run ?(registry = Obs.Metric.default) cfg ~router ~digests =
     Array.to_list
       (Array.map (fun acc -> Thread.create worker acc) accums)
   in
+  (* The optional progress monitor reads the worker accumulators racily:
+     the counters are plain ints (a stale read is just a slightly old
+     number) and the latency lists are immutable spines, so a snapshot of
+     the head pointer is always a valid list. *)
+  let done_flag = Atomic.make false in
+  let monitor =
+    Option.map
+      (fun report ->
+        Thread.create
+          (fun () ->
+            while not (Atomic.get done_flag) do
+              Unix.sleepf 1.0;
+              if not (Atomic.get done_flag) then begin
+                let elapsed_s = Obs.Clock.elapsed_s ~since:t0 in
+                let ok = Array.fold_left (fun s a -> s + a.a_ok) 0 accums in
+                let shed = Array.fold_left (fun s a -> s + a.a_shed) 0 accums in
+                let errors =
+                  Array.fold_left (fun s a -> s + a.a_errors) 0 accums
+                in
+                let lats =
+                  Array.fold_left
+                    (fun l a -> List.rev_append a.a_latencies l)
+                    [] accums
+                in
+                let pct q =
+                  if lats = [] then 0.
+                  else 1e3 *. Repro_stats.Stats.percentile q lats
+                in
+                report
+                  {
+                    elapsed_s;
+                    offered_so_far = offered_before times elapsed_s;
+                    completed = ok + shed + errors;
+                    ok_so_far = ok;
+                    shed_so_far = shed;
+                    errors_so_far = errors;
+                    rolling_p50_ms = pct 50.;
+                    rolling_p99_ms = pct 99.;
+                  }
+              end
+            done)
+          ())
+      on_progress
+  in
   List.iter Thread.join threads;
+  Atomic.set done_flag true;
+  Option.iter Thread.join monitor;
   let wall_s = Obs.Clock.elapsed_s ~since:t0 in
   let ok = Array.fold_left (fun s a -> s + a.a_ok) 0 accums in
   let shed = Array.fold_left (fun s a -> s + a.a_shed) 0 accums in
@@ -167,6 +288,46 @@ let run ?(registry = Obs.Metric.default) cfg ~router ~digests =
   let pct q =
     if latencies = [] then 0.
     else ms (Repro_stats.Stats.percentile q latencies)
+  in
+  let per_shard =
+    (* Merge the workers' per-shard tallies; shards sorted by name so the
+       report is deterministic for a fixed outcome multiset. *)
+    let merged : (string, saccum) Hashtbl.t = Hashtbl.create 8 in
+    Array.iter
+      (fun acc ->
+        Hashtbl.iter
+          (fun shard (sa : saccum) ->
+            let m =
+              match Hashtbl.find_opt merged shard with
+              | Some m -> m
+              | None ->
+                  let m =
+                    { sa_ok = 0; sa_shed = 0; sa_errors = 0; sa_latencies = [] }
+                  in
+                  Hashtbl.add merged shard m;
+                  m
+            in
+            m.sa_ok <- m.sa_ok + sa.sa_ok;
+            m.sa_shed <- m.sa_shed + sa.sa_shed;
+            m.sa_errors <- m.sa_errors + sa.sa_errors;
+            m.sa_latencies <- List.rev_append sa.sa_latencies m.sa_latencies)
+          acc.a_shards)
+      accums;
+    Hashtbl.fold (fun shard m l -> (shard, m) :: l) merged []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (shard, (m : saccum)) ->
+           let spct q =
+             if m.sa_latencies = [] then 0.
+             else ms (Repro_stats.Stats.percentile q m.sa_latencies)
+           in
+           ( shard,
+             {
+               s_ok = m.sa_ok;
+               s_shed = m.sa_shed;
+               s_errors = m.sa_errors;
+               s_p50_ms = spct 50.;
+               s_p99_ms = spct 99.;
+             } ))
   in
   {
     target_rps = cfg.rate;
@@ -184,6 +345,7 @@ let run ?(registry = Obs.Metric.default) cfg ~router ~digests =
     p90_ms = pct 90.;
     p99_ms = pct 99.;
     max_ms = (if latencies = [] then 0. else ms (List.fold_left Float.max 0. latencies));
+    per_shard;
   }
 
 let arrival_name = function Poisson -> "poisson" | Uniform -> "uniform"
@@ -217,6 +379,20 @@ let report_to_json r =
                   ("p99", Num r.p99_ms);
                   ("max", Num r.max_ms);
                 ] );
+            ( "per_shard",
+              Obj
+                (List.map
+                   (fun (shard, s) ->
+                     ( shard,
+                       Obj
+                         [
+                           ("ok", Num (float_of_int s.s_ok));
+                           ("shed", Num (float_of_int s.s_shed));
+                           ("errors", Num (float_of_int s.s_errors));
+                           ("p50_ms", Num s.s_p50_ms);
+                           ("p99_ms", Num s.s_p99_ms);
+                         ] ))
+                   r.per_shard) );
           ] );
     ]
 
@@ -238,3 +414,24 @@ let render r =
       [ "latency p99 ms"; Printf.sprintf "%.3f" r.p99_ms ];
       [ "latency max ms"; Printf.sprintf "%.3f" r.max_ms ];
     ]
+
+let render_per_shard r =
+  Repro_stats.Table.render
+    ~header:[ "Shard"; "ok"; "shed"; "errors"; "p50 ms"; "p99 ms" ]
+    (List.map
+       (fun (shard, s) ->
+         [
+           shard;
+           string_of_int s.s_ok;
+           string_of_int s.s_shed;
+           string_of_int s.s_errors;
+           Printf.sprintf "%.3f" s.s_p50_ms;
+           Printf.sprintf "%.3f" s.s_p99_ms;
+         ])
+       r.per_shard)
+
+let progress_line p =
+  Printf.sprintf
+    "[%6.1fs] offered %d  completed %d  ok %d  shed %d  errors %d  p50 %.2fms  p99 %.2fms"
+    p.elapsed_s p.offered_so_far p.completed p.ok_so_far p.shed_so_far
+    p.errors_so_far p.rolling_p50_ms p.rolling_p99_ms

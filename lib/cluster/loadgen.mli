@@ -25,11 +25,37 @@ type config = {
   skew : float;  (** Zipf exponent over the working set; 0 = uniform. *)
   seed : int;
   estimator : Contention.Analysis.estimator;
+  trace_sample : int;
+      (** When positive, every request roots a fresh trace context carried
+          to the shards on the wire, with the head-based journal-sampling
+          bit set on 1 in [trace_sample] requests.  [0] (the default)
+          issues context-free requests. *)
 }
 
 val default_config : config
 (** 200 req/s for 5 s, 16 threads, Poisson arrivals, skew 1.0, seed 2007,
-    second-order estimator. *)
+    second-order estimator, no trace contexts. *)
+
+type shard_stats = {
+  s_ok : int;
+  s_shed : int;
+  s_errors : int;
+  s_p50_ms : float;
+  s_p99_ms : float;
+}
+(** One shard's share of the run, attributed to the shard that actually
+    answered (the failover peer for retried transport failures). *)
+
+type progress = {
+  elapsed_s : float;
+  offered_so_far : int;  (** Scheduled arrivals at or before [elapsed_s]. *)
+  completed : int;  (** [ok + shed + errors] so far. *)
+  ok_so_far : int;
+  shed_so_far : int;
+  errors_so_far : int;
+  rolling_p50_ms : float;  (** Over all served requests so far. *)
+  rolling_p99_ms : float;
+}
 
 type report = {
   target_rps : float;
@@ -45,10 +71,12 @@ type report = {
   p90_ms : float;
   p99_ms : float;
   max_ms : float;  (** Latency of served requests, scheduled-arrival based. *)
+  per_shard : (string * shard_stats) list;  (** Sorted by shard name. *)
 }
 
 val run :
   ?registry:Obs.Metric.registry ->
+  ?on_progress:(progress -> unit) ->
   config ->
   router:Router.t ->
   digests:string array ->
@@ -59,6 +87,10 @@ val run :
     [contention_loadgen_requests_total{outcome=...}] in [registry]
     (default {!Obs.Metric.default}), so a long-running harness can be
     scraped mid-flight.
+
+    [on_progress], when given, is called about once per second from a
+    dedicated monitor thread with a racy-but-safe snapshot of the run so
+    far — the CLI turns it into a live progress line.
     @raise Invalid_argument on an empty digest array, [rate <= 0],
     [duration_s <= 0] or [concurrency < 1]. *)
 
@@ -69,3 +101,9 @@ val report_to_json : report -> Serve.Json.t
 
 val render : report -> string
 (** Human-readable summary table. *)
+
+val render_per_shard : report -> string
+(** Per-shard outcome and latency breakdown as a table. *)
+
+val progress_line : progress -> string
+(** One-line rendering of a {!progress} snapshot. *)

@@ -1,0 +1,18 @@
+(** Merge per-shard Prometheus expositions into one cluster-wide page.
+
+    [contention stats --cluster --prometheus] scrapes every peer over the
+    wire protocol's [metrics] command and needs to present the union
+    without colliding series: the merge injects a [shard="<name>"] label
+    (as the first label) into every sample line, groups samples under one
+    [# HELP]/[# TYPE] header per metric family, and keeps histogram
+    companion series ([_bucket]/[_sum]/[_count]) inside their family
+    block.
+
+    Deterministic: output depends only on the {e contents} of the input —
+    shards are sorted by name, families by metric name, and each shard's
+    samples keep their original relative order (bucket order matters), so
+    any permutation of the same inputs merges byte-identically. *)
+
+val merge : (string * string) list -> string
+(** [merge [(shard, exposition); …]] — shard names must be distinct; an
+    empty list merges to the empty string. *)

@@ -70,29 +70,50 @@ let request_on pool json decode =
 (* Route by digest; on a transport failure, one failover hop to the next
    peer in ring order.  Sheds and protocol errors are never retried: a shed
    is the shard telling us to back off, and an error reply will not improve
-   on a different shard. *)
+   on a different shard.  Also returns which shard actually answered (the
+   failover peer on a retried transport failure) so callers can attribute
+   the outcome per shard. *)
 let routed t ~digest json decode =
   match Ring.successors t.ring digest with
-  | [] -> Failed "cluster: no peers"
+  | [] -> (Failed "cluster: no peers", "")
   | primary :: rest -> (
       match request_on (pool_of t primary) json decode with
       | Failed msg when is_transport_error msg -> (
           match rest with
-          | [] -> Failed msg
-          | next :: _ -> request_on (pool_of t next) json decode)
-      | v -> v)
+          | [] -> (Failed msg, primary)
+          | next :: _ -> (request_on (pool_of t next) json decode, next))
+      | v -> (v, primary))
+
+(* The routed calls open a router-side span and build the request envelope
+   inside it, so the trace context the wire carries names the router span
+   as parent — the server's serve.<cmd> span nests under it, and with
+   tracing disabled the only cost is the ambient-context read. *)
+let estimate_routed t ~digest ?usecase ~estimator () =
+  Obs.Span.with_ ~name:"router.estimate"
+    ~args:(fun () -> [ ("digest", digest) ])
+    (fun () ->
+      routed t ~digest
+        (Protocol.request_to_json
+           ?trace:(Obs.Span.current_context ())
+           (Protocol.Estimate { digest; usecase; estimator }))
+        Protocol.estimate_reply_of_json)
 
 let estimate t ~digest ?usecase ~estimator () =
-  routed t ~digest
-    (Protocol.request_to_json (Protocol.Estimate { digest; usecase; estimator }))
-    Protocol.estimate_reply_of_json
+  fst (estimate_routed t ~digest ?usecase ~estimator ())
 
-let admit t ?(session = Protocol.default_session) ~digest ~app ~min_throughput
-    () =
-  routed t ~digest
-    (Protocol.request_to_json
-       (Protocol.Admit { session; digest; app; min_throughput }))
-    Protocol.verdict_of_json
+let admit_routed t ?(session = Protocol.default_session) ~digest ~app
+    ~min_throughput () =
+  Obs.Span.with_ ~name:"router.admit"
+    ~args:(fun () -> [ ("digest", digest); ("app", app) ])
+    (fun () ->
+      routed t ~digest
+        (Protocol.request_to_json
+           ?trace:(Obs.Span.current_context ())
+           (Protocol.Admit { session; digest; app; min_throughput }))
+        Protocol.verdict_of_json)
+
+let admit t ?session ~digest ~app ~min_throughput () =
+  fst (admit_routed t ?session ~digest ~app ~min_throughput ())
 
 let on_all t f =
   List.map
@@ -103,8 +124,11 @@ let ( let* ) = Result.bind
 
 let upload t ~payload =
   let results =
-    on_all t (fun pool ->
-        Pool.with_client pool (fun c -> Serve.Client.upload c ~payload))
+    (* One span covers the whole broadcast; each per-peer upload inherits
+       the ambient context through {!Serve.Client.typed}. *)
+    Obs.Span.with_ ~name:"router.upload" (fun () ->
+        on_all t (fun pool ->
+            Pool.with_client pool (fun c -> Serve.Client.upload c ~payload)))
   in
   let* () =
     List.fold_left
@@ -128,6 +152,9 @@ let ping_all t =
 let stats_all t =
   on_all t (fun pool -> Pool.with_client pool Serve.Client.stats)
 
+let metrics_all t =
+  on_all t (fun pool -> Pool.with_client pool Serve.Client.metrics)
+
 (* Forwarding happens on a detached thread over a fresh connection, not via
    the pools: the caller is a worker domain mid-request (it must not block
    on a busy peer), and a pooled connection would pin one of the peer's
@@ -144,17 +171,31 @@ let forward_hot t ~self (entry : Serve.Server.hot_entry) =
   | None -> ()
   | Some peer ->
       let endpoint = List.assoc peer t.endpoints in
+      (* The detached thread starts with a blank ambient context, so the
+         request that made the entry hot hands its context over explicitly —
+         the replication write then shares that request's trace id and shows
+         up in the merged timeline as part of the same request. *)
+      let ctx = Obs.Span.current_context () in
       let thread () =
+        let replicate () =
+          Obs.Span.with_ ~name:"router.cache_put"
+            ~args:(fun () ->
+              [ ("digest", entry.hot_digest); ("peer", peer) ])
+            (fun () ->
+              match Endpoint.connect ?timeout:t.timeout endpoint with
+              | Error _ as e -> e
+              | Ok c ->
+                  Fun.protect
+                    ~finally:(fun () -> Serve.Client.close c)
+                    (fun () ->
+                      Serve.Client.cache_put c ~digest:entry.hot_digest
+                        ~mask:entry.hot_mask ~estimator:entry.hot_estimator
+                        ~rows:entry.hot_rows))
+        in
         let result =
-          match Endpoint.connect ?timeout:t.timeout endpoint with
-          | Error _ as e -> e
-          | Ok c ->
-              Fun.protect
-                ~finally:(fun () -> Serve.Client.close c)
-                (fun () ->
-                  Serve.Client.cache_put c ~digest:entry.hot_digest
-                    ~mask:entry.hot_mask ~estimator:entry.hot_estimator
-                    ~rows:entry.hot_rows)
+          match ctx with
+          | None -> replicate ()
+          | Some c -> Obs.Span.with_context c replicate
         in
         Mutex.lock t.forward_mutex;
         (match result with

@@ -50,6 +50,20 @@ val estimate :
   unit ->
   Serve.Protocol.estimate_reply outcome
 
+val estimate_routed :
+  t ->
+  digest:string ->
+  ?usecase:string list ->
+  estimator:Contention.Analysis.estimator ->
+  unit ->
+  Serve.Protocol.estimate_reply outcome * string
+(** {!estimate}, also naming the shard that actually answered (the
+    failover peer when the primary failed at the transport level; [""]
+    only when there are no peers) — the load generator's per-shard
+    breakdown keys on it.  Routed calls run under a [router.estimate] span
+    and stamp the caller's trace context into the wire envelope, so the
+    shard's serve span nests under the router's in a merged trace. *)
+
 val admit :
   t ->
   ?session:string ->
@@ -60,6 +74,16 @@ val admit :
   Serve.Protocol.verdict outcome
 (** Routed by digest: a session's admission state lives on the shard owning
     the workload it governs. *)
+
+val admit_routed :
+  t ->
+  ?session:string ->
+  digest:string ->
+  app:string ->
+  min_throughput:float ->
+  unit ->
+  Serve.Protocol.verdict outcome * string
+(** {!admit} with the answering shard, as {!estimate_routed}. *)
 
 val forward_hot :
   t -> self:Endpoint.t option -> Serve.Server.hot_entry -> unit
@@ -80,6 +104,11 @@ val ping_all : t -> (Endpoint.t * (unit, string) result) list
 
 val stats_all :
   t -> (Endpoint.t * (Serve.Protocol.stats_reply, string) result) list
+
+val metrics_all :
+  t -> (Endpoint.t * (Serve.Protocol.metrics_reply, string) result) list
+(** Every peer's Prometheus exposition — the raw material for
+    {!Promerge.merge}'s cluster-wide, shard-labelled view. *)
 
 val pool_for : t -> Endpoint.t -> Pool.t option
 (** The shard's pool, for reconnect counters in tests and reports. *)

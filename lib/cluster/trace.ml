@@ -1,0 +1,113 @@
+(* Load a per-process Chrome trace file (written by {!Obs.Trace.write_file})
+   back into an {!Obs.Trace.process} for cross-process merging.
+
+   Parsing reuses the wire protocol's JSON codec — obs itself only emits
+   traces, and teaching it to parse would duplicate {!Serve.Json}.  The
+   loader is lenient about events it does not recognise (counter events, a
+   future phase) and strict only about what the merge needs: timestamps,
+   names and the id args. *)
+
+module Json = Serve.Json
+
+let ( let* ) = Result.bind
+
+let str_member name json = Option.bind (Json.member name json) Json.get_str
+let num_member name json = Option.bind (Json.member name json) Json.get_num
+
+(* Microsecond float (the "ts"/"dur" fields, emitted as "12.345") back to
+   integer nanoseconds. *)
+let ns_of_us us = Int64.of_float (Float.round (us *. 1000.))
+
+let span_of_event ~epoch_ns json : Obs.Span.t option =
+  match (str_member "name" json, num_member "ts" json, num_member "dur" json) with
+  | Some name, Some ts, Some dur ->
+      let args =
+        match Option.bind (Json.member "args" json) Json.get_obj with
+        | None -> []
+        | Some members ->
+            List.filter_map
+              (fun (k, v) -> Option.map (fun s -> (k, s)) (Json.get_str v))
+              members
+      in
+      let id key =
+        match List.assoc_opt key args with
+        | None -> 0L
+        | Some hex -> Option.value ~default:0L (Obs.Span.id_of_hex hex)
+      in
+      let plain_args =
+        List.filter
+          (fun (k, _) -> k <> "trace" && k <> "span" && k <> "parent")
+          args
+      in
+      Some
+        {
+          Obs.Span.name;
+          args = plain_args;
+          ts_ns = Int64.add epoch_ns (ns_of_us ts);
+          dur_ns = ns_of_us dur;
+          domain =
+            (match num_member "tid" json with
+            | Some tid -> int_of_float tid
+            | None -> 0);
+          trace_id = id "trace";
+          span_id = id "span";
+          parent_id = id "parent";
+        }
+  | _ -> None
+
+let of_json ?name json : (Obs.Trace.process, string) result =
+  let* events =
+    match Option.bind (Json.member "traceEvents" json) Json.get_arr with
+    | Some evs -> Ok evs
+    | None -> Error "not a trace file: no traceEvents array"
+  in
+  let p_name = ref (Option.value ~default:"contention" name) in
+  let anchor = ref None in
+  let epoch = ref 0L in
+  (* First pass: metadata.  The clock_sync epoch is what turns the file's
+     rebased microseconds back into absolute monotonic nanoseconds, which
+     is the timescale the anchor's mono_ns lives on. *)
+  List.iter
+    (fun ev ->
+      match (str_member "ph" ev, str_member "name" ev) with
+      | Some "M", Some "process_name" ->
+          if name = None then
+            Option.iter
+              (fun n -> p_name := n)
+              (Option.bind (Json.member "args" ev) (str_member "name"))
+      | Some "M", Some "clock_sync" -> (
+          match Json.member "args" ev with
+          | None -> ()
+          | Some args -> (
+              let i64 key =
+                Option.bind (str_member key args) Int64.of_string_opt
+              in
+              match (i64 "wall_ns", i64 "mono_ns", i64 "epoch_ns") with
+              | Some wall_ns, Some mono_ns, Some e ->
+                  anchor := Some { Obs.Trace.wall_ns; mono_ns };
+                  epoch := e
+              | _ -> ()))
+      | _ -> ())
+    events;
+  let spans =
+    List.filter_map
+      (fun ev ->
+        match str_member "ph" ev with
+        | Some "X" -> span_of_event ~epoch_ns:!epoch ev
+        | _ -> None)
+      events
+  in
+  Ok { Obs.Trace.p_name = !p_name; p_anchor = !anchor; p_spans = spans }
+
+let load ?name path : (Obs.Trace.process, string) result =
+  let* text =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | text -> Ok text
+    | exception Sys_error msg -> Error msg
+  in
+  let* json =
+    Result.map_error
+      (fun e -> Printf.sprintf "%s: %s" path e)
+      (Json.of_string text)
+  in
+  of_json ?name json

@@ -1,0 +1,19 @@
+(** Load Chrome trace files back into mergeable processes.
+
+    The inverse of {!Obs.Trace.write_file}, feeding
+    {!Obs.Trace.merged_chrome_json}: [contention trace-merge] loads each
+    per-process file (client, shards), recovers the process name, clock
+    anchor and spans — including the trace/span/parent ids riding in the
+    args — and fuses them into one Perfetto-loadable timeline.
+
+    Lenient where it can be: unknown event phases are skipped, a missing
+    [clock_sync] yields a process without an anchor (its spans stay on
+    their own timebase), and non-string args are dropped.  Only a file
+    that is not a trace at all (unparseable JSON, no [traceEvents]) is an
+    error. *)
+
+val of_json : ?name:string -> Serve.Json.t -> (Obs.Trace.process, string) result
+(** [name] overrides the file's [process_name] metadata. *)
+
+val load : ?name:string -> string -> (Obs.Trace.process, string) result
+(** Read and parse one trace file. *)

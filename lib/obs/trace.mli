@@ -4,11 +4,51 @@
 
     Each domain becomes one named track ([thread_name] metadata events);
     every span is a complete ([ph:"X"]) event with microsecond timestamps
-    rebased to the earliest span.  Output is deterministic for a fixed
-    span list (spans are sorted the same way {!Span.collect} sorts). *)
+    rebased to the earliest span.  Spans carrying trace-context ids (see
+    {!Span.ctx}) get [trace]/[span]/[parent] entries in their args; spans
+    without ids render byte-identically to the pre-tracing format.  Output
+    is deterministic for a fixed span list (spans are sorted the same way
+    {!Span.collect} sorts).
 
-val to_chrome_json : ?process_name:string -> Span.t list -> string
-(** [process_name] defaults to ["contention"]. *)
+    {!write_file} embeds a [clock_sync] metadata event — one wall-clock /
+    monotonic-clock instant plus the rebasing epoch — because
+    {!Clock.now_ns} epochs are per-process: the anchor is what lets
+    {!merged_chrome_json} place several processes' spans on one shared
+    wall timeline. *)
 
-val write_file : path:string -> Span.t list -> unit
-(** @raise Sys_error on an unwritable path. *)
+type anchor = { wall_ns : int64; mono_ns : int64 }
+(** The same instant read on the wall clock ([Unix.gettimeofday], ns) and
+    on {!Clock.now_ns} — the bridge between a process's private monotonic
+    epoch and a cross-process timeline. *)
+
+val now_anchor : unit -> anchor
+
+val to_chrome_json : ?process_name:string -> ?anchor:anchor -> Span.t list -> string
+(** [process_name] defaults to ["contention"]; [anchor] (omitted by
+    default) adds the [clock_sync] metadata event. *)
+
+val write_file : ?process_name:string -> path:string -> Span.t list -> unit
+(** {!to_chrome_json} with a fresh {!now_anchor}, written to [path].
+    @raise Sys_error on an unwritable path. *)
+
+(** {1 Cross-process merge} *)
+
+type process = {
+  p_name : string;  (** Process label, e.g. a shard endpoint. *)
+  p_anchor : anchor option;
+      (** Clock anchor from the file's [clock_sync] event; [None] for a
+          pre-anchor file (its spans stay on their own timeline). *)
+  p_spans : Span.t list;  (** Timestamps on that process's clock. *)
+}
+
+val merged_chrome_json : process list -> string
+(** Fuse per-process traces into one timeline: each process becomes a pid,
+    every span's timestamp is shifted onto the shared wall clock via its
+    anchor, and parent/child links whose endpoints live in {e different}
+    processes become flow arrows ([ph:"s"]/[ph:"f"]) keyed by the child's
+    span id — in Perfetto, a request's client span, shard span and
+    replication write connect visually across processes.
+
+    Deterministic: the output depends only on the {e contents} of
+    [processes] (they are sorted by name, spans by time), never on list
+    order — byte-identical for any permutation of the same inputs. *)

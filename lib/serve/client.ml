@@ -105,7 +105,12 @@ let request t json =
   Protocol.unwrap_reply reply
 
 let typed t req decode =
-  let* payload = request t (Protocol.request_to_json req) in
+  (* Every typed call carries the caller's ambient trace context (if any)
+     in the request envelope, so the server's spans link back to ours. *)
+  let* payload =
+    request t
+      (Protocol.request_to_json ?trace:(Obs.Span.current_context ()) req)
+  in
   decode payload
 
 let ping t = typed t Protocol.Ping (fun _ -> Ok ())

@@ -118,9 +118,53 @@ let rows_of_json rows_json =
     rows_json (Ok [])
 
 (* ------------------------------------------------------------------ *)
+(* Trace context envelope                                              *)
+
+(* The optional "trace" field of a request envelope.  Serialization is
+   exact; parsing is deliberately lenient and total: a request is NEVER
+   rejected because of its trace field.  A malformed or unparseable trace
+   object simply reads as "no context", and unknown members inside it are
+   ignored — peers of different versions must interoperate, and a fuzzer
+   must not be able to fail a valid command via its trace decoration. *)
+
+let trace_to_json (c : Obs.Span.ctx) =
+  Json.Obj
+    [
+      ("id", Json.Str (Obs.Span.id_to_hex c.trace_id));
+      ("parent", Json.Str (Obs.Span.id_to_hex c.parent_span));
+      ("sampled", Json.Bool c.sampled);
+    ]
+
+let trace_of_request json : Obs.Span.ctx option =
+  match Json.member "trace" json with
+  | None -> None
+  | Some t -> (
+      match Option.bind (Json.member "id" t) Json.get_str with
+      | None -> None
+      | Some id_hex -> (
+          match Obs.Span.id_of_hex id_hex with
+          | None | Some 0L -> None
+          | Some trace_id ->
+              let parent_span =
+                match
+                  Option.bind
+                    (Option.bind (Json.member "parent" t) Json.get_str)
+                    Obs.Span.id_of_hex
+                with
+                | Some p -> p
+                | None -> 0L
+              in
+              let sampled =
+                match Option.bind (Json.member "sampled" t) Json.get_bool with
+                | Some b -> b
+                | None -> true
+              in
+              Some { Obs.Span.trace_id; parent_span; sampled }))
+
+(* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
 
-let request_to_json = function
+let base_request_to_json = function
   | Ping -> Json.Obj [ ("cmd", Json.Str "ping") ]
   | Upload { payload } ->
       Json.Obj [ ("cmd", Json.Str "upload"); ("workload", Json.Str payload) ]
@@ -160,6 +204,11 @@ let request_to_json = function
   | Stats -> Json.Obj [ ("cmd", Json.Str "stats") ]
   | Metrics -> Json.Obj [ ("cmd", Json.Str "metrics") ]
   | Shutdown -> Json.Obj [ ("cmd", Json.Str "shutdown") ]
+
+let request_to_json ?trace req =
+  match (trace, base_request_to_json req) with
+  | Some c, Json.Obj fields -> Json.Obj (fields @ [ ("trace", trace_to_json c) ])
+  | _, json -> json
 
 let request_of_json json =
   match Json.get_obj json with
@@ -258,6 +307,10 @@ type stats_reply = {
   latency_p99_us : float;
   latency_max_us : float;
   latency_samples : int;
+  slo_objective_ms : float;
+  slo_target : float;
+  slo_burn_1m : float;
+  slo_burn_1h : float;
 }
 
 let cache_hit_rate s =
@@ -389,6 +442,14 @@ let stats_reply_to_json s =
             ("max", Json.Num s.latency_max_us);
             ("samples", Json.Num (float_of_int s.latency_samples));
           ] );
+      ( "slo",
+        Json.Obj
+          [
+            ("objective_ms", Json.Num s.slo_objective_ms);
+            ("target", Json.Num s.slo_target);
+            ("burn_1m", Json.Num s.slo_burn_1m);
+            ("burn_1h", Json.Num s.slo_burn_1h);
+          ] );
     ]
 
 let stats_reply_of_json json =
@@ -429,6 +490,20 @@ let stats_reply_of_json json =
   let* latency_p99_us = field "p99" Json.get_num latency in
   let* latency_max_us = field "max" Json.get_num latency in
   let* latency_samples = field "samples" Json.get_int latency in
+  (* SLO block is absent from pre-SLO servers: default to zeros so a new
+     client can still read an old server's stats. *)
+  let slo_num name =
+    match Json.member "slo" json with
+    | None -> 0.
+    | Some slo -> (
+        match Option.bind (Json.member name slo) Json.get_num with
+        | None -> 0.
+        | Some v -> v)
+  in
+  let slo_objective_ms = slo_num "objective_ms" in
+  let slo_target = slo_num "target" in
+  let slo_burn_1m = slo_num "burn_1m" in
+  let slo_burn_1h = slo_num "burn_1h" in
   Ok
     {
       uptime_s;
@@ -455,6 +530,10 @@ let stats_reply_of_json json =
       latency_p99_us;
       latency_max_us;
       latency_samples;
+      slo_objective_ms;
+      slo_target;
+      slo_burn_1m;
+      slo_burn_1h;
     }
 
 (* ------------------------------------------------------------------ *)

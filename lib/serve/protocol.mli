@@ -69,8 +69,22 @@ val estimator_to_string : Contention.Analysis.estimator -> string
 (** [Contention.Analysis.estimator_name] — the canonical wire name, also
     the estimator component of the cache key. *)
 
-val request_to_json : request -> Json.t
+val request_to_json : ?trace:Obs.Span.ctx -> request -> Json.t
+(** With [?trace], appends a ["trace"] envelope member
+    ([{"id": "<16 hex>", "parent": "<16 hex>", "sampled": bool}]) so the
+    receiving server re-establishes the caller's trace context.  Servers
+    that predate the field ignore it ({!request_of_json} skips unknown
+    members), so mixed-version clusters interoperate. *)
+
 val request_of_json : Json.t -> (request, string) result
+
+val trace_to_json : Obs.Span.ctx -> Json.t
+
+val trace_of_request : Json.t -> Obs.Span.ctx option
+(** The request envelope's trace context, if present and well-formed.
+    Total and lenient: a malformed ["trace"] member (wrong type, bad hex,
+    zero id) yields [None] — a broken trace header must never reject an
+    otherwise valid request.  [sampled] defaults to [true]. *)
 
 (** {1 Reply payloads} *)
 
@@ -113,6 +127,10 @@ type stats_reply = {
   latency_p99_us : float;
   latency_max_us : float;
   latency_samples : int;
+  slo_objective_ms : float;  (** Latency objective requests are judged by. *)
+  slo_target : float;  (** Availability target, e.g. [0.999]. *)
+  slo_burn_1m : float;  (** Error-budget burn rate over the last minute. *)
+  slo_burn_1h : float;  (** Burn rate over the last hour (see {!Slo}). *)
 }
 
 val cache_hit_rate : stats_reply -> float

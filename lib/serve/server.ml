@@ -7,6 +7,12 @@ type config = {
   max_line : int;
   max_queue : int;
   hot_threshold : int;
+  journal_path : string option;
+  journal_sample : int;
+  journal_max_bytes : int;
+  slo_objective_ms : float;
+  slo_target : float;
+  shard : string option;
 }
 
 let default_config =
@@ -19,6 +25,12 @@ let default_config =
     max_line = 8 * 1024 * 1024;
     max_queue = 1024;
     hot_threshold = 0;
+    journal_path = None;
+    journal_sample = 16;
+    journal_max_bytes = 8 * 1024 * 1024;
+    slo_objective_ms = 50.;
+    slo_target = 0.999;
+    shard = None;
   }
 
 type hot_entry = {
@@ -97,6 +109,10 @@ type t = {
   m_cache_hits : Obs.Metric.Counter.t;
   m_cache_misses : Obs.Metric.Counter.t;
   m_shed : Obs.Metric.Counter.t;  (* connections refused: queue full *)
+  m_burn_1m : Obs.Metric.Gauge.t;  (* SLO burn rates, refreshed on scrape *)
+  m_burn_1h : Obs.Metric.Gauge.t;
+  slo : Slo.t;
+  journal : Journal.t option;
   (* Hot-digest tracking: estimate-request counts per cache key.  When a
      key's count crosses [hot_threshold], [on_hot] fires once with the rows
      so the owner (the CLI's cluster glue) can replicate them to peers. *)
@@ -363,7 +379,16 @@ let handle_release t ~session ~app =
                 (Printf.sprintf "application %S is not admitted in session %S"
                    app session)))
 
+(* The burn gauges are computed, not incremented: refresh them from the
+   ring whenever somebody looks (stats or a Prometheus scrape). *)
+let refresh_slo_gauges t =
+  let s = Slo.snapshot t.slo in
+  Obs.Metric.Gauge.set t.m_burn_1m s.burn_1m;
+  Obs.Metric.Gauge.set t.m_burn_1h s.burn_1h;
+  s
+
 let handle_stats t =
+  let slo = refresh_slo_gauges t in
   let m = Metrics.snapshot t.metrics in
   Protocol.ok
     (Protocol.stats_reply_to_json
@@ -392,6 +417,10 @@ let handle_stats t =
          latency_p99_us = m.latency_p99_us;
          latency_max_us = m.latency_max_us;
          latency_samples = m.latency_samples;
+         slo_objective_ms = slo.objective_ms;
+         slo_target = slo.target;
+         slo_burn_1m = slo.burn_1m;
+         slo_burn_1h = slo.burn_1h;
        })
 
 let dispatch t (request : Protocol.request) =
@@ -418,6 +447,7 @@ let dispatch t (request : Protocol.request) =
       handle_cache_put t ~digest ~mask ~estimator ~rows
   | Protocol.Stats -> handle_stats t
   | Protocol.Metrics ->
+      ignore (refresh_slo_gauges t);
       Protocol.ok
         (Protocol.metrics_reply_to_json
            { Protocol.prometheus = Obs.Prometheus.expose t.registry })
@@ -439,32 +469,98 @@ let cmd_name = function
 (* ------------------------------------------------------------------ *)
 (* Connection handling                                                 *)
 
+(* One journal line: everything needed to reconstruct what this request
+   experienced and join it against a merged trace by trace id.  The upload
+   payload is a whole workload file, so its digest is taken from the reply
+   rather than the request. *)
+let journal_entry t ~ctx ~cmd ~digest ~queue_depth ~reply ~latency_s =
+  let outcome, payload =
+    match Protocol.classify_reply reply with
+    | Protocol.Reply_ok p -> ("ok", Some p)
+    | Protocol.Reply_error _ -> ("error", None)
+    | Protocol.Reply_shed _ -> ("shed", None)
+  in
+  let digest =
+    match digest with
+    | Some _ as d -> d
+    | None ->
+        Option.bind payload (fun p ->
+            Option.bind (Json.member "digest" p) Json.get_str)
+  in
+  let opt name conv = function
+    | None -> []
+    | Some v -> [ (name, conv v) ]
+  in
+  Json.Obj
+    ([ ("ts", Json.Num (Unix.gettimeofday ())) ]
+    @ opt "trace"
+        (fun (c : Obs.Span.ctx) -> Json.Str (Obs.Span.id_to_hex c.trace_id))
+        ctx
+    @ [ ("cmd", Json.Str cmd) ]
+    @ opt "workload" (fun d -> Json.Str d) digest
+    @ opt "shard" (fun s -> Json.Str s) t.config.shard
+    @ [
+        ("queue_depth", Json.Num (float_of_int queue_depth));
+        ("outcome", Json.Str outcome);
+      ]
+    @ opt "cached"
+        (fun b -> Json.Bool b)
+        (Option.bind payload (fun p ->
+             Option.bind (Json.member "cached" p) Json.get_bool))
+    @ opt "verdict"
+        (fun v -> Json.Str v)
+        (Option.bind payload (fun p ->
+             Option.bind (Json.member "verdict" p) Json.get_str))
+    @ [ ("latency_us", Json.Num (latency_s *. 1e6)) ])
+
 (* One request line through the full parse-and-dispatch path, returning the
    reply line.  Shared by the connection workers and exposed as the
    in-process fuzzing entry ({!Check.Wirefuzz}): whatever bytes come in, the
    result is a serialized reply envelope, never an exception. *)
 let handle_line t line =
+  let queue_depth = Chan.length t.conns in
   let t0 = Obs.Clock.now_ns () in
-  let cmd, reply =
+  let cmd, ctx, digest, reply =
     match Json.of_string line with
     | Error msg ->
-        ("invalid", Protocol.error (Printf.sprintf "bad frame: %s" msg))
+        ("invalid", None, None, Protocol.error (Printf.sprintf "bad frame: %s" msg))
     | Ok json -> (
         match Protocol.request_of_json json with
         | Error msg ->
-            ("invalid", Protocol.error (Printf.sprintf "bad request: %s" msg))
+            ( "invalid",
+              None,
+              None,
+              Protocol.error (Printf.sprintf "bad request: %s" msg) )
         | Ok request -> (
             let cmd = cmd_name request in
-            match
+            (* The trace envelope re-establishes the caller's context here,
+               so the serve span (and anything under it) links back to the
+               client's span across the process boundary.  Malformed trace
+               decorations read as None — they never fail the request. *)
+            let ctx = Protocol.trace_of_request json in
+            let digest =
+              match request with
+              | Protocol.Upload _ -> None
+              | _ -> Option.bind (Json.member "workload" json) Json.get_str
+            in
+            let run () =
               Obs.Span.with_ ~name:("serve." ^ cmd)
                 ~args:(fun () -> [ ("cmd", cmd) ])
                 (fun () -> dispatch t request)
-            with
-            | reply -> (cmd, reply)
+            in
+            let body () =
+              match ctx with
+              | None -> run ()
+              | Some c -> Obs.Span.with_context c run
+            in
+            match body () with
+            | reply -> (cmd, ctx, digest, reply)
             | exception e ->
                 (* A dispatch bug must never take the daemon down with
                    the connection. *)
                 ( cmd,
+                  ctx,
+                  digest,
                   Protocol.error
                     (Printf.sprintf "internal error: %s"
                        (Printexc.to_string e)) )))
@@ -472,6 +568,7 @@ let handle_line t line =
   let reply_line = Json.to_string reply in
   let latency_s = Obs.Clock.elapsed_s ~since:t0 in
   Metrics.record t.metrics ~cmd ~latency_s;
+  Slo.record t.slo ~latency_s;
   Obs.Metric.Counter.inc
     (Obs.Metric.Counter.v ~registry:t.registry
        ~help:"Requests served, by command." ~labels:[ ("cmd", cmd) ]
@@ -481,6 +578,11 @@ let handle_line t line =
        ~help:"Request latency in seconds, by command."
        ~labels:[ ("cmd", cmd) ] "contention_serve_request_seconds")
     latency_s;
+  (match t.journal with
+  | Some j when Journal.sampled j ~ctx ->
+      Journal.record j
+        (journal_entry t ~ctx ~cmd ~digest ~queue_depth ~reply ~latency_s)
+  | _ -> ());
   reply_line
 
 let handle_connection t fd =
@@ -533,6 +635,8 @@ let worker t () =
 let shed_connection t fd ~queue_depth =
   Metrics.incr_shed t.metrics;
   Obs.Metric.Counter.inc t.m_shed;
+  (* A shed request never met the latency objective: it burns budget. *)
+  Slo.record_bad t.slo;
   (try Wire.write_line fd (Json.to_string (Protocol.shed ~queue_depth))
    with Unix.Unix_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
@@ -649,6 +753,21 @@ let start ?on_hot ?(config = default_config) () =
       ~help:"Estimate-cache lookups that ran the analysis."
       "contention_serve_cache_misses_total"
   in
+  let m_burn_1m =
+    Obs.Metric.Gauge.v ~registry
+      ~help:"SLO error-budget burn rate over the trailing minute."
+      "contention_serve_slo_burn_1m"
+  in
+  let m_burn_1h =
+    Obs.Metric.Gauge.v ~registry
+      ~help:"SLO error-budget burn rate over the trailing hour."
+      "contention_serve_slo_burn_1h"
+  in
+  Obs.Metric.Gauge.set
+    (Obs.Metric.Gauge.v ~registry
+       ~help:"Latency objective requests are judged by, in milliseconds."
+       "contention_serve_slo_objective_ms")
+    config.slo_objective_ms;
   Obs.Metric.Gauge.set
     (Obs.Metric.Gauge.v ~registry
        ~help:"Worker domains — the pool's capacity."
@@ -665,6 +784,16 @@ let start ?on_hot ?(config = default_config) () =
       m_active;
       m_queue_depth;
       m_shed;
+      m_burn_1m;
+      m_burn_1h;
+      slo =
+        Slo.create ~objective_ms:config.slo_objective_ms
+          ~target:config.slo_target ();
+      journal =
+        Option.map
+          (Journal.create ~sample_every:config.journal_sample
+             ~max_bytes:config.journal_max_bytes)
+          config.journal_path;
       m_cache_hits;
       m_cache_misses;
       hot = Hashtbl.create 8;
@@ -734,6 +863,7 @@ let stop t =
     Chan.close t.conns;
     List.iter Domain.join t.domains;
     t.domains <- [];
+    Option.iter Journal.close t.journal;
     match t.config.unix_path with
     | Some path when Sys.file_exists path -> (
         try Sys.remove path with Sys_error _ -> ())

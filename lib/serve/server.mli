@@ -33,11 +33,25 @@ type config = {
       (** Estimate requests per cache key before the entry counts as hot and
           the [on_hot] hook (see {!start}) fires.  [0] disables hot
           tracking. *)
+  journal_path : string option;
+      (** When set, sampled per-request records are appended there as JSONL
+          (see {!Journal}).  [None] disables the journal entirely. *)
+  journal_sample : int;  (** Fallback 1-in-N rate for context-free requests. *)
+  journal_max_bytes : int;  (** Journal rotation threshold; [<= 0] = never. *)
+  slo_objective_ms : float;
+      (** Latency objective: a request finishing slower burns error budget
+          (see {!Slo}). *)
+  slo_target : float;  (** Availability target, e.g. [0.999]. *)
+  shard : string option;
+      (** This server's shard label, stamped into journal records so a
+          cluster's journals can be told apart after collection. *)
 }
 
 val default_config : config
 (** 127.0.0.1, TCP port 4557, no Unix socket, default jobs, 256 cache
-    entries, 8 MiB frames, 1024-deep accept queue, hot tracking off. *)
+    entries, 8 MiB frames, 1024-deep accept queue, hot tracking off, no
+    journal (1-in-16 sampling, 8 MiB rotation when enabled), 50 ms / 99.9%
+    SLO, no shard label. *)
 
 type hot_entry = {
   hot_digest : string;

@@ -1,0 +1,41 @@
+(** Rolling latency-SLO burn-rate accounting.
+
+    The server defines one service-level objective — "a request completes
+    within [objective_ms], [target] of the time" — and this module tracks
+    how fast the error budget (the allowed [1 - target] fraction of slow
+    or shed requests) is being spent, over two trailing windows in the
+    style of multi-window burn-rate alerting: a fast 1-minute window that
+    reacts to incidents and a slow 1-hour window that ignores blips.
+
+    Burn rate reads as a multiple of sustainable spend: [1.0] consumes the
+    budget exactly as fast as it accrues, [> 1.0] is on track to violate
+    the SLO, [0.] is a clean (or empty) window.
+
+    Implementation: 3600 per-second ring buckets, lazily invalidated by an
+    absolute-second stamp — no sweeper thread, O(1) record, O(3600) read.
+    Thread-safe. *)
+
+type t
+
+val create : ?now_s:(unit -> int) -> objective_ms:float -> target:float -> unit -> t
+(** [now_s] (default wall-clock seconds) is injectable so tests can drive
+    the windows deterministically.  [target] is clamped away from [1.]
+    only in the burn computation (budget floor [1e-9]), never stored
+    modified. *)
+
+val record : t -> latency_s:float -> unit
+(** Count one finished request; it burns budget iff
+    [latency_s *. 1000. > objective_ms]. *)
+
+val record_bad : t -> unit
+(** Count one request as burning budget regardless of latency — sheds and
+    transport-level failures never met the objective by definition. *)
+
+type snapshot = {
+  objective_ms : float;
+  target : float;
+  burn_1m : float;
+  burn_1h : float;
+}
+
+val snapshot : t -> snapshot

@@ -491,6 +491,7 @@ let test_loadgen_burst () =
           skew = 1.0;
           seed = 42;
           estimator = Contention.Analysis.Order 2;
+          trace_sample = 0;
         }
       in
       let registry = Obs.Metric.create_registry () in
@@ -558,6 +559,7 @@ let test_loadgen_saturation () =
           skew = 0.;
           seed = 7;
           estimator = Contention.Analysis.Order 2;
+          trace_sample = 0;
         }
       in
       let report =

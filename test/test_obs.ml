@@ -236,6 +236,9 @@ let fixed_spans =
       ts_ns = 1_000L;
       dur_ns = 2_500L;
       domain = 0;
+      trace_id = 0L;
+      span_id = 0L;
+      parent_id = 0L;
     };
     {
       Obs.Span.name = "sweep.simulate";
@@ -243,6 +246,9 @@ let fixed_spans =
       ts_ns = 2_000L;
       dur_ns = 10_000L;
       domain = 1;
+      trace_id = 0L;
+      span_id = 0L;
+      parent_id = 0L;
     };
   ]
 
