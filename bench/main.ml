@@ -18,6 +18,8 @@
      TDMA                the preemptive TDMA worst-case baseline ([3])
      EXPLORE             estimator-in-the-loop mapping search
      SERVE               request throughput of the in-process serve daemon
+     AUDIT               serve estimate throughput with the shadow audit
+                         off, at 1-in-64 and at 1-in-8 sampling
      CLUSTER             open-loop load against one shard vs the full
                          consistent-hash ring (aggregate cache scaling)
      ESTIMATOR           batched kernel engine vs the list-based reference
@@ -25,7 +27,7 @@
 
    Flags:
      --quick       run only the trajectory sections (SWEEP, ESTIMATOR, SERVE,
-                   CLUSTER, CHECK) — what CI's bench-smoke job measures
+                   AUDIT, CLUSTER, CHECK) — what CI's bench-smoke job measures
      --json FILE   write the machine-readable trajectory (schema
                    "contention-bench/1", see EXPERIMENTS.md) to FILE
 
@@ -815,6 +817,79 @@ let serve_json =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Shadow-audit overhead on the serve request path                      *)
+
+let audit_json =
+  section "AUDIT";
+  let reqs = env_int "CONTENTION_SERVE_REQS" 2_000 in
+  print_endline
+    "Estimate throughput as the shadow audit samples none, 1 in 64 and\n\
+     1 in 8 of served estimates.  Replays run on a background domain, so\n\
+     the request path only pays the head-sampling check plus a bounded\n\
+     queue submission — the three rates should be close; the gap is the\n\
+     audit's request-path overhead (see EXPERIMENTS.md, AUDIT section)";
+  let small = Exp.Workload.make ~seed ~num_apps:3 ~procs:2 () in
+  let fail msg = failwith ("bench audit: " ^ msg) in
+  let measure audit_sample =
+    let config =
+      {
+        Serve.Server.default_config with
+        port = Some 0;
+        unix_path = None;
+        jobs = Some 2;
+        audit_sample;
+      }
+    in
+    let server = Serve.Server.start ~config () in
+    let port = Option.get (Serve.Server.tcp_port server) in
+    let client =
+      match Serve.Client.connect ~port () with
+      | Ok c -> c
+      | Error msg -> fail msg
+    in
+    let digest =
+      match Serve.Client.upload client ~payload:(Exp.Workload.to_string small) with
+      | Ok (up : Serve.Protocol.upload_reply) -> up.digest
+      | Error msg -> fail msg
+    in
+    let t0 = Obs.Clock.now_ns () in
+    for _ = 1 to reqs do
+      match
+        Serve.Client.estimate client ~digest
+          ~estimator:(Contention.Analysis.Order 2) ()
+      with
+      | Ok _ -> ()
+      | Error msg -> fail msg
+    done;
+    let dt = elapsed_s t0 in
+    Serve.Client.close client;
+    (* stop drains the audit queue, so the replay backlog is bounded by the
+       queue capacity, not the request count — it never dominates the run. *)
+    Serve.Server.stop server;
+    let rate = float_of_int reqs /. Float.max 1e-9 dt in
+    Printf.printf "%-28s %8.0f req/s  (%.1f us/req over %d requests)\n"
+      (if audit_sample = 0 then "estimate (audit off)"
+       else Printf.sprintf "estimate (audit 1-in-%d)" audit_sample)
+      rate
+      (dt /. float_of_int reqs *. 1e6)
+      reqs;
+    rate
+  in
+  let off = measure 0 in
+  let sample_64 = measure 64 in
+  let sample_8 = measure 8 in
+  let side rate =
+    Serve.Json.Obj [ ("estimate_req_per_s", Serve.Json.Num rate) ]
+  in
+  Serve.Json.Obj
+    [
+      ("reqs", Serve.Json.Num (float_of_int reqs));
+      ("off", side off);
+      ("sample_64", side sample_64);
+      ("sample_8", side sample_8);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Sharded cluster: open-loop throughput, single shard vs the ring      *)
 
 let cluster_json =
@@ -1084,6 +1159,7 @@ let () =
             ("sweep", sweep_json);
             ("estimator", estimator_json);
             ("serve", serve_json);
+            ("audit", audit_json);
             ("cluster", cluster_json);
             ("check", check_json);
           ]

@@ -553,9 +553,47 @@ let serve_cmd =
     let doc = "SLO availability target, e.g. 0.999." in
     Arg.(value & opt float 0.999 & info [ "slo-target" ] ~docv:"FRACTION" ~doc)
   in
+  let audit_sample_arg =
+    let doc =
+      "Shadow-audit 1 in $(docv) served estimates: replay them through the \
+       simulator on a background domain and track the per-estimator error \
+       distribution and drift (0 = off)."
+    in
+    Arg.(value & opt int 0 & info [ "audit-sample" ] ~docv:"N" ~doc)
+  in
+  let audit_horizon_arg =
+    let doc = "Simulation horizon of audit replays, in time units." in
+    Arg.(
+      value
+      & opt float Serve.Audit.default_config.Serve.Audit.horizon
+      & info [ "audit-horizon" ] ~docv:"T" ~doc)
+  in
+  let audit_drift_delta_arg =
+    let doc =
+      "Page-Hinkley slack: per-sample mean shifts below $(docv) never \
+       accumulate toward a drift alarm."
+    in
+    Arg.(
+      value
+      & opt float Serve.Audit.default_config.Serve.Audit.drift_delta
+      & info [ "audit-drift-delta" ] ~docv:"D" ~doc)
+  in
+  let audit_drift_lambda_arg =
+    let doc =
+      "Page-Hinkley threshold: alarm when the cumulative error deviation \
+       exceeds $(docv).  Scale it to the error spread of the workloads \
+       actually served — the default suits a stream of near-identical \
+       errors; a varied working set needs a larger value."
+    in
+    Arg.(
+      value
+      & opt float Serve.Audit.default_config.Serve.Audit.drift_lambda
+      & info [ "audit-drift-lambda" ] ~docv:"L" ~doc)
+  in
   let run host port unix_path jobs cache max_queue hot_threshold peers
       peers_file journal journal_sample journal_max_bytes slo_latency_ms
-      slo_target trace =
+      slo_target audit_sample audit_horizon audit_drift_delta
+      audit_drift_lambda trace =
     if cache < 1 then begin
       prerr_endline "cache capacity must be at least 1";
       exit 2
@@ -603,6 +641,10 @@ let serve_cmd =
         slo_objective_ms = slo_latency_ms;
         slo_target;
         shard = Some self_name;
+        audit_sample;
+        audit_horizon;
+        audit_drift_delta;
+        audit_drift_lambda;
       }
     in
     let router =
@@ -648,7 +690,9 @@ let serve_cmd =
       const run $ host_arg $ port_arg $ unix_arg $ jobs_arg $ cache_arg
       $ max_queue_arg $ hot_threshold_arg $ peers_arg $ peers_file_arg
       $ journal_arg $ journal_sample_arg $ journal_max_bytes_arg
-      $ slo_latency_arg $ slo_target_arg $ trace_arg)
+      $ slo_latency_arg $ slo_target_arg $ audit_sample_arg
+      $ audit_horizon_arg $ audit_drift_delta_arg $ audit_drift_lambda_arg
+      $ trace_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -766,7 +810,19 @@ let print_stats (s : Serve.Protocol.stats_reply) =
   if s.slo_objective_ms > 0. then
     Printf.printf
       "slo: %.1fms at %.4g%%, burn rate %.2fx (1m) / %.2fx (1h)\n"
-      s.slo_objective_ms (100. *. s.slo_target) s.slo_burn_1m s.slo_burn_1h
+      s.slo_objective_ms (100. *. s.slo_target) s.slo_burn_1m s.slo_burn_1h;
+  if s.audit.audit_sample > 0 then begin
+    Printf.printf
+      "audit: 1-in-%d sampling, %d submitted, %d replayed, %d dropped, %d \
+       failed\n"
+      s.audit.audit_sample s.audit.audit_submitted s.audit.audit_completed
+      s.audit.audit_dropped s.audit.audit_failed;
+    Printf.printf "audit: mean err %+.4f, max |err| %.4f, %d drift alarms%s\n"
+      s.audit.audit_mean_err s.audit.audit_max_abs_err s.audit.audit_alarms
+      (match s.audit.audit_drifting with
+      | [] -> ""
+      | drifting -> " (drifting: " ^ String.concat "," drifting ^ ")")
+  end
 
 let with_client ~host ~port ~unix_path f =
   let fail fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt in
@@ -914,7 +970,27 @@ let stats_cmd =
       (sum (fun s -> s.rejected_candidate + s.rejected_victim));
     Printf.printf "cluster: worst burn rate %.2fx (1m) / %.2fx (1h)\n"
       (maxf (fun s -> s.slo_burn_1m))
-      (maxf (fun s -> s.slo_burn_1h))
+      (maxf (fun s -> s.slo_burn_1h));
+    let audited = sum (fun s -> s.audit.Serve.Protocol.audit_completed) in
+    if audited > 0 then begin
+      let drifting =
+        List.sort_uniq String.compare
+          (List.concat_map
+             (fun (_, s) ->
+               s.Serve.Protocol.audit.Serve.Protocol.audit_drifting)
+             replies)
+      in
+      Printf.printf
+        "cluster: accuracy — %d estimates audited, %d dropped, worst |err| \
+         %.4f, %d drift alarms%s\n"
+        audited
+        (sum (fun s -> s.audit.Serve.Protocol.audit_dropped))
+        (maxf (fun s -> s.audit.Serve.Protocol.audit_max_abs_err))
+        (sum (fun s -> s.audit.Serve.Protocol.audit_alarms))
+        (match drifting with
+        | [] -> ""
+        | d -> " (drifting: " ^ String.concat "," d ^ ")")
+    end
   in
   let run_cluster endpoints prometheus =
     let router = Cluster.Router.create ~pool_size:1 ~timeout:10. endpoints in
@@ -990,6 +1066,131 @@ let stats_cmd =
          "Operational statistics of a running daemon; $(b,--prometheus) \
           prints a scrape-ready exposition, $(b,--cluster) fans out to every \
           shard and merges")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+
+let explain_cmd =
+  let digest_arg =
+    let doc =
+      "Ask a running daemon (see $(b,--port)/$(b,--unix)) for the provenance \
+       of the estimate it serves for the stored workload $(docv), instead of \
+       computing locally from $(b,--load)/$(b,--seed)."
+    in
+    Arg.(value & opt (some string) None & info [ "digest" ] ~docv:"DIGEST" ~doc)
+  in
+  let json_arg =
+    let doc = "Print the provenance record as JSON instead of a table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let verify_arg =
+    let doc =
+      "Re-derive the estimate from the provenance record and check it matches \
+       bit for bit: against the workload's graphs locally, and additionally \
+       against the daemon's served rows when $(b,--digest) is given."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let fail fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt in
+  let same_float a b =
+    Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+  in
+  let output json e =
+    if json then
+      print_endline
+        (Serve.Json.to_string (Serve.Protocol.explain_reply_to_json e))
+    else print_string (Contention.Explain.render e)
+  in
+  let run host port unix_path digest load seed num_apps procs usecase estimator
+      json verify =
+    match digest with
+    | Some digest ->
+        with_client ~host ~port ~unix_path (fun client ->
+            let usecase =
+              Option.map
+                (fun spec ->
+                  List.map String.trim (String.split_on_char ',' spec))
+                usecase
+            in
+            let e =
+              match
+                Serve.Client.explain client ~digest ?usecase ~estimator ()
+              with
+              | Ok e -> e
+              | Error msg -> fail "%s" msg
+            in
+            output json e;
+            if verify then begin
+              (* The served estimate, answered by the kernel engine (and
+                 possibly from cache) — the provenance record must carry the
+                 exact same numbers. *)
+              let r =
+                match
+                  Serve.Client.estimate client ~digest ?usecase ~estimator ()
+                with
+                | Ok r -> r
+                | Error msg -> fail "%s" msg
+              in
+              let apps = e.Contention.Explain.apps in
+              if List.length r.rows <> List.length apps then
+                fail "verify: %d served rows vs %d explained applications"
+                  (List.length r.rows) (List.length apps);
+              List.iter2
+                (fun (row : Serve.Protocol.estimate_row)
+                     (x : Contention.Explain.app) ->
+                  if not (String.equal row.app x.Contention.Explain.x_app) then
+                    fail "verify: served row %S vs explained application %S"
+                      row.app x.Contention.Explain.x_app;
+                  if
+                    not
+                      (same_float row.period x.Contention.Explain.x_period
+                      && same_float row.isolation_period
+                           x.Contention.Explain.x_isolation
+                      && same_float row.throughput
+                           x.Contention.Explain.x_throughput)
+                  then
+                    fail
+                      "verify: served %s period %.17g differs from provenance \
+                       %.17g"
+                      row.app row.period x.Contention.Explain.x_period)
+                r.rows apps;
+              print_endline
+                "verify: provenance matches the served estimate bit-for-bit"
+            end)
+    | None ->
+        let w = workload ~load seed num_apps procs in
+        let mask =
+          match parse_usecase w usecase with
+          | Ok m -> m
+          | Error msg -> fail "%s" msg
+        in
+        let apps =
+          List.map (fun i -> w.apps.(i)) (Contention.Usecase.to_list mask)
+        in
+        let e = Contention.Explain.compute estimator apps in
+        output json e;
+        if verify then begin
+          match Contention.Explain.verify e apps with
+          | Ok () ->
+              print_endline
+                "verify: provenance reproduces the estimate bit-for-bit"
+          | Error msg -> fail "verify: %s" msg
+        end
+  in
+  let term =
+    Term.(
+      const run $ host_arg $ port_arg $ unix_arg $ digest_arg $ load_arg
+      $ seed_arg $ num_apps_arg $ procs_arg $ usecase_arg $ estimator_arg
+      $ json_arg $ verify_arg)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Structured provenance of a contention estimate: per-actor blocking \
+          probabilities, contender folds, truncation error bounds and period \
+          derivation — locally, or served by a running daemon with \
+          $(b,--digest)")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -1206,4 +1407,5 @@ let () =
        (Cmd.group info
           [ generate_cmd; analyze_cmd; simulate_cmd; experiment_cmd; sweep_cmd;
             export_cmd; inspect_cmd; report_cmd; sensitivity_cmd; check_cmd;
-            serve_cmd; query_cmd; stats_cmd; loadgen_cmd; trace_merge_cmd ]))
+            serve_cmd; query_cmd; stats_cmd; explain_cmd; loadgen_cmd;
+            trace_merge_cmd ]))

@@ -123,6 +123,11 @@ let estimate t ~digest ?usecase ~estimator () =
     (Protocol.Estimate { digest; usecase; estimator })
     Protocol.estimate_reply_of_json
 
+let explain t ~digest ?usecase ~estimator () =
+  typed t
+    (Protocol.Explain { digest; usecase; estimator })
+    Protocol.explain_reply_of_json
+
 let cache_put t ~digest ~mask ~estimator ~rows =
   typed t
     (Protocol.Cache_put { digest; mask; estimator; rows })

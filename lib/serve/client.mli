@@ -45,6 +45,16 @@ val estimate :
   unit ->
   (Protocol.estimate_reply, string) result
 
+val explain :
+  t ->
+  digest:string ->
+  ?usecase:string list ->
+  estimator:Contention.Analysis.estimator ->
+  unit ->
+  (Contention.Explain.t, string) result
+(** The provenance record behind the corresponding {!estimate} — every
+    number in it is bit-identical to the served rows. *)
+
 val cache_put :
   t ->
   digest:string ->

@@ -29,6 +29,11 @@ type request =
       (** Peer-to-peer: install precomputed estimate rows into the receiving
           server's cache, keyed by [(digest, mask, estimator)].  Sent by the
           cluster router to replicate hot entries. *)
+  | Explain of {
+      digest : string;
+      usecase : string list option;
+      estimator : Contention.Analysis.estimator;
+    }
   | Stats
   | Metrics
   | Shutdown
@@ -201,6 +206,14 @@ let base_request_to_json = function
           ("estimator", Json.Str estimator);
           ("results", Json.Arr (List.map estimate_row_to_json rows));
         ]
+  | Explain { digest; usecase; estimator } ->
+      Json.Obj
+        ([ ("cmd", Json.Str "explain"); ("workload", Json.Str digest) ]
+        @ (match usecase with
+          | None -> []
+          | Some apps ->
+              [ ("usecase", Json.Arr (List.map (fun a -> Json.Str a) apps)) ])
+        @ [ ("estimator", Json.Str (estimator_to_string estimator)) ])
   | Stats -> Json.Obj [ ("cmd", Json.Str "stats") ]
   | Metrics -> Json.Obj [ ("cmd", Json.Str "metrics") ]
   | Shutdown -> Json.Obj [ ("cmd", Json.Str "shutdown") ]
@@ -220,7 +233,7 @@ let request_of_json json =
       | "upload" ->
           let* payload = field "workload" Json.get_str json in
           Ok (Upload { payload })
-      | "estimate" ->
+      | "estimate" | "explain" ->
           let* digest = field "workload" Json.get_str json in
           let* usecase = opt_field "usecase" str_list json in
           let* name =
@@ -232,7 +245,8 @@ let request_of_json json =
                 | None -> Error "field \"estimator\" has the wrong type")
           in
           let* estimator = estimator_of_string name in
-          Ok (Estimate { digest; usecase; estimator })
+          if cmd = "explain" then Ok (Explain { digest; usecase; estimator })
+          else Ok (Estimate { digest; usecase; estimator })
       | "admit" ->
           let* session =
             Result.map
@@ -282,6 +296,31 @@ type verdict =
   | Rejected_candidate of { estimated : float; required : float }
   | Rejected_victim of { victim : string; estimated : float; required : float }
 
+type audit_stats = {
+  audit_sample : int;
+  audit_submitted : int;
+  audit_completed : int;
+  audit_dropped : int;
+  audit_failed : int;
+  audit_mean_err : float;
+  audit_max_abs_err : float;
+  audit_alarms : int;
+  audit_drifting : string list;
+}
+
+let no_audit =
+  {
+    audit_sample = 0;
+    audit_submitted = 0;
+    audit_completed = 0;
+    audit_dropped = 0;
+    audit_failed = 0;
+    audit_mean_err = 0.;
+    audit_max_abs_err = 0.;
+    audit_alarms = 0;
+    audit_drifting = [];
+  }
+
 type stats_reply = {
   uptime_s : float;
   connections : int;
@@ -311,6 +350,7 @@ type stats_reply = {
   slo_target : float;
   slo_burn_1m : float;
   slo_burn_1h : float;
+  audit : audit_stats;
 }
 
 let cache_hit_rate s =
@@ -357,6 +397,34 @@ let estimate_reply_of_json json =
   let* rows_json = field "results" Json.get_arr json in
   let* rows = rows_of_json rows_json in
   Ok { cached; estimator; rows }
+
+(* The provenance record's JSON lives in [Contention.Explain] (core cannot
+   see the serve layer's codec); the two ASTs are structurally identical, so
+   the bridge is a plain structural copy in each direction. *)
+let rec json_of_explain : Contention.Explain.json -> Json.t = function
+  | Contention.Explain.Null -> Json.Null
+  | Contention.Explain.Bool b -> Json.Bool b
+  | Contention.Explain.Num n -> Json.Num n
+  | Contention.Explain.Str s -> Json.Str s
+  | Contention.Explain.Arr xs -> Json.Arr (List.map json_of_explain xs)
+  | Contention.Explain.Obj fields ->
+      Json.Obj (List.map (fun (k, v) -> (k, json_of_explain v)) fields)
+
+let rec explain_json_of_json : Json.t -> Contention.Explain.json = function
+  | Json.Null -> Contention.Explain.Null
+  | Json.Bool b -> Contention.Explain.Bool b
+  | Json.Num n -> Contention.Explain.Num n
+  | Json.Str s -> Contention.Explain.Str s
+  | Json.Arr xs -> Contention.Explain.Arr (List.map explain_json_of_json xs)
+  | Json.Obj fields ->
+      Contention.Explain.Obj
+        (List.map (fun (k, v) -> (k, explain_json_of_json v)) fields)
+
+let explain_reply_to_json (e : Contention.Explain.t) =
+  json_of_explain (Contention.Explain.to_json e)
+
+let explain_reply_of_json json =
+  Contention.Explain.of_json (explain_json_of_json json)
 
 let verdict_to_json = function
   | Admitted { throughput } ->
@@ -450,6 +518,21 @@ let stats_reply_to_json s =
             ("burn_1m", Json.Num s.slo_burn_1m);
             ("burn_1h", Json.Num s.slo_burn_1h);
           ] );
+      ( "audit",
+        Json.Obj
+          [
+            ("sample", Json.Num (float_of_int s.audit.audit_sample));
+            ("submitted", Json.Num (float_of_int s.audit.audit_submitted));
+            ("completed", Json.Num (float_of_int s.audit.audit_completed));
+            ("dropped", Json.Num (float_of_int s.audit.audit_dropped));
+            ("failed", Json.Num (float_of_int s.audit.audit_failed));
+            ("mean_err", Json.Num s.audit.audit_mean_err);
+            ("max_abs_err", Json.Num s.audit.audit_max_abs_err);
+            ("alarms", Json.Num (float_of_int s.audit.audit_alarms));
+            ( "drifting",
+              Json.Arr
+                (List.map (fun e -> Json.Str e) s.audit.audit_drifting) );
+          ] );
     ]
 
 let stats_reply_of_json json =
@@ -504,6 +587,32 @@ let stats_reply_of_json json =
   let slo_target = slo_num "target" in
   let slo_burn_1m = slo_num "burn_1m" in
   let slo_burn_1h = slo_num "burn_1h" in
+  (* Like the SLO block, the audit block is absent from pre-audit servers
+     (and from servers running with auditing off the section is all-zero):
+     default everything so old and new peers interoperate. *)
+  let audit =
+    match Json.member "audit" json with
+    | None -> no_audit
+    | Some a ->
+        let num name =
+          Option.value ~default:0.
+            (Option.bind (Json.member name a) Json.get_num)
+        in
+        let int name = int_of_float (num name) in
+        {
+          audit_sample = int "sample";
+          audit_submitted = int "submitted";
+          audit_completed = int "completed";
+          audit_dropped = int "dropped";
+          audit_failed = int "failed";
+          audit_mean_err = num "mean_err";
+          audit_max_abs_err = num "max_abs_err";
+          audit_alarms = int "alarms";
+          audit_drifting =
+            Option.value ~default:[]
+              (Option.bind (Json.member "drifting" a) str_list);
+        }
+  in
   Ok
     {
       uptime_s;
@@ -534,6 +643,7 @@ let stats_reply_of_json json =
       slo_target;
       slo_burn_1m;
       slo_burn_1h;
+      audit;
     }
 
 (* ------------------------------------------------------------------ *)

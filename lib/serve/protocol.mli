@@ -49,6 +49,14 @@ type request =
           is broadcast in cluster mode), and the estimator must be a valid
           {!estimator_of_string} name — the key is re-canonicalised so a
           forwarded entry actually hits. *)
+  | Explain of {
+      digest : string;
+      usecase : string list option;
+      estimator : Contention.Analysis.estimator;
+    }
+      (** Like [Estimate], but the reply is the full provenance record
+          ({!Contention.Explain.t}) the estimate derives from — every
+          recorded number is bit-identical to the served estimate. *)
   | Stats
   | Metrics
       (** Prometheus exposition of the server's {!Obs.Metric} registry, so
@@ -102,6 +110,21 @@ type verdict =
   | Rejected_candidate of { estimated : float; required : float }
   | Rejected_victim of { victim : string; estimated : float; required : float }
 
+type audit_stats = {
+  audit_sample : int;  (** 1-in-N head sampling rate; [0] = auditing off. *)
+  audit_submitted : int;  (** Estimates handed to the shadow auditor. *)
+  audit_completed : int;  (** Replays finished (each covers every row). *)
+  audit_dropped : int;  (** Submissions refused: audit queue full. *)
+  audit_failed : int;  (** Replays that raised or produced no period. *)
+  audit_mean_err : float;  (** Running mean signed relative error. *)
+  audit_max_abs_err : float;  (** Largest absolute relative error seen. *)
+  audit_alarms : int;  (** Page–Hinkley drift alarms raised since start. *)
+  audit_drifting : string list;  (** Estimators currently flagged. *)
+}
+
+val no_audit : audit_stats
+(** All-zero: what a pre-audit (or audit-disabled) server reports. *)
+
 type stats_reply = {
   uptime_s : float;
   connections : int;
@@ -131,6 +154,7 @@ type stats_reply = {
   slo_target : float;  (** Availability target, e.g. [0.999]. *)
   slo_burn_1m : float;  (** Error-budget burn rate over the last minute. *)
   slo_burn_1h : float;  (** Burn rate over the last hour (see {!Slo}). *)
+  audit : audit_stats;  (** Shadow-audit accuracy accounting ({!Audit}). *)
 }
 
 val cache_hit_rate : stats_reply -> float
@@ -146,6 +170,15 @@ val upload_reply_to_json : upload_reply -> Json.t
 val upload_reply_of_json : Json.t -> (upload_reply, string) result
 val estimate_reply_to_json : estimate_reply -> Json.t
 val estimate_reply_of_json : Json.t -> (estimate_reply, string) result
+
+val json_of_explain : Contention.Explain.json -> Json.t
+(** Structural copy between the core provenance AST and the wire codec. *)
+
+val explain_json_of_json : Json.t -> Contention.Explain.json
+
+val explain_reply_to_json : Contention.Explain.t -> Json.t
+
+val explain_reply_of_json : Json.t -> (Contention.Explain.t, string) result
 val verdict_to_json : verdict -> Json.t
 val verdict_of_json : Json.t -> (verdict, string) result
 val stats_reply_to_json : stats_reply -> Json.t

@@ -13,6 +13,10 @@ type config = {
   slo_objective_ms : float;
   slo_target : float;
   shard : string option;
+  audit_sample : int;  (* audit 1-in-N served estimates; 0 = off *)
+  audit_horizon : float;  (* simulation horizon of audit replays *)
+  audit_drift_delta : float;  (* Page-Hinkley per-step slack *)
+  audit_drift_lambda : float;  (* Page-Hinkley alarm threshold *)
 }
 
 let default_config =
@@ -31,6 +35,10 @@ let default_config =
     slo_objective_ms = 50.;
     slo_target = 0.999;
     shard = None;
+    audit_sample = 0;
+    audit_horizon = Audit.default_config.Audit.horizon;
+    audit_drift_delta = Audit.default_config.Audit.drift_delta;
+    audit_drift_lambda = Audit.default_config.Audit.drift_lambda;
   }
 
 type hot_entry = {
@@ -113,6 +121,7 @@ type t = {
   m_burn_1h : Obs.Metric.Gauge.t;
   slo : Slo.t;
   journal : Journal.t option;
+  audit : Audit.t option;
   (* Hot-digest tracking: estimate-request counts per cache key.  When a
      key's count crosses [hot_threshold], [on_hot] fires once with the rows
      so the owner (the CLI's cluster glue) can replicate them to peers. *)
@@ -139,6 +148,7 @@ type t = {
 }
 
 let tcp_port t = t.bound_tcp_port
+let audit t = t.audit
 let shutdown_requested t = Atomic.get t.stop_requested
 let metrics_registry t = t.registry
 
@@ -284,9 +294,42 @@ let handle_estimate t ~digest ~usecase ~estimator =
                 (false, rows)
           in
           note_hot t ~digest ~mask ~name rows;
+          (* Shadow audit: hand a head-sampled fraction of served estimates
+             (cached or fresh — both were served) to the background replay
+             domain, tagged with the originating trace context.  A full
+             queue drops the sample; the serve path never blocks on it. *)
+          (match t.audit with
+          | Some audit when Audit.sampled audit ->
+              ignore
+                (Audit.submit audit
+                   {
+                     Audit.digest;
+                     workload = w;
+                     mask;
+                     estimator = name;
+                     rows;
+                     ctx = Obs.Span.current_context ();
+                   })
+          | _ -> ());
           Protocol.ok
             (Protocol.estimate_reply_to_json
                { Protocol.cached; estimator = name; rows }))
+
+let handle_explain t ~digest ~usecase ~estimator =
+  match Store.find t.store digest with
+  | None -> Protocol.error (Printf.sprintf "unknown workload digest %S" digest)
+  | Some w -> (
+      match resolve_usecase w usecase with
+      | Error msg -> Protocol.error msg
+      | Ok mask ->
+          (* The reference pass over the same apps the estimate ran on:
+             bit-identical to the kernel-served rows (the PR 5 contract),
+             so the record reproduces what was actually answered. *)
+          let apps =
+            List.map (fun i -> w.apps.(i)) (Contention.Usecase.to_list mask)
+          in
+          let e = Contention.Explain.compute estimator apps in
+          Protocol.ok (Protocol.explain_reply_to_json e))
 
 let handle_cache_put t ~digest ~mask ~estimator ~rows =
   (* Accept only keys an estimate request could produce: a stored workload
@@ -421,6 +464,10 @@ let handle_stats t =
          slo_target = slo.target;
          slo_burn_1m = slo.burn_1m;
          slo_burn_1h = slo.burn_1h;
+         audit =
+           (match t.audit with
+           | None -> Protocol.no_audit
+           | Some audit -> Audit.stats audit);
        })
 
 let dispatch t (request : Protocol.request) =
@@ -440,6 +487,8 @@ let dispatch t (request : Protocol.request) =
                }))
   | Protocol.Estimate { digest; usecase; estimator } ->
       handle_estimate t ~digest ~usecase ~estimator
+  | Protocol.Explain { digest; usecase; estimator } ->
+      handle_explain t ~digest ~usecase ~estimator
   | Protocol.Admit { session; digest; app; min_throughput } ->
       handle_admit t ~session ~digest ~app ~min_throughput
   | Protocol.Release { session; app } -> handle_release t ~session ~app
@@ -459,6 +508,7 @@ let cmd_name = function
   | Protocol.Ping -> "ping"
   | Protocol.Upload _ -> "upload"
   | Protocol.Estimate _ -> "estimate"
+  | Protocol.Explain _ -> "explain"
   | Protocol.Admit _ -> "admit"
   | Protocol.Release _ -> "release"
   | Protocol.Cache_put _ -> "cache-put"
@@ -773,6 +823,27 @@ let start ?on_hot ?(config = default_config) () =
        ~help:"Worker domains — the pool's capacity."
        "contention_serve_workers")
     (float_of_int jobs);
+  let journal =
+    Option.map
+      (Journal.create ~sample_every:config.journal_sample
+         ~max_bytes:config.journal_max_bytes)
+      config.journal_path
+  in
+  let audit =
+    if config.audit_sample <= 0 then None
+    else
+      Some
+        (Audit.create
+           ~config:
+             {
+               Audit.default_config with
+               Audit.sample_every = config.audit_sample;
+               horizon = config.audit_horizon;
+               drift_delta = config.audit_drift_delta;
+               drift_lambda = config.audit_drift_lambda;
+             }
+           ~registry ?journal ?shard:config.shard ())
+  in
   let t =
     {
       config;
@@ -789,11 +860,8 @@ let start ?on_hot ?(config = default_config) () =
       slo =
         Slo.create ~objective_ms:config.slo_objective_ms
           ~target:config.slo_target ();
-      journal =
-        Option.map
-          (Journal.create ~sample_every:config.journal_sample
-             ~max_bytes:config.journal_max_bytes)
-          config.journal_path;
+      journal;
+      audit;
       m_cache_hits;
       m_cache_misses;
       hot = Hashtbl.create 8;
@@ -863,6 +931,9 @@ let stop t =
     Chan.close t.conns;
     List.iter Domain.join t.domains;
     t.domains <- [];
+    (* Finish queued audit replays (they may still journal) before the
+       journal closes under them. *)
+    Option.iter Audit.stop t.audit;
     Option.iter Journal.close t.journal;
     match t.config.unix_path with
     | Some path when Sys.file_exists path -> (

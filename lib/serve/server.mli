@@ -45,13 +45,25 @@ type config = {
   shard : string option;
       (** This server's shard label, stamped into journal records so a
           cluster's journals can be told apart after collection. *)
+  audit_sample : int;
+      (** Shadow-audit 1 in [N] served estimates through the simulator on a
+          background domain (see {!Audit}).  [0] disables auditing. *)
+  audit_horizon : float;  (** Simulation horizon of audit replays. *)
+  audit_drift_delta : float;
+      (** Page–Hinkley per-step slack: mean shifts below this magnitude
+          never accumulate toward an alarm (see {!Audit.Drift}). *)
+  audit_drift_lambda : float;
+      (** Page–Hinkley alarm threshold on the cumulative deviation.  Scale
+          it to the error spread of the served workload population: a
+          multi-workload mix needs a larger [lambda] than the default,
+          which is tuned for a stream of near-identical errors. *)
 }
 
 val default_config : config
 (** 127.0.0.1, TCP port 4557, no Unix socket, default jobs, 256 cache
     entries, 8 MiB frames, 1024-deep accept queue, hot tracking off, no
     journal (1-in-16 sampling, 8 MiB rotation when enabled), 50 ms / 99.9%
-    SLO, no shard label. *)
+    SLO, no shard label, auditing off ({!Audit.default_config} horizon). *)
 
 type hot_entry = {
   hot_digest : string;
@@ -91,6 +103,10 @@ val handle_line : t -> string -> string
     back as [{"error": ...}] envelopes.  This is the in-process fuzzing entry
     used by {!Check.Wirefuzz} — arbitrary bytes in, one JSON reply out,
     never an exception. *)
+
+val audit : t -> Audit.t option
+(** The shadow auditor, when [audit_sample > 0] — tests use it to
+    {!Audit.drain} before asserting on audit counters. *)
 
 val metrics_registry : t -> Obs.Metric.registry
 (** The server's own metric registry — per-command request counters and

@@ -226,6 +226,34 @@ let test_prometheus_escaping () =
   Alcotest.(check string) "escaped help and label value" expected
     (Obs.Prometheus.expose r)
 
+(* The histogram exposition path builds its own label sets (labels + le,
+   then bare labels for _sum/_count); every one of those lines must escape
+   a hostile label value per the 0.0.4 format. *)
+let test_prometheus_histogram_escaping () =
+  let r = Obs.Metric.create_registry () in
+  let h =
+    Obs.Metric.Histogram.v ~registry:r ~help:"back\\slash\nnewline."
+      ~buckets:[| 1. |]
+      ~labels:[ ("path", "a\"b\\c\nd") ]
+      "esc_seconds"
+  in
+  Obs.Metric.Histogram.observe h 0.5;
+  Obs.Metric.Histogram.observe h 2.0;
+  let expected =
+    String.concat "\n"
+      [
+        "# HELP esc_seconds back\\\\slash\\nnewline.";
+        "# TYPE esc_seconds histogram";
+        "esc_seconds_bucket{path=\"a\\\"b\\\\c\\nd\",le=\"1\"} 1";
+        "esc_seconds_bucket{path=\"a\\\"b\\\\c\\nd\",le=\"+Inf\"} 2";
+        "esc_seconds_sum{path=\"a\\\"b\\\\c\\nd\"} 2.5";
+        "esc_seconds_count{path=\"a\\\"b\\\\c\\nd\"} 2";
+        "";
+      ]
+  in
+  Alcotest.(check string) "escaped histogram exposition" expected
+    (Obs.Prometheus.expose r)
+
 (* --- golden: Chrome trace JSON --------------------------------------- *)
 
 let fixed_spans =
@@ -291,6 +319,8 @@ let suite =
     Alcotest.test_case "histogram" `Quick test_histogram;
     Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
     Alcotest.test_case "prometheus escaping" `Quick test_prometheus_escaping;
+    Alcotest.test_case "prometheus histogram escaping" `Quick
+      test_prometheus_histogram_escaping;
     Alcotest.test_case "chrome trace golden" `Quick test_trace_golden;
     Alcotest.test_case "chrome trace parses" `Quick test_trace_parses;
   ]

@@ -232,6 +232,27 @@ let test_merge_determinism () =
       | _ -> [])
   then Alcotest.fail "single-process merge produced a flow event"
 
+(* A trace file with zero spans (a shard that served nothing while traced)
+   must still load and merge into a valid, empty timeline — not an
+   error. *)
+let test_empty_trace_merge () =
+  let path = Filename.temp_file "trace_empty" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Trace.write_file ~process_name:"idle-shard" ~path [];
+      let proc = unwrap (Cluster.Trace.load path) in
+      Alcotest.(check string) "process name" "idle-shard" proc.Trace.p_name;
+      Alcotest.(check int) "no spans" 0 (List.length proc.Trace.p_spans);
+      let merged = Trace.merged_chrome_json [ proc ] in
+      match Json.of_string merged with
+      | Error msg -> Alcotest.failf "merged timeline is not JSON: %s" msg
+      | Ok (Json.Obj kvs) -> (
+          match List.assoc_opt "traceEvents" kvs with
+          | Some (Json.Arr (_ : Json.t list)) -> ()
+          | _ -> Alcotest.fail "merged timeline lacks a traceEvents array")
+      | Ok _ -> Alcotest.fail "merged timeline is not an object")
+
 (* --- trace file round-trip through Cluster.Trace --------------------- *)
 
 let test_file_roundtrip () =
@@ -485,6 +506,49 @@ let test_slo () =
   let s = burn () in
   Alcotest.(check (float 1e-6)) "1h window expired" 0. s.Serve.Slo.burn_1h
 
+(* Window-rollover boundaries: a bucket written at second [t] belongs to
+   the trailing w-second window iff its stamp is in (now - w, now] — so it
+   ages out at exactly [t + 60] (resp. [t + 3600]), not one second
+   before. *)
+let test_slo_rollover () =
+  let now = ref 5000 in
+  let slo =
+    Serve.Slo.create ~now_s:(fun () -> !now) ~objective_ms:10. ~target:0.5 ()
+  in
+  let burn () = Serve.Slo.snapshot slo in
+  (* One bad request: the whole window is bad, budget is 0.5 -> burn 2. *)
+  Serve.Slo.record slo ~latency_s:1.0;
+  Alcotest.(check (float 1e-9)) "fresh 1m" 2. (burn ()).Serve.Slo.burn_1m;
+  Alcotest.(check (float 1e-9)) "fresh 1h" 2. (burn ()).Serve.Slo.burn_1h;
+  (* 59 s later the request is still inside the minute window... *)
+  now := 5000 + 59;
+  Alcotest.(check (float 1e-9)) "59 s: still in 1m" 2.
+    (burn ()).Serve.Slo.burn_1m;
+  (* ...and at exactly 60 s it has rolled out, while the hour remembers. *)
+  now := 5000 + 60;
+  Alcotest.(check (float 1e-9)) "60 s: out of 1m" 0.
+    (burn ()).Serve.Slo.burn_1m;
+  Alcotest.(check (float 1e-9)) "60 s: still in 1h" 2.
+    (burn ()).Serve.Slo.burn_1h;
+  (* The same boundary for the hour window: in at 3599, out at 3600. *)
+  now := 5000 + 3599;
+  Alcotest.(check (float 1e-9)) "3599 s: still in 1h" 2.
+    (burn ()).Serve.Slo.burn_1h;
+  now := 5000 + 3600;
+  Alcotest.(check (float 1e-9)) "3600 s: out of 1h" 0.
+    (burn ()).Serve.Slo.burn_1h;
+  (* One full ring revolution later the write lands on the same physical
+     bucket; its stale contents must be cleared, not accumulated. *)
+  Serve.Slo.record slo ~latency_s:0.001;
+  Alcotest.(check (float 1e-9)) "ring bucket reused clean, 1m" 0.
+    (burn ()).Serve.Slo.burn_1m;
+  Alcotest.(check (float 1e-9)) "ring bucket reused clean, 1h" 0.
+    (burn ()).Serve.Slo.burn_1h;
+  Serve.Slo.record_bad slo;
+  (* 1 bad of 2 in-window requests over a 0.5 budget: burn 1. *)
+  Alcotest.(check (float 1e-9)) "burn after reuse" 1.
+    (burn ()).Serve.Slo.burn_1m
+
 (* --- stats reply carries the SLO over the wire ----------------------- *)
 
 let test_stats_slo_wire () =
@@ -567,11 +631,13 @@ let suite =
     Alcotest.test_case "wire trace envelope" `Quick test_envelope;
     Alcotest.test_case "merge is order-independent" `Quick
       test_merge_determinism;
+    Alcotest.test_case "zero-span trace merges" `Quick test_empty_trace_merge;
     Alcotest.test_case "trace file round-trip" `Quick test_file_roundtrip;
     Alcotest.test_case "propagation across peered servers" `Slow
       test_cluster_propagation;
     Alcotest.test_case "request journal" `Quick test_journal;
     Alcotest.test_case "slo burn windows" `Quick test_slo;
+    Alcotest.test_case "slo window rollover" `Quick test_slo_rollover;
     Alcotest.test_case "stats carries the slo" `Quick test_stats_slo_wire;
     Alcotest.test_case "prometheus shard merge" `Quick test_promerge;
   ]
