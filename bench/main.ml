@@ -23,11 +23,15 @@
      CLUSTER             open-loop load against one shard vs the full
                          consistent-hash ring (aggregate cache scaling)
      ESTIMATOR           batched kernel engine vs the list-based reference
+     ADMIT               incremental admission joins/s vs a per-join re-fold
+                         at a 1,000-application resident population, plus
+                         confidence-margin cost per request
      MICRO   Bechamel OLS estimates for kernels and full-path operations
 
    Flags:
      --quick       run only the trajectory sections (SWEEP, ESTIMATOR, SERVE,
-                   AUDIT, CLUSTER, CHECK) — what CI's bench-smoke job measures
+                   AUDIT, CLUSTER, CHECK, ADMIT) — what CI's bench-smoke job
+                   measures
      --json FILE   write the machine-readable trajectory (schema
                    "contention-bench/1", see EXPERIMENTS.md) to FILE
 
@@ -49,7 +53,9 @@
      CONTENTION_CLUSTER_DURATION  open-loop duration seconds   (default 0.5)
      CONTENTION_CLUSTER_JOBS      workers per shard            (default 2)
      CONTENTION_CLUSTER_CACHE     estimate-cache entries/shard (default 8)
-     CONTENTION_CLUSTER_DIGESTS   load working-set size        (default 16) *)
+     CONTENTION_CLUSTER_DIGESTS   load working-set size        (default 16)
+     CONTENTION_ADMIT_APPS        ADMIT resident population    (default 1000)
+     CONTENTION_ADMIT_CYCLES      ADMIT join/leave cycles      (default 100) *)
 
 open Bechamel
 
@@ -1015,6 +1021,135 @@ let check_json =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Incremental admission at scale                                       *)
+
+let admit_json =
+  section "ADMIT";
+  let residents = env_int "CONTENTION_ADMIT_APPS" 1_000 in
+  let procs = 4 in
+  Printf.printf
+    "Join/leave cycles at a %d-application resident population on %d\n\
+     processors: the incremental controller (⊕/⊖ on the aggregates and the\n\
+     kernel groups) against a per-join from-scratch re-fold of the same\n\
+     state, plus the cost of serving a confidence margin per admit.\n"
+    residents procs;
+  (* Small resident applications, drawn like the churn fuzz tier: HSDF
+     isolation periods (random state spaces are unbounded), no saturated
+     actors (no ⊖ inverse), and activation periods inflated so the resident
+     population sums to roughly one utilization per processor — thousands of
+     light features, not thousands of saturating ones. *)
+  let rng = Sdfgen.Rng.create seed in
+  let period_slack = Float.max 12. (0.25 *. float_of_int residents) in
+  let params =
+    {
+      Sdfgen.Generator.default_params with
+      actors_min = 2;
+      actors_max = 4;
+      exec_min = 2;
+      exec_max = 20;
+    }
+  in
+  let gen name =
+    let rec draw attempts =
+      let g = Sdfgen.Generator.generate ~params (Sdfgen.Rng.split rng) ~name in
+      let app =
+        Contention.Analysis.app g
+          ~period:(period_slack *. Sdf.Hsdf.period g)
+          ~mapping:(Contention.Mapping.modulo ~procs g)
+      in
+      if
+        attempts < 50
+        && Array.exists
+             (fun (l : Contention.Prob.t) -> l.p >= 1.)
+             (Contention.Analysis.loads app)
+      then draw (attempts + 1)
+      else app
+    in
+    draw 0
+  in
+  let apps = Array.init residents (fun i -> gen (Printf.sprintf "R%d" i)) in
+  let extra = gen "EXTRA" in
+  let ctl = Contention.Admission.create ~procs () in
+  let admit app =
+    match
+      Contention.Admission.try_admit ctl app Contention.Admission.best_effort
+    with
+    | Contention.Admission.Admitted _ -> ()
+    | _ -> failwith "bench admit: resident rejected"
+  in
+  let t0 = Obs.Clock.now_ns () in
+  Array.iter admit apps;
+  let ramp_s = elapsed_s t0 in
+  (* Steady-state join/leave cycles (LIFO, so ⊖ is the exact inverse). *)
+  let cycles = env_int "CONTENTION_ADMIT_CYCLES" 100 in
+  let time_cycles ~refold =
+    let t0 = Obs.Clock.now_ns () in
+    for _ = 1 to cycles do
+      admit extra;
+      if refold then
+        for proc = 0 to procs - 1 do
+          (* What a non-incremental manager redoes per join: fold the whole
+             population's aggregates and bases again. *)
+          ignore (Contention.Admission.refolded_aggregate ctl ~proc);
+          Contention.Kernel.Group.recompute
+            (Contention.Admission.group ctl ~proc)
+        done;
+      Contention.Admission.withdraw ctl extra.Contention.Analysis.graph.Sdf.Graph.name
+    done;
+    elapsed_s t0 /. float_of_int cycles
+  in
+  let incremental_s = time_cycles ~refold:false in
+  let refold_s = time_cycles ~refold:true in
+  let speedup = refold_s /. Float.max 1e-12 incremental_s in
+  (* Margin overhead per admitted request at this population. *)
+  let name0 = apps.(0).Contention.Analysis.graph.Sdf.Graph.name in
+  let time_margin method_ =
+    let spec =
+      { Contention.Admission.default_margin_spec with method_ } in
+    let reps = 50 in
+    let t0 = Obs.Clock.now_ns () in
+    for _ = 1 to reps do
+      ignore (Contention.Admission.margin_for ctl spec name0)
+    done;
+    elapsed_s t0 /. float_of_int reps
+  in
+  let margin_z_s = time_margin Contention.Margin.Z_score in
+  let margin_q_s = time_margin Contention.Margin.Quantile in
+  let counters = Contention.Admission.counters ctl in
+  Printf.printf
+    "ramp to %d residents           : %8.2f ms (%.0f joins/s)\n\
+     join+leave, incremental        : %8.1f us/cycle (%.0f joins/s)\n\
+     join+leave, re-fold baseline   : %8.1f us/cycle (%.0f joins/s)\n\
+     incremental speedup            : %8.1fx\n\
+     margin, z-score                : %8.1f us/request\n\
+     margin, quantile (%d draws)   : %8.1f us/request\n\
+     full rebuilds during the run   : %8d\n"
+    residents (ramp_s *. 1e3)
+    (float_of_int residents /. Float.max 1e-9 ramp_s)
+    (incremental_s *. 1e6)
+    (1. /. Float.max 1e-12 incremental_s)
+    (refold_s *. 1e6)
+    (1. /. Float.max 1e-12 refold_s)
+    speedup (margin_z_s *. 1e6)
+    Contention.Admission.default_margin_spec.Contention.Admission.samples
+    (margin_q_s *. 1e6) counters.Contention.Admission.full_rebuilds;
+  Serve.Json.Obj
+    [
+      ("resident_apps", Serve.Json.Num (float_of_int residents));
+      ("ramp_joins_per_s",
+        Serve.Json.Num (float_of_int residents /. Float.max 1e-9 ramp_s));
+      ( "incremental_joins_per_s",
+        Serve.Json.Num (1. /. Float.max 1e-12 incremental_s) );
+      ( "refold_joins_per_s",
+        Serve.Json.Num (1. /. Float.max 1e-12 refold_s) );
+      ("speedup", Serve.Json.Num speedup);
+      ("margin_z_us", Serve.Json.Num (margin_z_s *. 1e6));
+      ("margin_quantile_us", Serve.Json.Num (margin_q_s *. 1e6));
+      ( "full_rebuilds",
+        Serve.Json.Num (float_of_int counters.Contention.Admission.full_rebuilds) );
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let nine_loads =
@@ -1029,7 +1164,7 @@ let nine_loads =
 let graph_a = workload.apps.(0).Contention.Analysis.graph
 
 let admission_cycle () =
-  let ctl = Contention.Admission.create ~procs:10 in
+  let ctl = Contention.Admission.create ~procs:10 () in
   Array.iter
     (fun (a : Contention.Analysis.app) ->
       ignore (Contention.Admission.try_admit ctl a Contention.Admission.best_effort))
@@ -1162,6 +1297,7 @@ let () =
             ("audit", audit_json);
             ("cluster", cluster_json);
             ("check", check_json);
+            ("admit", admit_json);
           ]
       in
       Out_channel.with_open_text path (fun oc ->

@@ -728,7 +728,26 @@ let check_cmd =
     let doc = "Skip the wire-protocol fuzz of the serve daemon." in
     Arg.(value & flag & info [ "no-wire" ] ~doc)
   in
-  let run seeds jobs budget corpus no_wire trace =
+  let churn_arg =
+    let doc =
+      "Also run the churn soak: ramp an admission controller to this many \
+       resident applications, then drive seeded join/leave/observe churn \
+       with the from-scratch re-fold oracle.  Fails on any oracle violation \
+       or if a join/leave ever re-folds from scratch."
+    in
+    Arg.(value & opt (some int) None & info [ "churn" ] ~docv:"APPS" ~doc)
+  in
+  let churn_json_arg =
+    let doc =
+      "Write the churn campaign's rebuild/drift counters to this JSON file \
+       (CI uploads it as an artifact)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "churn-json" ] ~docv:"FILE" ~doc)
+  in
+  let run seeds jobs budget corpus no_wire churn churn_json trace =
     with_trace trace (fun () ->
         let failed = ref false in
         (match corpus with
@@ -766,12 +785,98 @@ let check_cmd =
             w.violations;
           if not (Check.Wirefuzz.passed w) then failed := true
         end;
+        (match churn with
+        | None -> ()
+        | Some resident ->
+            let config =
+              {
+                Check.Fuzz.default_churn_config with
+                Check.Fuzz.resident;
+                events = (2 * resident) + 1500;
+                check_every = resident;
+                period_slack = Float.max 12. (0.25 *. float_of_int resident);
+              }
+            in
+            let r = Check.Fuzz.churn ~config ~seed:1 () in
+            let c = r.Check.Fuzz.counters in
+            Printf.printf
+              "\n\
+               churn soak: %d residents, %d events (%d joins, %d leaves, %d \
+               observes), %d oracle checks\n\
+              \  max p deviation %.3g, max w deviation %.3g\n\
+              \  full rebuilds %d, drift refolds %d, group rebuilds %d, \
+               group drift refolds %d, %d violations\n"
+              resident r.Check.Fuzz.churn_events r.Check.Fuzz.joins
+              r.Check.Fuzz.leaves r.Check.Fuzz.observes r.Check.Fuzz.checks
+              r.Check.Fuzz.max_p_err r.Check.Fuzz.max_w_err
+              c.Contention.Admission.full_rebuilds
+              c.Contention.Admission.drift_refolds
+              c.Contention.Admission.group_rebuilds
+              c.Contention.Admission.group_drift_refolds
+              (List.length r.Check.Fuzz.churn_violations);
+            List.iter
+              (fun (v : Check.Metamorphic.violation) ->
+                Printf.printf "  %s: %s\n" v.property v.detail)
+              r.Check.Fuzz.churn_violations;
+            (match churn_json with
+            | None -> ()
+            | Some file ->
+                let doc =
+                  Serve.Json.Obj
+                    [
+                      ("schema", Serve.Json.Str "contention-churn/1");
+                      ("resident", Serve.Json.Num (float_of_int resident));
+                      ( "events",
+                        Serve.Json.Num
+                          (float_of_int r.Check.Fuzz.churn_events) );
+                      ("joins", Serve.Json.Num (float_of_int r.Check.Fuzz.joins));
+                      ( "leaves",
+                        Serve.Json.Num (float_of_int r.Check.Fuzz.leaves) );
+                      ( "observes",
+                        Serve.Json.Num (float_of_int r.Check.Fuzz.observes) );
+                      ( "checks",
+                        Serve.Json.Num (float_of_int r.Check.Fuzz.checks) );
+                      ("max_p_err", Serve.Json.Num r.Check.Fuzz.max_p_err);
+                      ("max_w_err", Serve.Json.Num r.Check.Fuzz.max_w_err);
+                      ( "incremental_ops",
+                        Serve.Json.Num
+                          (float_of_int c.Contention.Admission.incremental_ops)
+                      );
+                      ( "full_rebuilds",
+                        Serve.Json.Num
+                          (float_of_int c.Contention.Admission.full_rebuilds) );
+                      ( "drift_refolds",
+                        Serve.Json.Num
+                          (float_of_int c.Contention.Admission.drift_refolds) );
+                      ( "group_rebuilds",
+                        Serve.Json.Num
+                          (float_of_int c.Contention.Admission.group_rebuilds)
+                      );
+                      ( "group_drift_refolds",
+                        Serve.Json.Num
+                          (float_of_int
+                             c.Contention.Admission.group_drift_refolds) );
+                      ( "violations",
+                        Serve.Json.Num
+                          (float_of_int
+                             (List.length r.Check.Fuzz.churn_violations)) );
+                    ]
+                in
+                let oc = open_out file in
+                output_string oc (Serve.Json.to_string doc);
+                output_char oc '\n';
+                close_out oc;
+                Printf.printf "wrote churn counters to %s\n" file);
+            if
+              (not (Check.Fuzz.churn_passed r))
+              || c.Contention.Admission.full_rebuilds <> 0
+            then failed := true);
         if !failed then exit 1)
   in
   let term =
     Term.(
       const run $ seeds_arg $ jobs_arg $ budget_arg $ corpus_arg $ wire_arg
-      $ trace_arg)
+      $ churn_arg $ churn_json_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "check"
@@ -849,6 +954,27 @@ let query_cmd =
     let doc = "Throughput requirement for admit (0 = best effort)." in
     Arg.(value & opt float 0. & info [ "min-throughput" ] ~docv:"TP" ~doc)
   in
+  let confidence_arg =
+    let doc =
+      "Ask admit for a confidence interval around the served period, e.g. \
+       0.95.  Must be strictly between 0 and 1; omitting the flag keeps the \
+       plain point estimate."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "confidence" ] ~docv:"LEVEL" ~doc)
+  in
+  let margin_method_arg =
+    let doc =
+      "Margin variant for --confidence: $(b,z-score) (analytic, default) or \
+       $(b,quantile) (empirical Monte-Carlo quantiles)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "margin-method" ] ~docv:"METHOD" ~doc)
+  in
   let words_arg =
     let doc =
       "Command: ping | upload FILE | estimate DIGEST | admit DIGEST APP | \
@@ -869,7 +995,16 @@ let query_cmd =
           row.throughput)
       r.rows
   in
-  let run host port unix_path usecase estimator session min_tp words =
+  let run host port unix_path usecase estimator session min_tp confidence
+      margin_method words =
+    let margin_method =
+      Option.map
+        (fun s ->
+          match Contention.Margin.method_of_string s with
+          | Ok m -> m
+          | Error msg -> fail "%s" msg)
+        margin_method
+    in
     with_client ~host ~port ~unix_path
       (fun client ->
         let check = function Ok v -> v | Error msg -> fail "%s" msg in
@@ -903,12 +1038,22 @@ let query_cmd =
         | [ "admit"; digest; app ] -> (
             match
               check
-                (Serve.Client.admit client ~session ~digest ~app
-                   ~min_throughput:min_tp ())
+                (Serve.Client.admit client ~session ?confidence ?margin_method
+                   ~digest ~app ~min_throughput:min_tp ())
             with
-            | Serve.Protocol.Admitted { throughput } ->
+            | Serve.Protocol.Admitted { throughput; margin } -> (
                 Printf.printf "admitted %s (estimated throughput %.6f)\n" app
-                  throughput
+                  throughput;
+                match margin with
+                | None -> ()
+                | Some m ->
+                    Printf.printf
+                      "  period %.1f in [%.1f, %.1f] at %g%% confidence (%s)\n"
+                      m.Contention.Margin.period m.Contention.Margin.lo
+                      m.Contention.Margin.hi
+                      (100. *. m.Contention.Margin.confidence)
+                      (Contention.Margin.method_to_string
+                         m.Contention.Margin.method_))
             | Serve.Protocol.Rejected_candidate { estimated; required } ->
                 Printf.printf
                   "rejected: %s itself would achieve %.6f < required %.6f\n" app
@@ -932,7 +1077,8 @@ let query_cmd =
   let term =
     Term.(
       const run $ host_arg $ port_arg $ unix_arg $ usecase_arg $ estimator_arg
-      $ session_arg $ min_tp_arg $ words_arg)
+      $ session_arg $ min_tp_arg $ confidence_arg $ margin_method_arg
+      $ words_arg)
   in
   Cmd.v
     (Cmd.info "query"

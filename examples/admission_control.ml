@@ -24,7 +24,7 @@ let make_app name ~exec_scale =
   Contention.Analysis.app ~procs g ~mapping:(Contention.Mapping.modulo ~procs g)
 
 let describe_verdict = function
-  | Contention.Admission.Admitted -> "admitted"
+  | Contention.Admission.Admitted _ -> "admitted"
   | Contention.Admission.Rejected_candidate { estimated; required } ->
       Printf.sprintf "rejected: its own throughput %.5f < required %.5f" estimated
         required
@@ -33,7 +33,7 @@ let describe_verdict = function
         required
 
 let () =
-  let ctl = Contention.Admission.create ~procs in
+  let ctl = Contention.Admission.create ~procs () in
   let report () =
     List.iter
       (fun (name, (_ : Contention.Analysis.app), (req : Contention.Admission.requirement)) ->

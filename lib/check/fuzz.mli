@@ -64,6 +64,63 @@ val run :
     [budget_s] to unlimited; [start_seed] to 0.  Emits [check_*] counters to
     {!Obs.Metric.default} and a span per seed when tracing is enabled. *)
 
+(** {1 Churn mode}
+
+    A different campaign shape for the {e incremental} admission layer:
+    instead of independent seeds, one long-lived controller is driven
+    through a seeded stream of join/leave/observe events, and every
+    [check_every] events its maintained per-processor state (composability
+    aggregates and {!Contention.Kernel.Group} bases) is compared against a
+    from-scratch re-fold of the population — the oracle the tentpole's
+    "never re-fold on the hot path" claim is tested against. *)
+
+type churn_config = {
+  procs : int;
+  resident : int;  (** Target resident population the join bias steers to. *)
+  events : int;
+  check_every : int;  (** Re-fold oracle cadence, in events. *)
+  w_tolerance : float;
+      (** Allowed relative deviation of the maintained w-aggregate from the
+          re-fold — the accumulated non-LIFO ⊖ residue, which the controller
+          caps at [refold_bound]. *)
+  refold_bound : float;  (** Passed to {!Contention.Admission.create}. *)
+  group_drift_bound : float;
+  period_slack : float;
+      (** Activation-period inflation for resident draws: a resident feature
+          idles between activations, so its per-actor utilization is
+          [tau/(slack·period)].  Scale roughly with [resident]/4 so the
+          per-processor utilization stays near one — without it a
+          thousands-strong population would be hundreds of times over
+          capacity and the multiplicative ⊗ fold would overflow. *)
+}
+
+val default_churn_config : churn_config
+(** 4 processors, 48 resident, 600 events, a check every 25,
+    [w_tolerance = refold_bound = 0.05], [group_drift_bound = 1e-6],
+    [period_slack = 12]. *)
+
+type churn_result = {
+  churn_events : int;
+  joins : int;
+  leaves : int;
+  observes : int;
+  checks : int;  (** Re-fold comparisons performed (includes one final). *)
+  max_p_err : float;
+      (** Worst relative deviation of the maintained p-aggregate — ⊕/⊖ is
+          exact on p, so this is rounding noise. *)
+  max_w_err : float;  (** Same for w — bounded by [w_tolerance]. *)
+  counters : Contention.Admission.counters;
+      (** Final operation counters: the churn tier pins [full_rebuilds] to 0
+          and the refold counters below a storm threshold against these. *)
+  churn_violations : Metamorphic.violation list;
+}
+
+val churn_passed : churn_result -> bool
+
+val churn : ?config:churn_config -> seed:int -> unit -> churn_result
+(** Run one churn campaign.  Deterministic in [(config, seed)].
+    @raise Invalid_argument on a negative event count. *)
+
 val to_corpus : failure -> Corpus.entry
 (** The corpus entry of a failure (shrunk spec + property + detail). *)
 

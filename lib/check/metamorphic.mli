@@ -37,3 +37,35 @@ val compose_roundtrip : Contention.Prob.t list -> violation list
 
 val all : Sdfgen.Rng.t -> Contention.Prob.t list -> violation list
 (** Every relation above, concatenated. *)
+
+(** {1 Admission-level relations}
+
+    The same idea one layer up: transformations of a controller's join/leave
+    history with a known effect on the served estimates.  Used by the churn
+    fuzz mode ({!Fuzz.churn}) and the churn test tier. *)
+
+val join_leave_roundtrip :
+  procs:int ->
+  Contention.Analysis.app list ->
+  Contention.Analysis.app ->
+  violation list
+(** Admitting [extra] on top of [residents] and immediately withdrawing it
+    must leave every resident's estimate bit-for-bit (within rounding):
+    the withdrawal is LIFO, so ⊖ is the exact inverse of the ⊕ that
+    preceded it. *)
+
+val churn_order_independence :
+  ?tol:float ->
+  Sdfgen.Rng.t ->
+  procs:int ->
+  Contention.Analysis.app list ->
+  violation list
+(** Admit all, withdraw a random non-empty proper subset (non-LIFO), and
+    compare every survivor's estimate against a fresh controller admitted
+    with the survivors only.  [tol] (default [0.05], the default refold
+    bound) absorbs the bounded O(p²/4) ⊖ residue. *)
+
+val margin_monotonicity :
+  procs:int -> Contention.Analysis.app list -> violation list
+(** For both margin methods, the interval width is non-decreasing in the
+    requested confidence, and every interval contains its own period. *)

@@ -431,3 +431,83 @@ let check ?(config = default_config) (t : Case.t) =
           ];
         errors = [];
       }
+
+(* ------------------------------------------------------------------ *)
+(* Margin coverage                                                     *)
+
+type coverage = {
+  replays : int;
+  covered : int;
+  observed_coverage : float;
+  served : Contention.Margin.t;
+}
+
+let margin_coverage ?(replays = 200) ?(slack = 0.02) ?(horizon = 50_000.)
+    ?(seed = 0) ~procs ~spec ~app apps =
+  if replays < 1 then invalid_arg "Check.Oracle.margin_coverage: replays < 1";
+  let ctl = Contention.Admission.create ~procs () in
+  List.iter
+    (fun a ->
+      ignore (Contention.Admission.try_admit ctl a Contention.Admission.best_effort))
+    apps;
+  let served = Contention.Admission.margin_for ctl spec app in
+  let sim_apps =
+    Array.of_list
+      (List.map
+         (fun (a : Analysis.app) ->
+           { Desim.Engine.graph = a.graph; mapping = a.mapping })
+         apps)
+  in
+  let dists =
+    Array.of_list (List.map (fun (a : Analysis.app) -> a.distributions) apps)
+  in
+  let app_pos =
+    let rec find i = function
+      | [] ->
+          invalid_arg
+            (Printf.sprintf
+               "Check.Oracle.margin_coverage: %S not in the population" app)
+      | (a : Analysis.app) :: rest ->
+          if String.equal a.graph.Sdf.Graph.name app then i
+          else find (i + 1) rest
+    in
+    find 0 apps
+  in
+  let covered = ref 0 in
+  let acc = ref [] in
+  for rep = 1 to replays do
+    (* One replay = one draw of every variable execution time = one
+       Bernoulli trial of the coverage claim.  Constant-time apps replay
+       identically, which degenerates to a single pass/fail — still a valid
+       (if blunt) instance of the claim. *)
+    let rng = Sdfgen.Rng.create ((seed * 1_000_003) + rep) in
+    let firing_time ~app:ai ~actor =
+      match dists.(ai) with
+      | None -> (Sdf.Graph.actor sim_apps.(ai).Desim.Engine.graph actor).exec_time
+      | Some ds ->
+          Contention.Dist.sample ds.(actor) ~u:(Sdfgen.Rng.float rng 1.)
+    in
+    let results, _ = Desim.Engine.run ~horizon ~firing_time ~procs sim_apps in
+    let r = results.(app_pos) in
+    if not (Float.is_finite r.Desim.Engine.avg_period) then
+      acc :=
+        violation "margin-starved"
+          "replay %d: no measurable period for %S within horizon %g" rep app
+          horizon
+        :: !acc
+    else if Contention.Margin.covers served r.Desim.Engine.avg_period then
+      incr covered
+  done;
+  let observed = float_of_int !covered /. float_of_int replays in
+  let acc =
+    if observed +. slack >= served.Contention.Margin.confidence then !acc
+    else
+      violation "margin-coverage"
+        "%S: observed coverage %.4f over %d replays below stated confidence \
+         %.4f (slack %g) for [%g, %g]"
+        app observed replays served.Contention.Margin.confidence slack
+        served.Contention.Margin.lo served.Contention.Margin.hi
+      :: !acc
+  in
+  ( { replays; covered = !covered; observed_coverage = observed; served },
+    List.rev acc )

@@ -108,3 +108,40 @@ val check : ?config:config -> Case.t -> outcome
     from the case spec.  Never raises — an escaped exception (the crash
     detector for NaN/∞ guards, Invalid_argument, stack overflow) is reported
     as a ["crash"] violation with its backtrace. *)
+
+(** {1 Margin coverage}
+
+    The statistical oracle behind the admission margins: a served
+    {!Contention.Margin.t} claims the contended period lands inside
+    [[lo, hi]] with the stated probability, and the only ground truth for
+    that claim is replaying the population through the simulator with fresh
+    execution-time draws and counting. *)
+
+type coverage = {
+  replays : int;
+  covered : int;  (** Replays whose observed period fell inside the margin. *)
+  observed_coverage : float;  (** [covered / replays]. *)
+  served : Contention.Margin.t;  (** The margin the replays were judged by. *)
+}
+
+val margin_coverage :
+  ?replays:int ->
+  ?slack:float ->
+  ?horizon:float ->
+  ?seed:int ->
+  procs:int ->
+  spec:Contention.Admission.margin_spec ->
+  app:string ->
+  Contention.Analysis.app list ->
+  coverage * violation list
+(** Admit [apps] best-effort, serve a margin for [app] under [spec], then
+    replay the whole population [replays] times (default 200) with
+    execution times drawn from each application's declared distributions
+    (constant-time apps replay deterministically).  A ["margin-coverage"]
+    violation is reported when the observed coverage falls more than
+    [slack] (default 0.02 — two percentage points) below the stated
+    confidence; starved replays are ["margin-starved"] violations and do
+    not count as covered.
+    @raise Invalid_argument if [replays < 1], [app] is not in the
+    population, duplicate names keep it from being admitted, or the spec is
+    invalid. *)

@@ -49,6 +49,22 @@ let scalars =
     {|{"cmd": "admit", "session": 3}|};
     {|{"cmd": "estimate", "digest": "nope", "estimator": "bogus"}|};
     {|{"cmd": "release", "app": []}|}; {|[{"cmd": "ping"}]|};
+    (* Malformed admit margin fields: out-of-range, non-numeric and
+       non-finite confidence, unknown/ill-typed margin method — each must be
+       an error reply, never a crash or a margin-less silent admit. *)
+    {|{"cmd": "admit", "workload": "0123456789abcdef", "app": "A", "min_throughput": 0.1, "confidence": 1.5}|};
+    {|{"cmd": "admit", "workload": "0123456789abcdef", "app": "A", "min_throughput": 0.1, "confidence": 0}|};
+    {|{"cmd": "admit", "workload": "0123456789abcdef", "app": "A", "min_throughput": 0.1, "confidence": -0.95}|};
+    {|{"cmd": "admit", "workload": "0123456789abcdef", "app": "A", "min_throughput": 0.1, "confidence": "high"}|};
+    {|{"cmd": "admit", "workload": "0123456789abcdef", "app": "A", "min_throughput": 0.1, "confidence": 1e999}|};
+    {|{"cmd": "admit", "workload": "0123456789abcdef", "app": "A", "min_throughput": 0.1, "confidence": 0.95, "margin_method": "bogus"}|};
+    {|{"cmd": "admit", "workload": "0123456789abcdef", "app": "A", "min_throughput": 0.1, "margin_method": 42}|};
+    {|{"cmd": "admit", "workload": "0123456789abcdef", "app": "A", "min_throughput": "fast", "confidence": 0.95}|};
+    (* Stale/duplicate session ids: releases of never-admitted apps and
+       empty or repeated identifiers. *)
+    {|{"cmd": "release", "session": "never-created", "app": "ghost"}|};
+    {|{"cmd": "release", "session": "", "app": ""}|};
+    {|{"cmd": "release", "session": "s", "app": "A", "app": "B"}|};
     {|{"cmd": "cache-put"}|};
     {|{"cmd": "cache-put", "workload": "0123456789abcdef", "mask": "x"}|};
     {|{"cmd": "cache-put", "workload": "0123456789abcdef", "mask": -3, "estimator": "o2", "results": []}|};
@@ -94,6 +110,12 @@ let template rng =
           digest = "0123456789abcdef";
           app = "A";
           min_throughput = 0.25;
+          confidence = (if Rng.bool rng then None else Some 0.95);
+          margin_method =
+            (match Rng.int rng 3 with
+            | 0 -> None
+            | 1 -> Some Contention.Margin.Z_score
+            | _ -> Some Contention.Margin.Quantile);
         };
       Release { session = "s"; app = "A" };
       Cache_put
@@ -222,6 +244,106 @@ let fuzz_lines ?(seeds = 200) server =
   done;
   { requests = !requests; violations = List.rev !acc }
 
+(* Live-state id fuzzing: duplicate admits and stale releases against a
+   real session.  Unlike the stateless lines above, these frames are valid
+   JSON aimed at admission-state edges — the same app admitted twice, a
+   release replayed after it succeeded, an unknown session — and each step
+   pins the expected envelope (ok vs error) as well as liveness. *)
+let fuzz_session_ids server =
+  let acc = ref [] in
+  let requests = ref 0 in
+  let step ~what ~expect_ok line =
+    incr requests;
+    match Serve.Server.handle_line server line with
+    | exception e ->
+        acc :=
+          violation "wire-crash" "%s raised %s on %S" what
+            (Printexc.to_string e) line
+          :: !acc;
+        None
+    | reply -> (
+        match Serve.Json.of_string reply with
+        | Error msg ->
+            acc :=
+              violation "wire-unparseable-reply" "%s: non-JSON reply %S: %s"
+                what reply msg
+              :: !acc;
+            None
+        | Ok json ->
+            let payload = Serve.Protocol.unwrap_reply json in
+            if Result.is_ok payload <> expect_ok then
+              acc :=
+                violation "wire-session-ids" "%s: expected %s reply, got %S"
+                  what
+                  (if expect_ok then "an ok" else "an error")
+                  reply
+                :: !acc;
+            Result.to_option payload)
+  in
+  let upload_line =
+    Serve.Json.to_string
+      (Serve.Protocol.request_to_json
+         (Serve.Protocol.Upload
+            {
+              payload =
+                Exp.Workload.to_string
+                  (Exp.Workload.make ~seed:7 ~num_apps:1 ~procs:2 ());
+            }))
+  in
+  let target =
+    match step ~what:"upload" ~expect_ok:true upload_line with
+    | Some payload -> (
+        match
+          ( Option.bind (Serve.Json.member "digest" payload) Serve.Json.get_str,
+            Serve.Json.member "apps" payload )
+        with
+        | Some digest, Some (Serve.Json.Arr (Serve.Json.Str app :: _)) ->
+            Some (digest, app)
+        | _ -> None)
+    | None -> None
+  in
+  (match target with
+  | None ->
+      acc :=
+        violation "wire-session-ids" "upload reply carried no digest/apps"
+        :: !acc
+  | Some (digest, app) ->
+      let admit extra =
+        Printf.sprintf
+          {|{"cmd": "admit", "session": "ids", "workload": "%s", "app": "%s", "min_throughput": 1e-9%s}|}
+          digest app extra
+      in
+      let release session app =
+        Printf.sprintf {|{"cmd": "release", "session": %S, "app": %S}|} session
+          app
+      in
+      ignore (step ~what:"first admit" ~expect_ok:true (admit ""));
+      ignore (step ~what:"duplicate admit" ~expect_ok:false (admit ""));
+      ignore
+        (step ~what:"release of unknown app" ~expect_ok:false
+           (release "ids" "ghost"));
+      ignore
+        (step ~what:"release in unknown session" ~expect_ok:false
+           (release "nowhere" "A"));
+      ignore (step ~what:"release" ~expect_ok:true (release "ids" "A"));
+      ignore (step ~what:"stale release" ~expect_ok:false (release "ids" "A"));
+      (* The duplicate and stale frames must not have wedged the session:
+         a margin-carrying re-admit still works. *)
+      (match
+         step ~what:"re-admit with margin" ~expect_ok:true
+           (admit {|, "confidence": 0.9, "margin_method": "quantile"|})
+       with
+      | Some payload
+        when Serve.Json.member "margin" payload = None ->
+          acc :=
+            violation "wire-session-ids"
+              "re-admit with confidence 0.9 served no margin"
+            :: !acc
+      | _ -> ());
+      ignore
+        (step ~what:"cleanup release" ~expect_ok:true (release "ids" "A")));
+  { requests = !requests; violations = List.rev !acc }
+
 let write_all fd s =
   let n = String.length s in
   let rec go off =
@@ -306,6 +428,7 @@ let run ?(seeds = 200) () =
         ~finally:(fun () -> Serve.Server.stop server)
         (fun () ->
           let in_process = fuzz_lines ~seeds server in
+          let sessions = fuzz_session_ids server in
           let socket =
             match Serve.Server.tcp_port server with
             | None ->
@@ -319,6 +442,7 @@ let run ?(seeds = 200) () =
                   ~port ()
           in
           {
-            requests = in_process.requests + socket.requests;
-            violations = in_process.violations @ socket.violations;
+            requests = in_process.requests + sessions.requests + socket.requests;
+            violations =
+              in_process.violations @ sessions.violations @ socket.violations;
           })

@@ -101,19 +101,23 @@ let estimate_routed t ~digest ?usecase ~estimator () =
 let estimate t ~digest ?usecase ~estimator () =
   fst (estimate_routed t ~digest ?usecase ~estimator ())
 
-let admit_routed t ?(session = Protocol.default_session) ~digest ~app
-    ~min_throughput () =
+let admit_routed t ?(session = Protocol.default_session) ?confidence
+    ?margin_method ~digest ~app ~min_throughput () =
   Obs.Span.with_ ~name:"router.admit"
     ~args:(fun () -> [ ("digest", digest); ("app", app) ])
     (fun () ->
       routed t ~digest
         (Protocol.request_to_json
            ?trace:(Obs.Span.current_context ())
-           (Protocol.Admit { session; digest; app; min_throughput }))
+           (Protocol.Admit
+              { session; digest; app; min_throughput; confidence; margin_method }))
         Protocol.verdict_of_json)
 
-let admit t ?session ~digest ~app ~min_throughput () =
-  fst (admit_routed t ?session ~digest ~app ~min_throughput ())
+let admit t ?session ?confidence ?margin_method ~digest ~app ~min_throughput ()
+    =
+  fst
+    (admit_routed t ?session ?confidence ?margin_method ~digest ~app
+       ~min_throughput ())
 
 let on_all t f =
   List.map

@@ -67,17 +67,23 @@ val estimate_routed :
 val admit :
   t ->
   ?session:string ->
+  ?confidence:float ->
+  ?margin_method:Contention.Margin.method_ ->
   digest:string ->
   app:string ->
   min_throughput:float ->
   unit ->
   Serve.Protocol.verdict outcome
 (** Routed by digest: a session's admission state lives on the shard owning
-    the workload it governs. *)
+    the workload it governs.  [?confidence]/[?margin_method] travel in the
+    wire request unchanged, so a routed admit carries the shard's margin
+    back to the caller. *)
 
 val admit_routed :
   t ->
   ?session:string ->
+  ?confidence:float ->
+  ?margin_method:Contention.Margin.method_ ->
   digest:string ->
   app:string ->
   min_throughput:float ->

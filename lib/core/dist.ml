@@ -48,7 +48,56 @@ let variance d =
   let m = mean d in
   second_moment d -. (m *. m)
 
+let third_moment d =
+  validate d;
+  match d with
+  | Constant v -> v *. v *. v
+  | Uniform { lo; hi } ->
+      (* E X^3 = (hi^4 - lo^4) / (4 (hi - lo)), with the degenerate case. *)
+      if hi = lo then lo *. lo *. lo
+      else ((hi ** 4.) -. (lo ** 4.)) /. (4. *. (hi -. lo))
+  | Discrete pairs -> discrete_moment pairs 3.
+  | Exponential { mean } -> 6. *. mean *. mean *. mean
+
 let residual d = second_moment d /. (2. *. mean d)
+
+(* The stationary residual life R has density S(t) / E X, so
+   E R^2 = integral t^2 S(t) dt / E X = E X^3 / (3 E X). *)
+let residual_second_moment d = third_moment d /. (3. *. mean d)
+
+let residual_variance d =
+  let r = residual d in
+  residual_second_moment d -. (r *. r)
+
+let residual_sample d ~u1 ~u2 =
+  validate d;
+  if u1 < 0. || u1 >= 1. then
+    invalid_arg "Contention.Dist.residual_sample: u1 outside [0,1)";
+  if u2 < 0. || u2 >= 1. then
+    invalid_arg "Contention.Dist.residual_sample: u2 outside [0,1)";
+  (* Draw the firing the observer lands in from the length-biased
+     distribution (density x f(x) / E X) with [u1], then a uniform position
+     inside it with [u2] — the inspection-paradox construction of the
+     stationary residual.  The exponential is memoryless, so its residual is
+     itself exponential. *)
+  match d with
+  | Constant v -> u2 *. v
+  | Uniform { lo; hi } ->
+      if hi = lo then u2 *. lo
+      else
+        let x = sqrt ((lo *. lo) +. (u1 *. ((hi *. hi) -. (lo *. lo)))) in
+        u2 *. x
+  | Discrete pairs ->
+      let total = List.fold_left (fun acc (v, w) -> acc +. (w *. v)) 0. pairs in
+      let target = u1 *. total in
+      let rec pick acc = function
+        | [] -> assert false
+        | [ (v, _) ] -> v
+        | (v, w) :: rest ->
+            if acc +. (w *. v) > target then v else pick (acc +. (w *. v)) rest
+      in
+      u2 *. pick 0. pairs
+  | Exponential { mean } -> -.mean *. log (1. -. u1)
 
 let sample d ~u =
   validate d;

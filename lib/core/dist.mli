@@ -27,10 +27,27 @@ val validate : t -> unit
 val mean : t -> float
 val second_moment : t -> float
 val variance : t -> float
+val third_moment : t -> float
 
 val residual : t -> float
 (** Mean residual life [second_moment / (2 * mean)] — the generalised
     average blocking time [mu]. *)
+
+val residual_second_moment : t -> float
+(** Second moment of the stationary residual life,
+    [third_moment / (3 * mean)] — the ingredient of a blocking-time
+    {e variance}, which the admission margins need on top of the mean
+    ({!Margin}). *)
+
+val residual_variance : t -> float
+(** [residual_second_moment - residual²]. *)
+
+val residual_sample : t -> u1:float -> u2:float -> float
+(** One draw from the stationary residual-life distribution: the
+    length-biased firing is selected by inversion with [u1] and the position
+    inside it with [u2] (for the memoryless exponential only [u1] matters).
+    Deterministic in [(u1, u2)]; its expectation is {!residual}.
+    @raise Invalid_argument if either uniform is outside [\[0,1)]. *)
 
 val sample : t -> u:float -> float
 (** [sample d ~u] maps a uniform [u] in [\[0,1)] to a draw from [d] by

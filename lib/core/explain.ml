@@ -37,6 +37,7 @@ type app = {
   x_period : float;
   x_factor : float;
   x_throughput : float;
+  x_margin : Margin.t option;
   x_actors : actor list;
 }
 
@@ -193,6 +194,7 @@ let compute ?(engine = Analysis.Mcm) est (apps : Analysis.app list) =
       x_period = period;
       x_factor = period /. a.isolation_period;
       x_throughput = 1. /. period;
+      x_margin = None;
       x_actors = actors;
     }
   in
@@ -201,6 +203,21 @@ let compute ?(engine = Analysis.Mcm) est (apps : Analysis.app list) =
     engine = engine_name engine;
     usecase = Array.to_list names;
     apps = Array.to_list (Array.mapi explain_app apps);
+  }
+
+(* Margins are statistical, not part of the bit-identical Figure-4 working,
+   so they are attached after the fact (by whoever holds the admission
+   state) rather than recomputed by {!compute}. *)
+let with_margins t margins =
+  {
+    t with
+    apps =
+      List.map
+        (fun x ->
+          match List.assoc_opt x.x_app margins with
+          | None -> x
+          | Some m -> { x with x_margin = Some m })
+        t.apps;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -351,16 +368,32 @@ let actor_to_json a =
       | Some s -> [ ("sandwich", sandwich_to_json s) ])
     @ [ ("wait", Num a.a_wait); ("response", Num a.a_response) ])
 
-let app_to_json x =
+let margin_to_json (m : Margin.t) =
   Obj
     [
-      ("app", Str x.x_app);
-      ("isolation_period", Num x.x_isolation);
-      ("period", Num x.x_period);
-      ("contention_factor", Num x.x_factor);
-      ("throughput", Num x.x_throughput);
-      ("actors", Arr (List.map actor_to_json x.x_actors));
+      ("confidence", Num m.confidence);
+      ("method", Str (Margin.method_to_string m.method_));
+      ("period", Num m.period);
+      ("lo", Num m.lo);
+      ("hi", Num m.hi);
+      ("mean", Num m.mean);
+      ("std", Num m.std);
+      ("samples", int_j m.samples);
     ]
+
+let app_to_json x =
+  Obj
+    ([
+       ("app", Str x.x_app);
+       ("isolation_period", Num x.x_isolation);
+       ("period", Num x.x_period);
+       ("contention_factor", Num x.x_factor);
+       ("throughput", Num x.x_throughput);
+     ]
+    @ (match x.x_margin with
+      | None -> []
+      | Some m -> [ ("margin", margin_to_json m) ])
+    @ [ ("actors", Arr (List.map actor_to_json x.x_actors)) ])
 
 let to_json t =
   Obj
@@ -457,15 +490,35 @@ let actor_of_json j =
       a_response;
     }
 
+let margin_of_json j =
+  let* confidence = field "confidence" get_num j in
+  let* method_name = field "method" get_str j in
+  let* method_ = Margin.method_of_string method_name in
+  let* period = field "period" get_num j in
+  let* lo = field "lo" get_num j in
+  let* hi = field "hi" get_num j in
+  let* mean = field "mean" get_num j in
+  let* std = field "std" get_num j in
+  let* samples = field "samples" get_int j in
+  let m = { Margin.confidence; method_; period; lo; hi; mean; std; samples } in
+  let* () = Margin.validate m in
+  Ok m
+
 let app_of_json j =
   let* x_app = field "app" get_str j in
   let* x_isolation = field "isolation_period" get_num j in
   let* x_period = field "period" get_num j in
   let* x_factor = field "contention_factor" get_num j in
   let* x_throughput = field "throughput" get_num j in
+  let* x_margin =
+    (* Lenient in presence (older records have no margin), strict in shape. *)
+    match member "margin" j with
+    | None | Some Null -> Ok None
+    | Some v -> Result.map Option.some (margin_of_json v)
+  in
   let* actors = field "actors" get_arr j in
   let* x_actors = map_result actor_of_json actors in
-  Ok { x_app; x_isolation; x_period; x_factor; x_throughput; x_actors }
+  Ok { x_app; x_isolation; x_period; x_factor; x_throughput; x_margin; x_actors }
 
 let of_json j =
   let* estimator = field "estimator" get_str j in
@@ -506,6 +559,13 @@ let render t =
          throughput %s\n"
         x.x_app (num x.x_isolation) (num x.x_period) (num x.x_factor)
         (num x.x_throughput);
+      (match x.x_margin with
+      | None -> ()
+      | Some m ->
+          Printf.bprintf buf "  margin: [%s, %s] at %g%% confidence (%s)\n"
+            (num m.Margin.lo) (num m.Margin.hi)
+            (100. *. m.Margin.confidence)
+            (Margin.method_to_string m.Margin.method_));
       let rows =
         List.map
           (fun a ->

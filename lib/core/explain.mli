@@ -80,6 +80,10 @@ type app = {
   x_period : float;  (** Estimated period inside the use-case. *)
   x_factor : float;  (** Contention factor: [x_period /. x_isolation]. *)
   x_throughput : float;  (** [1. /. x_period]. *)
+  x_margin : Margin.t option;
+      (** Confidence interval around [x_period], when one was attached
+          ({!with_margins}) — statistical, so excluded from {!verify}'s
+          bit-identical reproduction contract. *)
   x_actors : actor list;
 }
 
@@ -102,7 +106,15 @@ val compute :
 (** Run one Figure-4 pass over exactly the given applications (the
     use-case), recording provenance along the way.  Every recorded number
     is bit-identical to what {!Analysis.estimate} (and the kernel path
-    behind {!Analysis.estimate_prepared}) produces for the same inputs. *)
+    behind {!Analysis.estimate_prepared}) produces for the same inputs.
+    [x_margin] is [None] everywhere; see {!with_margins}. *)
+
+val with_margins : t -> (string * Margin.t) list -> t
+(** Attach confidence margins to the named applications (unknown names are
+    ignored, apps not named keep [x_margin = None]).  Margins are
+    statistical — produced by {!Admission.margin_for} or a {!Margin}
+    constructor, not recomputed here — so attaching them never perturbs the
+    record's reproducible numbers. *)
 
 val verify : t -> Analysis.app list -> (unit, string) result
 (** Re-derive the estimate from the provenance record: waiting times from

@@ -441,9 +441,15 @@ module Group = struct
     mutable sc1 : float array;  (* basis minus the excluded member *)
     mutable sc2 : float array;  (* basis minus excluded and contender *)
     mutable xs : float array;  (* compaction buffer for fallbacks *)
+    drift_bound : float;
+    mutable drift : float;  (* accumulated deconvolution error estimate *)
+    mutable rebuilds : int;  (* guard fallbacks on the state path *)
+    mutable drift_refolds : int;  (* refolds forced by the drift bound *)
   }
 
-  let create ?(capacity = 8) () =
+  let create ?(capacity = 8) ?(drift_bound = 1e-6) () =
+    if not (drift_bound > 0.) then
+      invalid_arg "Contention.Kernel.Group.create: non-positive drift bound";
     let c = Int.max 2 capacity in
     {
       n = 0;
@@ -455,10 +461,17 @@ module Group = struct
       sc1 = Array.make (c + 1) 0.;
       sc2 = Array.make (c + 1) 0.;
       xs = Array.make (c + 1) 0.;
+      drift_bound;
+      drift = 0.;
+      rebuilds = 0;
+      drift_refolds = 0;
     }
 
   let size g = g.n
   let es g = g.es
+  let drift g = g.drift
+  let rebuilds g = g.rebuilds
+  let drift_refolds g = g.drift_refolds
 
   let grow_int a n = if Array.length a < n then (
     let b = Array.make (Int.max n (2 * Array.length a)) 0 in
@@ -489,7 +502,8 @@ module Group = struct
   let mem g id = index_of g id >= 0
 
   (* Rebuild es from the member list — the O(n²) reference the deltas are
-     checked against, and the fallback when a removal cancels. *)
+     checked against, and the fallback when a removal cancels.  Exact in the
+     member list, so it zeroes the drift accumulator. *)
   let recompute g =
     for j = 0 to g.n do
       g.es.(j) <- 0.
@@ -500,7 +514,19 @@ module Group = struct
       for j = i + 1 downto 1 do
         g.es.(j) <- g.es.(j) +. (x *. g.es.(j - 1))
       done
-    done
+    done;
+    g.drift <- 0.
+
+  let es_reference g =
+    let out = Array.make (g.n + 1) 0. in
+    out.(0) <- 1.;
+    for i = 0 to g.n - 1 do
+      let x = g.ps.(i) in
+      for j = i + 1 downto 1 do
+        out.(j) <- out.(j) +. (x *. out.(j - 1))
+      done
+    done;
+    out
 
   let add g ~id ~p ~mu ~tau =
     if not (p >= 0. && p <= 1.) then
@@ -518,16 +544,36 @@ module Group = struct
     g.n <- g.n + 1
 
   (* ⊖: guarded O(n) deconvolution of member [i]'s probability, with the
-     O(n²) recompute fallback of {!Sympoly.remove}. *)
+     O(n²) recompute fallback of {!Sympoly.remove}.  Returns [true] when the
+     guard fired and sc1 was rebuilt exactly from the member list. *)
   let deconvolve_member g i =
     Sympoly.deconvolve_into ~es:g.es ~xs:g.ps ~skip:i ~out:g.sc1 ~n:g.n;
     let stable = Sympoly.deconv_stable ~es:g.es ~out:g.sc1 ~n:g.n in
-    if not stable then Sympoly.refold_skip_into ~xs:g.ps ~m:g.n ~skip:i ~out:g.sc1
+    if not stable then
+      Sympoly.refold_skip_into ~xs:g.ps ~m:g.n ~skip:i ~out:g.sc1;
+    not stable
+
+  (* Account one state-changing deconvolution: a guard fallback leaves an
+     exact basis (rebuilds++, drift := 0); an unguarded deconvolution keeps
+     relative error O(n·ulp), which we accumulate pessimistically and trade
+     for one exact O(n²) refold once it crosses [drift_bound]. *)
+  let account_state_deconv g ~fell_back =
+    if fell_back then begin
+      g.rebuilds <- g.rebuilds + 1;
+      g.drift <- 0.
+    end
+    else begin
+      g.drift <- g.drift +. (float_of_int (g.n + 1) *. epsilon_float);
+      if g.drift > g.drift_bound then begin
+        recompute g;
+        g.drift_refolds <- g.drift_refolds + 1
+      end
+    end
 
   let remove g ~id =
     let i = index_of g id in
     if i < 0 then invalid_arg "Contention.Kernel.Group.remove: unknown id";
-    deconvolve_member g i;
+    let fell_back = deconvolve_member g i in
     (* sc1 now holds the basis without member i; it becomes the new es. *)
     let last = g.n - 1 in
     g.ids.(i) <- g.ids.(last);
@@ -538,7 +584,8 @@ module Group = struct
     for j = 0 to last do
       g.es.(j) <- g.sc1.(j)
     done;
-    g.es.(last + 1) <- 0.
+    g.es.(last + 1) <- 0.;
+    account_state_deconv g ~fell_back
 
   let update g ~id ~p ~mu ~tau =
     if not (p >= 0. && p <= 1.) then
@@ -547,7 +594,7 @@ module Group = struct
     if i < 0 then invalid_arg "Contention.Kernel.Group.update: unknown id";
     (* Replace = deconvolve the old probability, refold the new one: the O(n)
        delta of the issue's incremental Eq. 4 state. *)
-    deconvolve_member g i;
+    let fell_back = deconvolve_member g i in
     g.ps.(i) <- p;
     g.mus.(i) <- mu;
     g.taus.(i) <- tau;
@@ -557,7 +604,8 @@ module Group = struct
     g.es.(g.n) <- 0.;
     for j = g.n downto 1 do
       g.es.(j) <- g.es.(j) +. (p *. g.es.(j - 1))
-    done
+    done;
+    account_state_deconv g ~fell_back
 
   (* Expected wait inflicted by the group on one observer.  [excluding] is
      the observer's own member index for an admitted actor (its load must not
@@ -571,7 +619,9 @@ module Group = struct
       (* Contenders, compacted; their basis in sc1. *)
       let base =
         if excluding >= 0 then begin
-          deconvolve_member g excluding;
+          (* Query path: the fallback rebuilds sc1 exactly but leaves es
+             untouched, so it is not a state rebuild. *)
+          let (_ : bool) = deconvolve_member g excluding in
           g.sc1
         end
         else g.es

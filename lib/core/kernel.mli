@@ -124,12 +124,34 @@ val period_into :
 module Group : sig
   type t
 
-  val create : ?capacity:int -> unit -> t
+  val create : ?capacity:int -> ?drift_bound:float -> unit -> t
+  (** [drift_bound] caps the accumulated deconvolution-error estimate before
+      the basis is refolded exactly (default [1e-6]); see {!drift}.
+      @raise Invalid_argument on a non-positive bound. *)
+
   val size : t -> int
 
   val es : t -> float array
   (** The maintained basis; degrees [0..size] are valid.  Exposed for tests
       and diagnostics — treat as read-only. *)
+
+  val es_reference : t -> float array
+  (** A fresh from-scratch O(n²) fold of the current member list — the
+      oracle the churn suite compares the maintained basis against.  Does
+      not mutate the group. *)
+
+  val drift : t -> float
+  (** Accumulated error estimate of the maintained basis: each unguarded
+      state deconvolution (⊖ or update) adds [(size+1)·ulp]; exact refolds
+      (guard fallback, {!recompute}, the drift-bound refold) reset it. *)
+
+  val rebuilds : t -> int
+  (** State-path guard fallbacks: removals/updates whose deconvolution
+      cancelled and was replaced by an exact O(n²) refold.  The churn suite
+      pins this below a storm threshold. *)
+
+  val drift_refolds : t -> int
+  (** Exact refolds forced by {!drift} crossing the create-time bound. *)
 
   val mem : t -> int -> bool
 

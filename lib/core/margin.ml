@@ -1,0 +1,150 @@
+type method_ = Z_score | Quantile
+
+let method_to_string = function Z_score -> "z-score" | Quantile -> "quantile"
+
+let method_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "z-score" | "zscore" | "z" -> Ok Z_score
+  | "quantile" | "q" -> Ok Quantile
+  | s -> Error (Printf.sprintf "unknown margin method %S" s)
+
+type t = {
+  confidence : float;
+  method_ : method_;
+  period : float;
+  lo : float;
+  hi : float;
+  mean : float;
+  std : float;
+  samples : int;
+}
+
+let validate m =
+  let finite x = Float.is_finite x in
+  if not (m.confidence > 0. && m.confidence < 1.) then
+    Error "margin confidence outside (0,1)"
+  else if not (finite m.period && finite m.lo && finite m.hi) then
+    Error "margin bounds must be finite"
+  else if m.lo > m.hi then Error "margin lo > hi"
+  else if m.period < m.lo || m.period > m.hi then
+    Error "margin bounds do not contain the period"
+  else if not (finite m.mean && finite m.std) || m.std < 0. then
+    Error "margin std must be finite and non-negative"
+  else if m.samples < 0 then Error "margin samples must be non-negative"
+  else Ok ()
+
+(* Acklam's rational approximation of the standard-normal inverse CDF,
+   relative error below 1.2e-9 over (0,1) — more than enough for a
+   safety-margin z. *)
+let probit p =
+  let a =
+    [|
+      -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+      1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00;
+    |]
+  and b =
+    [|
+      -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+      6.680131188771972e+01; -1.328068155288572e+01;
+    |]
+  and c =
+    [|
+      -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+      -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00;
+    |]
+  and d =
+    [|
+      7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+      3.754408661907416e+00;
+    |]
+  in
+  let p_low = 0.02425 in
+  if p < p_low then
+    let q = sqrt (-2. *. log p) in
+    ((((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4))
+     *. q +. c.(5))
+    /. (((((d.(0) *. q) +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.)
+  else if p > 1. -. p_low then
+    let q = sqrt (-2. *. log (1. -. p)) in
+    -.((((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4))
+       *. q +. c.(5))
+    /. (((((d.(0) *. q) +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.)
+  else
+    let q = p -. 0.5 in
+    let r = q *. q in
+    ((((((a.(0) *. r) +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4))
+     *. r +. a.(5))
+    *. q
+    /. ((((((b.(0) *. r) +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4))
+        *. r +. 1.)
+
+let z_of_confidence confidence =
+  if not (confidence > 0. && confidence < 1.) then
+    invalid_arg "Contention.Margin.z_of_confidence: confidence outside (0,1)";
+  probit ((1. +. confidence) /. 2.)
+
+let quantile xs ~q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Contention.Margin.quantile: empty array";
+  if not (q >= 0. && q <= 1.) then
+    invalid_arg "Contention.Margin.quantile: q outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  if n = 1 then sorted.(0)
+  else
+    let pos = q *. float_of_int (n - 1) in
+    let i = Int.min (n - 2) (Int.max 0 (int_of_float pos)) in
+    let frac = pos -. float_of_int i in
+    sorted.(i) +. (frac *. (sorted.(i + 1) -. sorted.(i)))
+
+let of_bounds ~confidence ~period ~lo ~hi =
+  let z = z_of_confidence confidence in
+  if lo > hi then invalid_arg "Contention.Margin.of_bounds: lo > hi";
+  let lo = Float.min lo period and hi = Float.max hi period in
+  let std = (hi -. lo) /. (2. *. z) in
+  { confidence; method_ = Z_score; period; lo; hi; mean = period; std; samples = 0 }
+
+let of_samples ~confidence ~period samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Contention.Margin.of_samples: no samples";
+  let z = z_of_confidence confidence in
+  ignore z;
+  let alpha = (1. -. confidence) /. 2. in
+  let lo = quantile samples ~q:alpha and hi = quantile samples ~q:(1. -. alpha) in
+  let mean = Array.fold_left ( +. ) 0. samples /. float_of_int n in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0. samples
+    /. float_of_int n
+  in
+  {
+    confidence;
+    method_ = Quantile;
+    period;
+    lo = Float.min lo period;
+    hi = Float.max hi period;
+    mean;
+    std = sqrt (Float.max 0. var);
+    samples = n;
+  }
+
+let covers m x = m.lo <= x && x <= m.hi
+let width m = m.hi -. m.lo
+let rel_width m = if m.period > 0. then width m /. m.period else 0.
+
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = seed }
+
+  let next t =
+    t.state <- Int64.add t.state 0x9e3779b97f4a7c15L;
+    let z = t.state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let uniform t =
+    (* 53 high bits into [0,1). *)
+    let bits = Int64.shift_right_logical (next t) 11 in
+    Int64.to_float bits *. (1. /. 9007199254740992.)
+end

@@ -1,0 +1,91 @@
+(** Confidence margins for contended-period estimates.
+
+    The admission controller ({!Admission}) answers with a {e point}
+    estimate of the candidate's contended period; this module wraps that
+    point in a probabilistic bound, in the style of WCET profiling
+    (p99/p999 percentile bounds, z-score confidence intervals): the served
+    period is accompanied by an interval [\[lo, hi\]] that the application's
+    {e realised} period is claimed to fall into with the requested
+    confidence.
+
+    Two variants, selected per request:
+    - {e z-score} ([Z_score]): a normal approximation around the analytic
+      mean — cheap (two extra period evaluations), symmetric in the waiting
+      times, exact only to the extent the aggregate wait is
+      normal-ish;
+    - {e empirical quantile} ([Quantile]): seeded Monte-Carlo draws of the
+      per-node blocking (Bernoulli arrivals × residual-life draws from the
+      per-actor execution-time distributions, {!Dist.residual_sample}),
+      a period per draw, and order-statistic quantiles at
+      [(1 ± confidence) / 2] — heavier, but faithful to skewed and
+      multi-modal distributions.
+
+    Margins are {e deterministic}: the Monte-Carlo variant derives its RNG
+    stream from an explicit seed, so a served margin can be reproduced bit
+    for bit (the [explain --verify] contract extends to margins). *)
+
+type method_ = Z_score | Quantile
+
+val method_to_string : method_ -> string
+(** ["z-score"] | ["quantile"] — the wire names. *)
+
+val method_of_string : string -> (method_, string) result
+(** Accepts the canonical names plus the aliases ["z"] and ["q"]. *)
+
+type t = {
+  confidence : float;  (** Requested confidence level, in (0, 1). *)
+  method_ : method_;
+  period : float;  (** The served point estimate the margin wraps. *)
+  lo : float;  (** Lower period bound, [lo <= period]. *)
+  hi : float;  (** Upper period bound, [hi >= period]. *)
+  mean : float;  (** Mean of the margin model (= [period] for z-score). *)
+  std : float;  (** Spread of the margin model (z: implied, q: sample). *)
+  samples : int;  (** Monte-Carlo draws behind a quantile margin; 0 for z. *)
+}
+
+val validate : t -> (unit, string) result
+(** Total shape check: confidence in (0,1), finite ordered bounds
+    containing the period, non-negative std, non-negative samples. *)
+
+val z_of_confidence : float -> float
+(** The two-sided standard-normal quantile: [z] such that a normal variable
+    falls within [mean ± z·std] with probability [confidence] (Acklam's
+    inverse-CDF approximation, relative error < 1.2e-9).
+    @raise Invalid_argument unless [0 < confidence < 1]. *)
+
+val quantile : float array -> q:float -> float
+(** Order statistic with linear interpolation, [q] in [\[0,1\]]; the array
+    need not be sorted (a sorted copy is taken).
+    @raise Invalid_argument on an empty array or [q] outside [\[0,1\]]. *)
+
+val of_bounds : confidence:float -> period:float -> lo:float -> hi:float -> t
+(** The z-score margin: [mean = period], [std] implied from the bound width
+    ([std = (hi - lo) / (2 z)]).  Bounds are clamped to contain the
+    period.  @raise Invalid_argument on a bad confidence or [lo > hi]. *)
+
+val of_samples : confidence:float -> period:float -> float array -> t
+(** The empirical-quantile margin over Monte-Carlo period draws: bounds at
+    the [(1 ± confidence) / 2] quantiles (clamped to contain the point
+    estimate), [mean]/[std] the sample moments.
+    @raise Invalid_argument on a bad confidence or an empty array. *)
+
+val covers : t -> float -> bool
+(** [lo <= x <= hi]. *)
+
+val width : t -> float
+(** [hi - lo]. *)
+
+val rel_width : t -> float
+(** [width / period], [0.] for a non-positive period. *)
+
+(** Deterministic uniform stream for the Monte-Carlo margin (SplitMix64 —
+    the same generator family as the tracing ids, but seeded explicitly so
+    margins are reproducible). *)
+module Rng : sig
+  type t
+
+  val create : int64 -> t
+
+  val uniform : t -> float
+  (** In [\[0, 1)]. *)
+end

@@ -71,11 +71,19 @@ let deconvolve_into ~es ~xs ~skip ~out ~n =
     done
   end
 
+(* Coefficients this far below the (monic, e_0 = 1) basis are underflow
+   beyond the distribution's support, not cancellation: a large population
+   of small probabilities drives deep-degree coefficients to (sub)denormal
+   range, where the recurrence leaves epsilon-negative garbage that
+   contributes nothing to any downstream waiting sum (and the recurrence
+   multiplier x <= 1 keeps the garbage bounded). *)
+let underflow_floor = 1e-12
+
 let rec deconv_stable_from ~es ~out ~n j =
   j >= n
-  || (out.(j) >= 0.
-     && out.(j) >= cancellation_tolerance *. es.(j)
-     && deconv_stable_from ~es ~out ~n (j + 1))
+  || ((es.(j) <= underflow_floor && Float.abs out.(j) <= underflow_floor)
+      || (out.(j) >= 0. && out.(j) >= cancellation_tolerance *. es.(j)))
+     && deconv_stable_from ~es ~out ~n (j + 1)
 
 let deconv_stable ~es ~out ~n = deconv_stable_from ~es ~out ~n 1
 

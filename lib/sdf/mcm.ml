@@ -50,7 +50,11 @@ let zero_delay_cycle ~nodes edges =
 let max_cycle_ratio ?(epsilon = 1e-9) ~nodes edges =
   Array.iter
     (fun (_, _, w, d) ->
-      if w < 0. || d < 0 then invalid_arg "Sdf.Mcm: negative weight or delay")
+      if w < 0. || d < 0 then invalid_arg "Sdf.Mcm: negative weight or delay";
+      (* A non-finite weight would pin the bisection bounds at infinity and
+         the search below would never converge. *)
+      if not (Float.is_finite w) then
+        invalid_arg (Printf.sprintf "Sdf.Mcm: non-finite edge weight %g" w))
     edges;
   if Array.length edges = 0 then None
   else if zero_delay_cycle ~nodes edges then
@@ -69,9 +73,15 @@ let max_cycle_ratio ?(epsilon = 1e-9) ~nodes edges =
     if not (exists_cycle_above (-1.)) then None
     else begin
       let lo = ref 0. and hi = ref (total_weight +. 1.) in
-      while !hi -. !lo > epsilon do
+      (* When the bracket is large, [mid] can round back onto a bound before
+         the absolute tolerance is met; stop once bisection hits float
+         resolution or the loop would never terminate. *)
+      let progress = ref true in
+      while !progress && !hi -. !lo > epsilon do
         let mid = 0.5 *. (!lo +. !hi) in
-        if exists_cycle_above mid then lo := mid else hi := mid
+        if mid <= !lo || mid >= !hi then progress := false
+        else if exists_cycle_above mid then lo := mid
+        else hi := mid
       done;
       Some (0.5 *. (!lo +. !hi))
     end

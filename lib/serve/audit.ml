@@ -85,12 +85,23 @@ type task = {
   ctx : Obs.Span.ctx option;
 }
 
+type margin_task = {
+  m_digest : string;
+  m_workload : Exp.Workload.t;
+  m_mask : Contention.Usecase.t;  (* the admitted population, candidate included *)
+  m_app : string;  (* the application whose margin was served *)
+  m_margin : Contention.Margin.t;
+  m_ctx : Obs.Span.ctx option;
+}
+
+type item = Estimate of task | Margin_check of margin_task
+
 type t = {
   config : config;
   registry : Obs.Metric.registry;
   journal : Journal.t option;
   shard : string option;
-  queue : task Queue.t;
+  queue : item Queue.t;
   mutex : Mutex.t;
   cond : Condition.t;
   mutable closed : bool;
@@ -104,6 +115,8 @@ type t = {
   mutable err_sum : float;
   mutable err_n : int;
   mutable max_abs_err : float;
+  mutable margin_checked : int;
+  mutable margin_missed : int;
   drift_by_estimator : (string, Drift.t) Hashtbl.t;
   m_dropped : Obs.Metric.Counter.t;
   m_failed : Obs.Metric.Counter.t;
@@ -268,6 +281,102 @@ let process t (task : task) =
       end;
       journal_record t task ~errs ~outcome:"ok"
 
+let m_margin_total t =
+  Obs.Metric.Counter.v ~registry:t.registry
+    ~help:"Served admission margins replayed through the simulator."
+    "contention_serve_audit_margin_total"
+
+let m_margin_missed t =
+  Obs.Metric.Counter.v ~registry:t.registry
+    ~help:
+      "Margin replays whose simulated period fell outside the served bounds."
+    "contention_serve_audit_margin_missed_total"
+
+let margin_journal_record t (task : margin_task) ~observed ~outcome =
+  match t.journal with
+  | Some j when Journal.sampled j ~ctx:task.m_ctx ->
+      let opt name conv = function
+        | None -> []
+        | Some v -> [ (name, conv v) ]
+      in
+      Journal.record j
+        (Json.Obj
+           ([ ("ts", Json.Num (Unix.gettimeofday ())) ]
+           @ opt "trace"
+               (fun (c : Obs.Span.ctx) ->
+                 Json.Str (Obs.Span.id_to_hex c.trace_id))
+               task.m_ctx
+           @ [
+               ("cmd", Json.Str "audit-margin");
+               ("workload", Json.Str task.m_digest);
+             ]
+           @ opt "shard" (fun s -> Json.Str s) t.shard
+           @ [
+               ("app", Json.Str task.m_app);
+               ("confidence", Json.Num task.m_margin.Contention.Margin.confidence);
+               ("lo", Json.Num task.m_margin.Contention.Margin.lo);
+               ("hi", Json.Num task.m_margin.Contention.Margin.hi);
+               ("outcome", Json.Str outcome);
+             ]
+           @ opt "observed" (fun p -> Json.Num p) observed))
+  | _ -> ()
+
+(* Replay one served margin: simulate the admitted population and check the
+   application's observed average period against the served interval.  One
+   replay is one Bernoulli trial at the margin's confidence — the aggregate
+   miss rate is the signal, not any single miss. *)
+let process_margin t (task : margin_task) =
+  let simulate () =
+    let w = task.m_workload in
+    let results, _ =
+      Desim.Engine.run ~horizon:t.config.horizon
+        ?firing_time:(Exp.Workload.sim_firing_time w task.m_mask)
+        ~procs:w.procs
+        (Exp.Workload.sim_apps w task.m_mask)
+    in
+    (* Results share Usecase.to_list order with the mask. *)
+    let names = Exp.Workload.names w in
+    let rec find pos = function
+      | [] -> failwith "margin app not in population mask"
+      | idx :: rest -> if names.(idx) = task.m_app then pos else find (pos + 1) rest
+    in
+    let pos = find 0 (Contention.Usecase.to_list task.m_mask) in
+    results.(pos).Desim.Engine.avg_period
+  in
+  let run () =
+    Obs.Span.with_ ~name:"audit.margin"
+      ~args:(fun () -> [ ("digest", task.m_digest); ("app", task.m_app) ])
+      simulate
+  in
+  match
+    match task.m_ctx with
+    | None -> run ()
+    | Some c -> Obs.Span.with_context c run
+  with
+  | exception e ->
+      Obs.Metric.Counter.inc t.m_failed;
+      Mutex.lock t.mutex;
+      t.failed <- t.failed + 1;
+      Mutex.unlock t.mutex;
+      margin_journal_record t task ~observed:None
+        ~outcome:(Printf.sprintf "failed: %s" (Printexc.to_string e))
+  | observed when not (Float.is_finite observed && observed > 0.) ->
+      Obs.Metric.Counter.inc t.m_failed;
+      Mutex.lock t.mutex;
+      t.failed <- t.failed + 1;
+      Mutex.unlock t.mutex;
+      margin_journal_record t task ~observed:None ~outcome:"degenerate"
+  | observed ->
+      let covered = Contention.Margin.covers task.m_margin observed in
+      Obs.Metric.Counter.inc (m_margin_total t);
+      if not covered then Obs.Metric.Counter.inc (m_margin_missed t);
+      Mutex.lock t.mutex;
+      t.margin_checked <- t.margin_checked + 1;
+      if not covered then t.margin_missed <- t.margin_missed + 1;
+      Mutex.unlock t.mutex;
+      margin_journal_record t task ~observed:(Some observed)
+        ~outcome:(if covered then "covered" else "missed")
+
 let worker t () =
   let rec loop () =
     Mutex.lock t.mutex;
@@ -281,7 +390,11 @@ let worker t () =
     | None -> ()
     | Some task ->
         (* A replay bug must not take the audit domain down. *)
-        (try process t task with _ -> ());
+        (try
+           match task with
+           | Estimate task -> process t task
+           | Margin_check task -> process_margin t task
+         with _ -> ());
         Mutex.lock t.mutex;
         t.in_flight <- false;
         Condition.broadcast t.cond;
@@ -314,6 +427,8 @@ let create ?(config = default_config) ~registry ?journal ?shard () =
       err_sum = 0.;
       err_n = 0;
       max_abs_err = 0.;
+      margin_checked = 0;
+      margin_missed = 0;
       drift_by_estimator = Hashtbl.create 4;
       m_dropped =
         Obs.Metric.Counter.v ~registry
@@ -333,7 +448,7 @@ let sampled t =
   let n = Atomic.fetch_and_add t.head 1 in
   n mod t.config.sample_every = 0
 
-let submit t task =
+let submit_item t item =
   Mutex.lock t.mutex;
   let verdict =
     if t.closed then `Closed
@@ -342,7 +457,7 @@ let submit t task =
       `Dropped
     end
     else begin
-      Queue.push task t.queue;
+      Queue.push item t.queue;
       t.submitted <- t.submitted + 1;
       Condition.signal t.cond;
       `Accepted
@@ -353,6 +468,9 @@ let submit t task =
   | `Dropped -> Obs.Metric.Counter.inc t.m_dropped
   | `Closed | `Accepted -> ());
   verdict = `Accepted
+
+let submit t task = submit_item t (Estimate task)
+let submit_margin t task = submit_item t (Margin_check task)
 
 let stats t =
   Mutex.lock t.mutex;
@@ -377,6 +495,8 @@ let stats t =
       audit_max_abs_err = t.max_abs_err;
       audit_alarms = alarms;
       audit_drifting = drifting;
+      audit_margin_checked = t.margin_checked;
+      audit_margin_missed = t.margin_missed;
     }
   in
   Mutex.unlock t.mutex;

@@ -65,6 +65,17 @@ type task = {
   ctx : Obs.Span.ctx option;  (** Originating trace context, if any. *)
 }
 
+type margin_task = {
+  m_digest : string;
+  m_workload : Exp.Workload.t;
+  m_mask : Contention.Usecase.t;
+      (** The admitted population of the session, candidate included —
+          the mix the margin's confidence claim is about. *)
+  m_app : string;  (** The application whose margin was served. *)
+  m_margin : Contention.Margin.t;
+  m_ctx : Obs.Span.ctx option;
+}
+
 type t
 
 val create :
@@ -86,6 +97,15 @@ val sampled : t -> bool
 val submit : t -> task -> bool
 (** Enqueue a replay; [false] (and a drop count) when the queue is full or
     the auditor is stopping.  Never blocks. *)
+
+val submit_margin : t -> margin_task -> bool
+(** Enqueue a margin coverage check: the population is simulated and the
+    application's observed average period tested against the served bounds.
+    One replay is one Bernoulli trial at the stated confidence — the
+    aggregate miss rate ([margin_missed / margin_checked], exposed in
+    {!stats} and as [contention_serve_audit_margin_total] /
+    [_margin_missed_total]) is the signal.  Same queue and drop policy as
+    {!submit}. *)
 
 val stats : t -> Protocol.audit_stats
 (** Snapshot for the [stats] reply. *)

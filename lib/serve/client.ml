@@ -133,10 +133,11 @@ let cache_put t ~digest ~mask ~estimator ~rows =
     (Protocol.Cache_put { digest; mask; estimator; rows })
     (fun _ -> Ok ())
 
-let admit t ?(session = Protocol.default_session) ~digest ~app ~min_throughput
-    () =
+let admit t ?(session = Protocol.default_session) ?confidence ?margin_method
+    ~digest ~app ~min_throughput () =
   typed t
-    (Protocol.Admit { session; digest; app; min_throughput })
+    (Protocol.Admit
+       { session; digest; app; min_throughput; confidence; margin_method })
     Protocol.verdict_of_json
 
 let release t ?(session = Protocol.default_session) ~app () =

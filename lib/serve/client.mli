@@ -69,11 +69,17 @@ val cache_put :
 val admit :
   t ->
   ?session:string ->
+  ?confidence:float ->
+  ?margin_method:Contention.Margin.method_ ->
   digest:string ->
   app:string ->
   min_throughput:float ->
   unit ->
   (Protocol.verdict, string) result
+(** With [?confidence], the admit reply's verdict carries a
+    {!Contention.Margin.t} confidence interval around the candidate's
+    contended period ([?margin_method] picks the z-score or
+    empirical-quantile variant; z-score is the default). *)
 
 val release :
   t -> ?session:string -> app:string -> unit -> (unit, string) result

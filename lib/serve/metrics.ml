@@ -11,6 +11,8 @@ type t = {
   mutable rejected_victim : int;
   mutable released : int;
   mutable shed : int;  (* connections refused with a shed verdict *)
+  mutable margins_served : int;
+  mutable margin_rel_width_sum : float;
   reservoir : float array;  (* seconds; ring buffer of recent latencies *)
   mutable samples : int;  (* total recorded; ring index = samples mod size *)
   mutable latency_sum : float;
@@ -29,6 +31,8 @@ let create () =
     rejected_victim = 0;
     released = 0;
     shed = 0;
+    margins_served = 0;
+    margin_rel_width_sum = 0.;
     reservoir = Array.make reservoir_size 0.;
     samples = 0;
     latency_sum = 0.;
@@ -54,7 +58,14 @@ let record t ~cmd ~latency_s =
 let record_admission_verdict t verdict =
   locked t (fun () ->
       match (verdict : Protocol.verdict) with
-      | Protocol.Admitted _ -> t.admitted <- t.admitted + 1
+      | Protocol.Admitted { margin; _ } ->
+          t.admitted <- t.admitted + 1;
+          Option.iter
+            (fun m ->
+              t.margins_served <- t.margins_served + 1;
+              t.margin_rel_width_sum <-
+                t.margin_rel_width_sum +. Contention.Margin.rel_width m)
+            margin
       | Protocol.Rejected_candidate _ ->
           t.rejected_candidate <- t.rejected_candidate + 1
       | Protocol.Rejected_victim _ ->
@@ -73,6 +84,8 @@ type snapshot = {
   rejected_victim : int;
   released : int;
   shed : int;
+  margins_served : int;
+  margin_mean_rel_width : float;
   latency_mean_us : float;
   latency_p50_us : float;
   latency_p90_us : float;
@@ -99,6 +112,10 @@ let snapshot t =
         rejected_victim = t.rejected_victim;
         released = t.released;
         shed = t.shed;
+        margins_served = t.margins_served;
+        margin_mean_rel_width =
+          (if t.margins_served = 0 then 0.
+           else t.margin_rel_width_sum /. float_of_int t.margins_served);
         latency_mean_us =
           (if t.total = 0 then 0. else us (t.latency_sum /. float_of_int t.total));
         latency_p50_us = pct 50.;

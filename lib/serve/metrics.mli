@@ -17,6 +17,9 @@ val record : t -> cmd:string -> latency_s:float -> unit
     into the reservoir and the running mean/max. *)
 
 val record_admission_verdict : t -> Protocol.verdict -> unit
+(** Bumps the verdict counter; an [Admitted] verdict carrying a margin also
+    feeds the margins-served count and the relative-width running mean. *)
+
 val incr_released : t -> unit
 
 val incr_shed : t -> unit
@@ -32,6 +35,9 @@ type snapshot = {
   rejected_victim : int;
   released : int;
   shed : int;  (** Connections refused with a shed verdict. *)
+  margins_served : int;  (** Admit replies that carried a margin. *)
+  margin_mean_rel_width : float;
+      (** Mean relative width ([width/period]) of the served margins. *)
   latency_mean_us : float;
   latency_p50_us : float;
   latency_p90_us : float;

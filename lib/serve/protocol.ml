@@ -18,6 +18,8 @@ type request =
       digest : string;
       app : string;
       min_throughput : float;
+      confidence : float option;
+      margin_method : Contention.Margin.method_ option;
     }
   | Release of { session : string; app : string }
   | Cache_put of {
@@ -181,15 +183,23 @@ let base_request_to_json = function
           | Some apps ->
               [ ("usecase", Json.Arr (List.map (fun a -> Json.Str a) apps)) ])
         @ [ ("estimator", Json.Str (estimator_to_string estimator)) ])
-  | Admit { session; digest; app; min_throughput } ->
+  | Admit { session; digest; app; min_throughput; confidence; margin_method } ->
       Json.Obj
-        [
-          ("cmd", Json.Str "admit");
-          ("session", Json.Str session);
-          ("workload", Json.Str digest);
-          ("app", Json.Str app);
-          ("min_throughput", Json.Num min_throughput);
-        ]
+        ([
+           ("cmd", Json.Str "admit");
+           ("session", Json.Str session);
+           ("workload", Json.Str digest);
+           ("app", Json.Str app);
+           ("min_throughput", Json.Num min_throughput);
+         ]
+        @ (match confidence with
+          | None -> []
+          | Some c -> [ ("confidence", Json.Num c) ])
+        @
+        match margin_method with
+        | None -> []
+        | Some m ->
+            [ ("margin_method", Json.Str (Contention.Margin.method_to_string m)) ])
   | Release { session; app } ->
       Json.Obj
         [
@@ -256,8 +266,28 @@ let request_of_json json =
           let* digest = field "workload" Json.get_str json in
           let* app = field "app" Json.get_str json in
           let* min_throughput = field "min_throughput" Json.get_num json in
+          let* confidence = opt_field "confidence" Json.get_num json in
+          let* confidence =
+            match confidence with
+            | None -> Ok None
+            | Some c ->
+                if Float.is_finite c && c > 0. && c < 1. then Ok (Some c)
+                else Error "confidence must be in (0,1)"
+          in
+          let* margin_method =
+            match Json.member "margin_method" json with
+            | None | Some Json.Null -> Ok None
+            | Some v -> (
+                match Json.get_str v with
+                | None -> Error "field \"margin_method\" has the wrong type"
+                | Some s ->
+                    Result.map Option.some
+                      (Contention.Margin.method_of_string s))
+          in
           if Float.is_finite min_throughput && min_throughput >= 0. then
-            Ok (Admit { session; digest; app; min_throughput })
+            Ok
+              (Admit
+                 { session; digest; app; min_throughput; confidence; margin_method })
           else Error "min_throughput must be finite and non-negative"
       | "release" ->
           let* session =
@@ -292,7 +322,7 @@ type estimate_reply = {
 }
 
 type verdict =
-  | Admitted of { throughput : float }
+  | Admitted of { throughput : float; margin : Contention.Margin.t option }
   | Rejected_candidate of { estimated : float; required : float }
   | Rejected_victim of { victim : string; estimated : float; required : float }
 
@@ -306,6 +336,8 @@ type audit_stats = {
   audit_max_abs_err : float;
   audit_alarms : int;
   audit_drifting : string list;
+  audit_margin_checked : int;
+  audit_margin_missed : int;
 }
 
 let no_audit =
@@ -319,6 +351,8 @@ let no_audit =
     audit_max_abs_err = 0.;
     audit_alarms = 0;
     audit_drifting = [];
+    audit_margin_checked = 0;
+    audit_margin_missed = 0;
   }
 
 type stats_reply = {
@@ -340,6 +374,8 @@ type stats_reply = {
   rejected_candidate : int;
   rejected_victim : int;
   released : int;
+  margins_served : int;
+  margin_mean_rel_width : float;
   latency_mean_us : float;
   latency_p50_us : float;
   latency_p90_us : float;
@@ -426,10 +462,43 @@ let explain_reply_to_json (e : Contention.Explain.t) =
 let explain_reply_of_json json =
   Contention.Explain.of_json (explain_json_of_json json)
 
+let margin_to_json (m : Contention.Margin.t) =
+  Json.Obj
+    [
+      ("confidence", Json.Num m.confidence);
+      ("method", Json.Str (Contention.Margin.method_to_string m.method_));
+      ("period", Json.Num m.period);
+      ("lo", Json.Num m.lo);
+      ("hi", Json.Num m.hi);
+      ("mean", Json.Num m.mean);
+      ("std", Json.Num m.std);
+      ("samples", Json.Num (float_of_int m.samples));
+    ]
+
+let margin_of_json json =
+  let* confidence = field "confidence" Json.get_num json in
+  let* method_name = field "method" Json.get_str json in
+  let* method_ = Contention.Margin.method_of_string method_name in
+  let* period = field "period" Json.get_num json in
+  let* lo = field "lo" Json.get_num json in
+  let* hi = field "hi" Json.get_num json in
+  let* mean = field "mean" Json.get_num json in
+  let* std = field "std" Json.get_num json in
+  let* samples = field "samples" Json.get_int json in
+  let m =
+    { Contention.Margin.confidence; method_; period; lo; hi; mean; std; samples }
+  in
+  let* () = Contention.Margin.validate m in
+  Ok m
+
 let verdict_to_json = function
-  | Admitted { throughput } ->
+  | Admitted { throughput; margin } ->
       Json.Obj
-        [ ("verdict", Json.Str "admitted"); ("throughput", Json.Num throughput) ]
+        ([ ("verdict", Json.Str "admitted"); ("throughput", Json.Num throughput) ]
+        @
+        match margin with
+        | None -> []
+        | Some m -> [ ("margin", margin_to_json m) ])
   | Rejected_candidate { estimated; required } ->
       Json.Obj
         [
@@ -451,7 +520,12 @@ let verdict_of_json json =
   match kind with
   | "admitted" ->
       let* throughput = field "throughput" Json.get_num json in
-      Ok (Admitted { throughput })
+      let* margin =
+        match Json.member "margin" json with
+        | None | Some Json.Null -> Ok None
+        | Some m -> Result.map Option.some (margin_of_json m)
+      in
+      Ok (Admitted { throughput; margin })
   | "rejected-candidate" ->
       let* estimated = field "estimated" Json.get_num json in
       let* required = field "required" Json.get_num json in
@@ -499,6 +573,8 @@ let stats_reply_to_json s =
             ("rejected_candidate", Json.Num (float_of_int s.rejected_candidate));
             ("rejected_victim", Json.Num (float_of_int s.rejected_victim));
             ("released", Json.Num (float_of_int s.released));
+            ("margins", Json.Num (float_of_int s.margins_served));
+            ("margin_mean_rel_width", Json.Num s.margin_mean_rel_width);
           ] );
       ( "latency_us",
         Json.Obj
@@ -532,6 +608,10 @@ let stats_reply_to_json s =
             ( "drifting",
               Json.Arr
                 (List.map (fun e -> Json.Str e) s.audit.audit_drifting) );
+            ( "margin_checked",
+              Json.Num (float_of_int s.audit.audit_margin_checked) );
+            ( "margin_missed",
+              Json.Num (float_of_int s.audit.audit_margin_missed) );
           ] );
     ]
 
@@ -566,6 +646,16 @@ let stats_reply_of_json json =
   let* rejected_candidate = field "rejected_candidate" Json.get_int admission in
   let* rejected_victim = field "rejected_victim" Json.get_int admission in
   let* released = field "released" Json.get_int admission in
+  (* Margin accounting is absent from pre-margin servers: default to zero so
+     a new client can still read an old server's stats. *)
+  let margins_served =
+    Option.value ~default:0
+      (Option.bind (Json.member "margins" admission) Json.get_int)
+  in
+  let margin_mean_rel_width =
+    Option.value ~default:0.
+      (Option.bind (Json.member "margin_mean_rel_width" admission) Json.get_num)
+  in
   let* latency = field "latency_us" (fun j -> Some j) json in
   let* latency_mean_us = field "mean" Json.get_num latency in
   let* latency_p50_us = field "p50" Json.get_num latency in
@@ -611,6 +701,8 @@ let stats_reply_of_json json =
           audit_drifting =
             Option.value ~default:[]
               (Option.bind (Json.member "drifting" a) str_list);
+          audit_margin_checked = int "margin_checked";
+          audit_margin_missed = int "margin_missed";
         }
   in
   Ok
@@ -633,6 +725,8 @@ let stats_reply_of_json json =
       rejected_candidate;
       rejected_victim;
       released;
+      margins_served;
+      margin_mean_rel_width;
       latency_mean_us;
       latency_p50_us;
       latency_p90_us;

@@ -34,6 +34,12 @@ type request =
       digest : string;
       app : string;
       min_throughput : float;
+      confidence : float option;
+          (** Requested confidence level for the admission margin; [None]
+              means a plain point estimate (the pre-margin wire shape). *)
+      margin_method : Contention.Margin.method_ option;
+          (** Margin variant; defaults to z-score when only a confidence is
+              given. *)
     }
   | Release of { session : string; app : string }
   | Cache_put of {
@@ -105,8 +111,10 @@ type estimate_reply = {
 }
 
 type verdict =
-  | Admitted of { throughput : float }
-      (** The candidate's estimated throughput under the new mix. *)
+  | Admitted of { throughput : float; margin : Contention.Margin.t option }
+      (** The candidate's estimated throughput under the new mix, plus the
+          confidence interval around its served period when the request
+          asked for one. *)
   | Rejected_candidate of { estimated : float; required : float }
   | Rejected_victim of { victim : string; estimated : float; required : float }
 
@@ -120,6 +128,10 @@ type audit_stats = {
   audit_max_abs_err : float;  (** Largest absolute relative error seen. *)
   audit_alarms : int;  (** Page–Hinkley drift alarms raised since start. *)
   audit_drifting : string list;  (** Estimators currently flagged. *)
+  audit_margin_checked : int;
+      (** Served margins replayed against the simulator so far. *)
+  audit_margin_missed : int;
+      (** Replays whose observed period fell outside the served margin. *)
 }
 
 val no_audit : audit_stats
@@ -144,6 +156,9 @@ type stats_reply = {
   rejected_candidate : int;
   rejected_victim : int;
   released : int;
+  margins_served : int;  (** Admit replies that carried a margin. *)
+  margin_mean_rel_width : float;
+      (** Running mean of served margins' relative width ([width/period]). *)
   latency_mean_us : float;
   latency_p50_us : float;
   latency_p90_us : float;
@@ -179,6 +194,11 @@ val explain_json_of_json : Json.t -> Contention.Explain.json
 val explain_reply_to_json : Contention.Explain.t -> Json.t
 
 val explain_reply_of_json : Json.t -> (Contention.Explain.t, string) result
+val margin_to_json : Contention.Margin.t -> Json.t
+val margin_of_json : Json.t -> (Contention.Margin.t, string) result
+(** Strict: a present-but-malformed margin object is an error (the lenient
+    case — an {e absent} margin — is handled by {!verdict_of_json}). *)
+
 val verdict_to_json : verdict -> Json.t
 val verdict_of_json : Json.t -> (verdict, string) result
 val stats_reply_to_json : stats_reply -> Json.t

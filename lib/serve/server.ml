@@ -353,7 +353,21 @@ let handle_cache_put t ~digest ~mask ~estimator ~rows =
                  [ ("installed", Json.Bool true); ("estimator", Json.Str name) ])
           end)
 
-let handle_admit t ~session ~digest ~app ~min_throughput =
+(* The session's admitted applications that resolve in this workload — the
+   population mix an audit replay of a served margin is simulated under.
+   Names admitted from another workload in the same session are skipped:
+   they cannot be replayed against [w]. *)
+let session_mask w ctl =
+  List.fold_left
+    (fun mask (name, _, _) ->
+      match Exp.Workload.app_index w name with
+      | exception Not_found -> mask
+      | i -> Contention.Usecase.add i mask)
+    (Contention.Usecase.of_list [])
+    (Contention.Admission.admitted ctl)
+
+let handle_admit t ~session ~digest ~app ~min_throughput ~confidence
+    ~margin_method =
   match Store.find t.store digest with
   | None -> Protocol.error (Printf.sprintf "unknown workload digest %S" digest)
   | Some w -> (
@@ -362,12 +376,24 @@ let handle_admit t ~session ~digest ~app ~min_throughput =
           Protocol.error (Printf.sprintf "unknown application %S" app)
       | i ->
           let a = w.apps.(i) in
+          let margin_spec =
+            Option.map
+              (fun c ->
+                {
+                  Contention.Admission.default_margin_spec with
+                  confidence = c;
+                  method_ =
+                    Option.value margin_method
+                      ~default:Contention.Margin.Z_score;
+                })
+              confidence
+          in
           with_sessions t (fun () ->
               let ctl =
                 match Hashtbl.find_opt t.sessions session with
                 | Some ctl -> ctl
                 | None ->
-                    let ctl = Contention.Admission.create ~procs:w.procs in
+                    let ctl = Contention.Admission.create ~procs:w.procs () in
                     Hashtbl.add t.sessions session ctl;
                     ctl
               in
@@ -381,19 +407,20 @@ let handle_admit t ~session ~digest ~app ~min_throughput =
                        w.procs)
               | ctl -> (
                   match
-                    Contention.Admission.try_admit ctl a
+                    Contention.Admission.try_admit ?margin:margin_spec ctl a
                       { Contention.Admission.min_throughput }
                   with
                   | exception Invalid_argument msg -> Protocol.error msg
                   | paper_verdict ->
                       let verdict =
                         match paper_verdict with
-                        | Contention.Admission.Admitted ->
+                        | Contention.Admission.Admitted { margin } ->
                             Protocol.Admitted
                               {
                                 throughput =
                                   Contention.Admission.estimated_throughput ctl
                                     app;
+                                margin;
                               }
                         | Contention.Admission.Rejected_candidate
                             { estimated; required } ->
@@ -404,6 +431,32 @@ let handle_admit t ~session ~digest ~app ~min_throughput =
                               { victim; estimated; required }
                       in
                       Metrics.record_admission_verdict t.metrics verdict;
+                      (match verdict with
+                      | Protocol.Admitted { margin = Some m; _ } -> (
+                          Obs.Metric.Histogram.observe
+                            (Obs.Metric.Histogram.v ~registry:t.registry
+                               ~help:
+                                 "Relative width (width/period) of served \
+                                  admission margins."
+                               "contention_serve_margin_rel_width")
+                            (Contention.Margin.rel_width m);
+                          (* Sampled margins get the same shadow-audit
+                             treatment as estimates: replay the admitted mix
+                             and test coverage of the served interval. *)
+                          match t.audit with
+                          | Some audit when Audit.sampled audit ->
+                              ignore
+                                (Audit.submit_margin audit
+                                   {
+                                     Audit.m_digest = digest;
+                                     m_workload = w;
+                                     m_mask = session_mask w ctl;
+                                     m_app = app;
+                                     m_margin = m;
+                                     m_ctx = Obs.Span.current_context ();
+                                   })
+                          | _ -> ())
+                      | _ -> ());
                       Protocol.ok (Protocol.verdict_to_json verdict))))
 
 let handle_release t ~session ~app =
@@ -411,13 +464,15 @@ let handle_release t ~session ~app =
       match Hashtbl.find_opt t.sessions session with
       | None -> Protocol.error (Printf.sprintf "unknown session %S" session)
       | Some ctl -> (
-          match Contention.Admission.withdraw ctl app with
-          | () ->
+          (* Total: an unknown app id is an error reply, never an exception
+             escaping the worker (the stale-release wirefuzz contract). *)
+          match Contention.Admission.release ctl app with
+          | Ok () ->
               Metrics.incr_released t.metrics;
               Protocol.ok
                 (Json.Obj
                    [ ("released", Json.Str app); ("session", Json.Str session) ])
-          | exception Not_found ->
+          | Error _ ->
               Protocol.error
                 (Printf.sprintf "application %S is not admitted in session %S"
                    app session)))
@@ -454,6 +509,8 @@ let handle_stats t =
          rejected_candidate = m.rejected_candidate;
          rejected_victim = m.rejected_victim;
          released = m.released;
+         margins_served = m.margins_served;
+         margin_mean_rel_width = m.margin_mean_rel_width;
          latency_mean_us = m.latency_mean_us;
          latency_p50_us = m.latency_p50_us;
          latency_p90_us = m.latency_p90_us;
@@ -489,8 +546,10 @@ let dispatch t (request : Protocol.request) =
       handle_estimate t ~digest ~usecase ~estimator
   | Protocol.Explain { digest; usecase; estimator } ->
       handle_explain t ~digest ~usecase ~estimator
-  | Protocol.Admit { session; digest; app; min_throughput } ->
-      handle_admit t ~session ~digest ~app ~min_throughput
+  | Protocol.Admit { session; digest; app; min_throughput; confidence; margin_method }
+    ->
+      handle_admit t ~session ~digest ~app ~min_throughput ~confidence
+        ~margin_method
   | Protocol.Release { session; app } -> handle_release t ~session ~app
   | Protocol.Cache_put { digest; mask; estimator; rows } ->
       handle_cache_put t ~digest ~mask ~estimator ~rows
@@ -557,6 +616,11 @@ let journal_entry t ~ctx ~cmd ~digest ~queue_depth ~reply ~latency_s =
         (fun b -> Json.Bool b)
         (Option.bind payload (fun p ->
              Option.bind (Json.member "cached" p) Json.get_bool))
+    @ opt "confidence"
+        (fun c -> Json.Num c)
+        (Option.bind payload (fun p ->
+             Option.bind (Json.member "margin" p) (fun m ->
+                 Option.bind (Json.member "confidence" m) Json.get_num)))
     @ opt "verdict"
         (fun v -> Json.Str v)
         (Option.bind payload (fun p ->

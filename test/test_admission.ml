@@ -4,23 +4,23 @@ let app_a () = Analysis.app (Fixtures.graph_a ()) ~mapping:[| 0; 1; 2 |]
 let app_b () = Analysis.app (Fixtures.graph_b ()) ~mapping:[| 0; 1; 2 |]
 
 let test_admit_best_effort () =
-  let ctl = Admission.create ~procs:3 in
+  let ctl = Admission.create ~procs:3 () in
   Alcotest.(check int) "procs" 3 (Admission.procs ctl);
   (match Admission.try_admit ctl (app_a ()) Admission.best_effort with
-  | Admission.Admitted -> ()
+  | Admission.Admitted _ -> ()
   | _ -> Alcotest.fail "A rejected");
   (match Admission.try_admit ctl (app_b ()) Admission.best_effort with
-  | Admission.Admitted -> ()
+  | Admission.Admitted _ -> ()
   | _ -> Alcotest.fail "B rejected");
   Alcotest.(check int) "two admitted" 2 (List.length (Admission.admitted ctl))
 
 let test_alone_estimate_is_isolation () =
-  let ctl = Admission.create ~procs:3 in
+  let ctl = Admission.create ~procs:3 () in
   ignore (Admission.try_admit ctl (app_a ()) Admission.best_effort);
   Fixtures.check_float ~eps:1e-6 "alone = isolation" 300. (Admission.estimated_period ctl "A")
 
 let test_shared_estimate_matches_analysis () =
-  let ctl = Admission.create ~procs:3 in
+  let ctl = Admission.create ~procs:3 () in
   ignore (Admission.try_admit ctl (app_a ()) Admission.best_effort);
   ignore (Admission.try_admit ctl (app_b ()) Admission.best_effort);
   (* Composability with a single partner per node is exact: 1075/3. *)
@@ -32,31 +32,31 @@ let test_shared_estimate_matches_analysis () =
     (Admission.estimated_throughput ctl "A")
 
 let test_candidate_rejection () =
-  let ctl = Admission.create ~procs:3 in
+  let ctl = Admission.create ~procs:3 () in
   ignore (Admission.try_admit ctl (app_a ()) Admission.best_effort);
   (* B alone would meet 1/359 but not 1/300 under sharing. *)
   match Admission.try_admit ctl (app_b ()) { min_throughput = 1. /. 310. } with
   | Admission.Rejected_candidate { estimated; required } ->
       Alcotest.(check bool) "estimate below requirement" true (estimated < required);
       Alcotest.(check int) "not admitted" 1 (List.length (Admission.admitted ctl))
-  | Admission.Admitted -> Alcotest.fail "B admitted despite requirement"
+  | Admission.Admitted _ -> Alcotest.fail "B admitted despite requirement"
   | Admission.Rejected_victim _ -> Alcotest.fail "wrong rejection kind"
 
 let test_victim_rejection () =
-  let ctl = Admission.create ~procs:3 in
+  let ctl = Admission.create ~procs:3 () in
   (* A requires nearly its isolation throughput; admitting B would hurt A. *)
   (match Admission.try_admit ctl (app_a ()) { min_throughput = 1. /. 310. } with
-  | Admission.Admitted -> ()
+  | Admission.Admitted _ -> ()
   | _ -> Alcotest.fail "A alone rejected");
   match Admission.try_admit ctl (app_b ()) Admission.best_effort with
   | Admission.Rejected_victim { app; _ } ->
       Alcotest.(check string) "victim is A" "A" app;
       Alcotest.(check int) "B not admitted" 1 (List.length (Admission.admitted ctl))
-  | Admission.Admitted -> Alcotest.fail "B admitted despite hurting A"
+  | Admission.Admitted _ -> Alcotest.fail "B admitted despite hurting A"
   | Admission.Rejected_candidate _ -> Alcotest.fail "wrong rejection kind"
 
 let test_withdraw_restores () =
-  let ctl = Admission.create ~procs:3 in
+  let ctl = Admission.create ~procs:3 () in
   ignore (Admission.try_admit ctl (app_a ()) Admission.best_effort);
   ignore (Admission.try_admit ctl (app_b ()) Admission.best_effort);
   Admission.withdraw ctl "B";
@@ -65,11 +65,11 @@ let test_withdraw_restores () =
   Fixtures.check_float ~eps:1e-6 "A restored" 300. (Admission.estimated_period ctl "A");
   (* And B can come back. *)
   match Admission.try_admit ctl (app_b ()) Admission.best_effort with
-  | Admission.Admitted -> ()
+  | Admission.Admitted _ -> ()
   | _ -> Alcotest.fail "re-admission failed"
 
 let test_duplicate_and_missing () =
-  let ctl = Admission.create ~procs:3 in
+  let ctl = Admission.create ~procs:3 () in
   ignore (Admission.try_admit ctl (app_a ()) Admission.best_effort);
   (match Admission.try_admit ctl (app_a ()) Admission.best_effort with
   | exception Invalid_argument _ -> ()
@@ -80,12 +80,12 @@ let test_duplicate_and_missing () =
   (match Admission.estimated_period ctl "Z" with
   | exception Not_found -> ()
   | _ -> Alcotest.fail "estimated unknown app");
-  match Admission.create ~procs:0 with
+  match Admission.create ~procs:0 () with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "0 procs accepted"
 
 let test_mapping_out_of_range () =
-  let ctl = Admission.create ~procs:2 in
+  let ctl = Admission.create ~procs:2 () in
   match Admission.try_admit ctl (app_a ()) Admission.best_effort with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "mapping beyond procs accepted"
@@ -108,12 +108,12 @@ let prop_withdraw_path_independent =
       in
       let a = mk "P" g1 and b = mk "Q" g2 in
       (* Controller 1: admit a, admit b, withdraw b. *)
-      let c1 = Admission.create ~procs in
+      let c1 = Admission.create ~procs () in
       ignore (Admission.try_admit c1 a Admission.best_effort);
       ignore (Admission.try_admit c1 b Admission.best_effort);
       Admission.withdraw c1 "Q";
       (* Controller 2: admit a only. *)
-      let c2 = Admission.create ~procs in
+      let c2 = Admission.create ~procs () in
       ignore (Admission.try_admit c2 a Admission.best_effort);
       Fixtures.float_eq ~eps:1e-6
         (Admission.estimated_period c1 "P")
@@ -142,7 +142,7 @@ let test_random_admit_withdraw_stress () =
       exec_min = 2; exec_max = 25 }
   in
   let procs = 4 in
-  let ctl = Admission.create ~procs in
+  let ctl = Admission.create ~procs () in
   let admitted = ref [] in
   for step = 1 to 40 do
     let coin = Sdfgen.Rng.int rng 3 in
@@ -153,7 +153,7 @@ let test_random_admit_withdraw_stress () =
       in
       let app = Analysis.app g ~mapping:(Mapping.modulo ~procs g) in
       match Admission.try_admit ctl app Admission.best_effort with
-      | Admission.Admitted -> admitted := name :: !admitted
+      | Admission.Admitted _ -> admitted := name :: !admitted
       | Admission.Rejected_candidate _ | Admission.Rejected_victim _ ->
           Alcotest.fail "best effort rejected"
     end
@@ -178,7 +178,7 @@ let suite = suite @ [ Alcotest.test_case "random admit/withdraw stress" `Slow
 
 (* Section 6 feedback: observing measured periods recalibrates the controller. *)
 let test_observe_measured_periods () =
-  let ctl = Admission.create ~procs:3 in
+  let ctl = Admission.create ~procs:3 () in
   ignore (Admission.try_admit ctl (app_a ()) Admission.best_effort);
   ignore (Admission.try_admit ctl (app_b ()) Admission.best_effort);
   Alcotest.(check bool) "no measurement yet" true (Admission.observed_period ctl "A" = None);

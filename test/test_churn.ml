@@ -1,0 +1,272 @@
+(* Churn-heavy soak tier: long seeded join/leave/observe streams against the
+   incremental admission controller, cross-checked by the from-scratch
+   re-fold oracle ({!Check.Fuzz.churn}), plus the {!Kernel.Group}
+   deconvolution edge cases and the admission-level metamorphic relations.
+
+   The soak scale is environment-tunable so CI can run a reduced PR budget
+   and the full population nightly:
+     CHURN_APPS    resident population target   (default 2000)
+     CHURN_EVENTS  churn events after ramp-up   (default 1500)
+     CHURN_SEED    campaign seed                (default 1) *)
+
+open Contention
+module Group = Kernel.Group
+
+let env_int name default =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some v -> v
+  | None -> default
+
+(* --- the quick campaign: every PR runs this ----------------------------- *)
+
+let check_campaign name (r : Check.Fuzz.churn_result) =
+  (match r.Check.Fuzz.churn_violations with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "%s: %s: %s" name v.Check.Metamorphic.property
+        v.Check.Metamorphic.detail);
+  let c = r.Check.Fuzz.counters in
+  (* The tentpole invariant: joins and leaves never re-fold from scratch. *)
+  Alcotest.(check int) (name ^ ": full rebuilds pinned") 0
+    c.Admission.full_rebuilds;
+  Alcotest.(check bool) (name ^ ": did join") true (r.Check.Fuzz.joins > 0);
+  Alcotest.(check bool) (name ^ ": did leave") true (r.Check.Fuzz.leaves > 0);
+  Alcotest.(check bool)
+    (name ^ ": incremental ops dominate")
+    true
+    (c.Admission.incremental_ops
+    >= r.Check.Fuzz.joins + r.Check.Fuzz.leaves);
+  (* Drift-triggered refolds are sanctioned but must not storm: they stay a
+     bounded fraction of the events so the refold cost amortizes away from
+     the hot path (the dense quick config charges ~p·P/4 per non-LIFO ⊖
+     across ~3 actors per leave, so one refold per few leaves is the
+     expected ceiling there). *)
+  let refolds = c.Admission.drift_refolds + c.Admission.group_drift_refolds in
+  Alcotest.(check bool)
+    (name ^ ": refolds below storm threshold")
+    true
+    (refolds <= r.Check.Fuzz.churn_events / 4);
+  Alcotest.(check bool)
+    (name ^ ": guard rebuilds below storm threshold")
+    true
+    (c.Admission.group_rebuilds <= r.Check.Fuzz.churn_events / 4)
+
+let test_churn_quick () =
+  let r = Check.Fuzz.churn ~seed:11 () in
+  check_campaign "quick" r;
+  Alcotest.(check int) "all events ran" 600 r.Check.Fuzz.churn_events;
+  Alcotest.(check bool) "oracle ran" true (r.Check.Fuzz.checks >= 24);
+  (* p-composition is exactly invertible; w lags by the bounded residue. *)
+  Alcotest.(check bool) "p deviation is rounding noise" true
+    (r.Check.Fuzz.max_p_err <= 1e-9);
+  Alcotest.(check bool) "w deviation within refold bound" true
+    (r.Check.Fuzz.max_w_err
+    <= Check.Fuzz.default_churn_config.Check.Fuzz.w_tolerance)
+
+let test_churn_deterministic () =
+  let run () =
+    let r = Check.Fuzz.churn ~seed:23 () in
+    ( r.Check.Fuzz.joins,
+      r.Check.Fuzz.leaves,
+      r.Check.Fuzz.observes,
+      r.Check.Fuzz.max_p_err,
+      r.Check.Fuzz.max_w_err,
+      List.length r.Check.Fuzz.churn_violations )
+  in
+  Alcotest.(check bool) "same seed, same campaign" true (run () = run ())
+
+(* Adversarial seeds: campaigns that historically pushed the deconvolution
+   guard hardest (observe-heavy re-basing on a near-full population).  Kept
+   alongside the corpus replays as regression pins. *)
+let test_churn_adversarial_seeds () =
+  List.iter
+    (fun seed ->
+      let config =
+        {
+          Check.Fuzz.default_churn_config with
+          Check.Fuzz.resident = 16;
+          events = 400;
+          check_every = 10;
+        }
+      in
+      let r = Check.Fuzz.churn ~config ~seed () in
+      check_campaign (Printf.sprintf "adversarial seed %d" seed) r)
+    [ 3; 17; 404; 9001 ]
+
+(* --- the soak: 2,000+ resident applications per node -------------------- *)
+
+let test_churn_soak () =
+  let resident = env_int "CHURN_APPS" 2000 in
+  let events = env_int "CHURN_EVENTS" 1500 in
+  let seed = env_int "CHURN_SEED" 1 in
+  (* Ramp to the resident population first (the join bias admits almost
+     every event while under-populated), then churn on top of it; the
+     re-fold oracle is O(n²) so it runs on a sparse cadence plus the final
+     state. *)
+  let config =
+    {
+      Check.Fuzz.default_churn_config with
+      Check.Fuzz.resident;
+      events = (2 * resident) + events;
+      check_every = resident;
+      (* Thousands of light features: keep per-processor utilization near
+         one regardless of the population target. *)
+      period_slack = Float.max 12. (0.25 *. float_of_int resident);
+    }
+  in
+  let r = Check.Fuzz.churn ~config ~seed () in
+  check_campaign "soak" r;
+  Alcotest.(check bool)
+    (Printf.sprintf "population reached %d" resident)
+    true
+    (r.Check.Fuzz.joins >= resident);
+  Alcotest.(check bool) "w deviation within refold bound" true
+    (r.Check.Fuzz.max_w_err <= config.Check.Fuzz.w_tolerance)
+
+(* --- Kernel.Group deconvolution edge cases ------------------------------ *)
+
+let agree ?(eps = 1e-9) name g =
+  let es = Group.es g and ref_ = Group.es_reference g in
+  for d = 0 to Group.size g do
+    if
+      Float.abs (es.(d) -. ref_.(d))
+      > eps *. Float.max 1.0 (Float.abs ref_.(d))
+    then
+      Alcotest.failf "%s: degree %d: incremental %.17g vs reference %.17g"
+        name d es.(d) ref_.(d)
+  done
+
+let test_group_near_one_removal () =
+  (* Removing a near-saturated probability from a basis whose co-elements
+     are orders of magnitude smaller cancels the subtraction e_j - x·e'_(j-1)
+     almost completely: the guard must fall back to an exact refold instead
+     of amplifying the cancellation. *)
+  let g = Group.create () in
+  Group.add g ~id:0 ~p:(1. -. 1e-12) ~mu:5. ~tau:10.;
+  Group.add g ~id:1 ~p:1e-9 ~mu:2. ~tau:4.;
+  Group.add g ~id:2 ~p:2e-9 ~mu:3. ~tau:6.;
+  Group.remove g ~id:0;
+  Alcotest.(check int) "size" 2 (Group.size g);
+  agree "after near-1 removal" g;
+  Alcotest.(check bool) "guard or drift refold fired" true
+    (Group.rebuilds g + Group.drift_refolds g >= 1);
+  (* The surviving basis keeps answering waits. *)
+  Alcotest.(check bool) "wait finite" true
+    (Float.is_finite (Group.exact_waiting g ~excluding:None))
+
+let test_group_empty_refill () =
+  let g = Group.create () in
+  let add id p = Group.add g ~id ~p ~mu:1. ~tau:2. in
+  add 0 0.2;
+  add 1 0.5;
+  add 2 0.8;
+  Group.remove g ~id:1;
+  Group.remove g ~id:0;
+  Group.remove g ~id:2;
+  Alcotest.(check int) "empty" 0 (Group.size g);
+  Fixtures.check_float "empty basis is the unit" 1. (Group.es g).(0);
+  Fixtures.check_float "empty group inflicts no wait" 0.
+    (Group.exact_waiting g ~excluding:None);
+  (* Refill after total drain: no stale state survives. *)
+  add 3 0.4;
+  add 4 0.6;
+  Alcotest.(check int) "refilled" 2 (Group.size g);
+  agree "after drain and refill" g;
+  Fixtures.check_float ~eps:1e-12 "e1 = p3 + p4" 1. (Group.es g).(1)
+
+let test_group_update_is_remove_add () =
+  let fill g =
+    Group.add g ~id:0 ~p:0.25 ~mu:2. ~tau:4.;
+    Group.add g ~id:1 ~p:0.5 ~mu:3. ~tau:6.;
+    Group.add g ~id:2 ~p:0.75 ~mu:4. ~tau:8.
+  in
+  let a = Group.create () and b = Group.create () in
+  fill a;
+  fill b;
+  Group.update a ~id:1 ~p:0.6 ~mu:3.5 ~tau:7.;
+  Group.remove b ~id:1;
+  Group.add b ~id:1 ~p:0.6 ~mu:3.5 ~tau:7.;
+  let ea = Group.es a and eb = Group.es b in
+  for d = 0 to Group.size a do
+    Fixtures.check_float ~eps:1e-9
+      (Printf.sprintf "degree %d" d)
+      eb.(d) ea.(d)
+  done;
+  Fixtures.check_float ~eps:1e-9 "same wait"
+    (Group.exact_waiting b ~excluding:(Some 0))
+    (Group.exact_waiting a ~excluding:(Some 0))
+
+(* --- admission-level metamorphic relations ------------------------------ *)
+
+(* Same draw as {!Check.Fuzz.churn}'s residents: HSDF-expansion isolation
+   period (the random state spaces are unbounded) and no saturated actors
+   (p = 1 has no ⊖ inverse, which would blur the tight round-trip
+   tolerances below). *)
+let gen_app rng ~procs ~name =
+  let params =
+    {
+      Sdfgen.Generator.default_params with
+      Sdfgen.Generator.actors_min = 2;
+      actors_max = 4;
+      exec_min = 2;
+      exec_max = 20;
+    }
+  in
+  let rec draw attempts =
+    let g = Sdfgen.Generator.generate ~params (Sdfgen.Rng.split rng) ~name in
+    let app =
+      Analysis.app g ~period:(Sdf.Hsdf.period g) ~mapping:(Mapping.modulo ~procs g)
+    in
+    let saturated =
+      Array.exists (fun (l : Prob.t) -> l.p >= 1.) (Analysis.loads app)
+    in
+    if saturated && attempts < 50 then draw (attempts + 1) else app
+  in
+  draw 0
+
+let gen_apps rng ~procs n =
+  List.init n (fun i -> gen_app rng ~procs ~name:(Printf.sprintf "M%d" i))
+
+let no_violations name = function
+  | [] -> ()
+  | (v : Check.Metamorphic.violation) :: _ ->
+      Alcotest.failf "%s: %s: %s" name v.property v.detail
+
+let test_meta_join_leave_roundtrip () =
+  let rng = Sdfgen.Rng.create 5 in
+  let residents = gen_apps rng ~procs:3 6 in
+  let extra = gen_app rng ~procs:3 ~name:"EXTRA" in
+  no_violations "join-leave round-trip"
+    (Check.Metamorphic.join_leave_roundtrip ~procs:3 residents extra)
+
+let test_meta_churn_order_independence () =
+  let rng = Sdfgen.Rng.create 6 in
+  let apps = gen_apps rng ~procs:3 8 in
+  no_violations "churn-order independence"
+    (Check.Metamorphic.churn_order_independence rng ~procs:3 apps)
+
+let test_meta_margin_monotonicity () =
+  let rng = Sdfgen.Rng.create 7 in
+  let apps = gen_apps rng ~procs:2 5 in
+  no_violations "margin monotonicity"
+    (Check.Metamorphic.margin_monotonicity ~procs:2 apps)
+
+let suite =
+  [
+    Alcotest.test_case "quick campaign" `Quick test_churn_quick;
+    Alcotest.test_case "campaign is deterministic" `Quick
+      test_churn_deterministic;
+    Alcotest.test_case "adversarial seeds" `Quick test_churn_adversarial_seeds;
+    Alcotest.test_case "soak (CHURN_APPS residents)" `Slow test_churn_soak;
+    Alcotest.test_case "group near-1 removal" `Quick
+      test_group_near_one_removal;
+    Alcotest.test_case "group drain and refill" `Quick test_group_empty_refill;
+    Alcotest.test_case "group update = remove;add" `Quick
+      test_group_update_is_remove_add;
+    Alcotest.test_case "meta join-leave round-trip" `Quick
+      test_meta_join_leave_roundtrip;
+    Alcotest.test_case "meta churn-order independence" `Quick
+      test_meta_churn_order_independence;
+    Alcotest.test_case "meta margin monotonicity" `Quick
+      test_meta_margin_monotonicity;
+  ]

@@ -124,7 +124,7 @@ let test_admission_consistent_with_analysis () =
     | [ ra; _ ] -> ra.Analysis.period
     | _ -> Alcotest.fail "arity"
   in
-  let ctl = Admission.create ~procs:3 in
+  let ctl = Admission.create ~procs:3 () in
   ignore (Admission.try_admit ctl a Admission.best_effort);
   ignore (Admission.try_admit ctl b Admission.best_effort);
   Fixtures.check_float ~eps:1e-6 "online = offline" offline

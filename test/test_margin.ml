@@ -1,0 +1,285 @@
+(* Margin math: z-score pins, quantile order statistics, golden margins on
+   uniform / bimodal / heavy-tail execution-time distributions, and the
+   replay coverage oracle (DESIGN §15). *)
+
+open Contention
+
+let check_float = Fixtures.check_float
+
+(* --- standard-normal quantile pins (Acklam, |rel err| < 1.2e-9) --------- *)
+
+let test_z_pins () =
+  check_float ~eps:1e-6 "z(0.90)" 1.6448536 (Margin.z_of_confidence 0.90);
+  check_float ~eps:1e-6 "z(0.95)" 1.9599640 (Margin.z_of_confidence 0.95);
+  check_float ~eps:1e-6 "z(0.99)" 2.5758293 (Margin.z_of_confidence 0.99);
+  (* Symmetric two-sided: half the mass inside ±z(0.5) ~ 0.6745. *)
+  check_float ~eps:1e-6 "z(0.50)" 0.6744898 (Margin.z_of_confidence 0.50);
+  (match Margin.z_of_confidence 0. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "confidence 0 accepted");
+  match Margin.z_of_confidence 1. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "confidence 1 accepted"
+
+let test_method_names () =
+  let ok s m =
+    match Margin.method_of_string s with
+    | Ok m' when m' = m -> ()
+    | Ok _ -> Alcotest.failf "%s parsed to the wrong method" s
+    | Error e -> Alcotest.failf "%s rejected: %s" s e
+  in
+  ok "z-score" Margin.Z_score;
+  ok "z" Margin.Z_score;
+  ok "quantile" Margin.Quantile;
+  ok "q" Margin.Quantile;
+  (match Margin.method_of_string "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus method accepted");
+  Alcotest.(check string)
+    "round-trip" "quantile"
+    (Margin.method_to_string Margin.Quantile)
+
+let test_quantile_helper () =
+  let xs = [| 5.; 1.; 3.; 2.; 4. |] in
+  (* Sorted copy is [1;2;3;4;5]; linear interpolation on (n-1)q. *)
+  check_float "q0" 1. (Margin.quantile xs ~q:0.);
+  check_float "q1" 5. (Margin.quantile xs ~q:1.);
+  check_float "median" 3. (Margin.quantile xs ~q:0.5);
+  check_float "q0.25" 2. (Margin.quantile xs ~q:0.25);
+  check_float "q0.625" 3.5 (Margin.quantile xs ~q:0.625);
+  (match Margin.quantile [||] ~q:0.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty array accepted");
+  match Margin.quantile xs ~q:1.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "q > 1 accepted"
+
+let test_of_bounds () =
+  let m = Margin.of_bounds ~confidence:0.95 ~period:100. ~lo:90. ~hi:112. in
+  (match Margin.validate m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "of_bounds invalid: %s" e);
+  check_float "mean is period" 100. m.Margin.mean;
+  check_float "implied std" (22. /. (2. *. Margin.z_of_confidence 0.95))
+    m.Margin.std;
+  check_float "width" 22. (Margin.width m);
+  check_float "rel width" 0.22 (Margin.rel_width m);
+  Alcotest.(check bool) "covers period" true (Margin.covers m 100.);
+  Alcotest.(check bool) "covers lo" true (Margin.covers m 90.);
+  Alcotest.(check bool) "excludes below" false (Margin.covers m 89.9);
+  (* Bounds are clamped to contain the point estimate. *)
+  let clamped = Margin.of_bounds ~confidence:0.9 ~period:80. ~lo:90. ~hi:112. in
+  Alcotest.(check bool) "clamped covers period" true
+    (Margin.covers clamped 80.)
+
+let test_of_samples () =
+  let xs = Array.init 101 (fun i -> 100. +. float_of_int i) in
+  let m = Margin.of_samples ~confidence:0.9 ~period:150. xs in
+  (match Margin.validate m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "of_samples invalid: %s" e);
+  check_float "sample mean" 150. m.Margin.mean;
+  (* Samples 100..200: the 5%/95% order statistics. *)
+  check_float "lo at 5%" 105. m.Margin.lo;
+  check_float "hi at 95%" 195. m.Margin.hi;
+  Alcotest.(check int) "draw count" 101 m.Margin.samples;
+  match Margin.of_samples ~confidence:0.9 ~period:1. [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty sample set accepted"
+
+let test_validate_rejects () =
+  let base =
+    Margin.of_bounds ~confidence:0.95 ~period:100. ~lo:90. ~hi:110.
+  in
+  let bad msg m =
+    match Margin.validate m with
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "%s accepted" msg
+  in
+  bad "confidence 1.5" { base with Margin.confidence = 1.5 };
+  bad "lo > hi" { base with Margin.lo = 120. };
+  bad "period outside" { base with Margin.period = 80. };
+  bad "negative std" { base with Margin.std = -1. };
+  bad "nan bound" { base with Margin.hi = Float.nan }
+
+(* --- golden margins served by the admission controller ------------------ *)
+
+(* Figure 2's A (with per-actor distributions) sharing two processors with a
+   constant-time B; the served margin for A is deterministic in
+   (spec, population). *)
+let scenario dists =
+  let ctl = Admission.create ~procs:2 () in
+  let a =
+    Analysis.app (Fixtures.graph_a ()) ~mapping:[| 0; 1; 0 |]
+      ?distributions:dists
+  in
+  let b = Analysis.app (Fixtures.graph_b ()) ~mapping:[| 1; 0; 1 |] in
+  (match Admission.try_admit ctl a Admission.best_effort with
+  | Admission.Admitted _ -> ()
+  | _ -> Alcotest.fail "A rejected");
+  (match Admission.try_admit ctl b Admission.best_effort with
+  | Admission.Admitted _ -> ()
+  | _ -> Alcotest.fail "B rejected");
+  ctl
+
+let spec method_ =
+  { Admission.default_margin_spec with Admission.method_ }
+
+let uniform_dists =
+  [|
+    Dist.Uniform { lo = 80.; hi = 120. };
+    Dist.Uniform { lo = 30.; hi = 70. };
+    Dist.Uniform { lo = 80.; hi = 120. };
+  |]
+
+let bimodal_dists =
+  [|
+    Dist.Discrete [ (60., 1.); (140., 1.) ];
+    Dist.Discrete [ (20., 1.); (80., 1.) ];
+    Dist.Discrete [ (60., 1.); (140., 1.) ];
+  |]
+
+let heavy_tail_dists =
+  [|
+    Dist.Exponential { mean = 100. };
+    Dist.Exponential { mean = 50. };
+    Dist.Exponential { mean = 100. };
+  |]
+
+(* The pins: servable bit-for-bit, so the eps only absorbs printf rounding.
+   The lower bound clamps at the standalone period (contention never makes
+   an application faster), and the quantile upper bound sits below the
+   symmetric z bound on all three shapes — the Monte-Carlo draws see the
+   actual (right-skewed but bounded-probability) blocking, where the normal
+   approximation pays for its symmetry at the top. *)
+let golden name dists ~period ~z_hi ~q_hi ~q_mean ~q_std () =
+  let ctl = scenario (Some dists) in
+  let z = Admission.margin_for ctl (spec Margin.Z_score) "A" in
+  let q = Admission.margin_for ctl (spec Margin.Quantile) "A" in
+  check_float ~eps:1e-6 (name ^ " period") period z.Margin.period;
+  check_float ~eps:1e-6 (name ^ " served point matches") period
+    q.Margin.period;
+  check_float ~eps:1e-6 (name ^ " z lo clamps at standalone") 300.
+    z.Margin.lo;
+  check_float ~eps:1e-6 (name ^ " z hi") z_hi z.Margin.hi;
+  check_float ~eps:1e-6 (name ^ " q lo clamps at standalone") 300.
+    q.Margin.lo;
+  check_float ~eps:1e-6 (name ^ " q hi") q_hi q.Margin.hi;
+  check_float ~eps:1e-6 (name ^ " q mean") q_mean q.Margin.mean;
+  check_float ~eps:1e-6 (name ^ " q std") q_std q.Margin.std;
+  Alcotest.(check int) (name ^ " q draws") 200 q.Margin.samples;
+  Alcotest.(check int) (name ^ " z draws") 0 z.Margin.samples;
+  Alcotest.(check bool) (name ^ " z covers period") true
+    (Margin.covers z period);
+  Alcotest.(check bool) (name ^ " q covers period") true
+    (Margin.covers q period);
+  Alcotest.(check bool) (name ^ " quantile tighter than z at the top") true
+    (q.Margin.hi < z.Margin.hi);
+  (* Margins are deterministic in (spec, population): a re-served quantile
+     margin is bit-identical, not just close. *)
+  let q' = Admission.margin_for ctl (spec Margin.Quantile) "A" in
+  Alcotest.(check bool) (name ^ " reproducible") true (q = q')
+
+let test_golden_uniform =
+  golden "uniform" uniform_dists ~period:435.534391535 ~z_hi:723.845912516
+    ~q_hi:634.984412754 ~q_mean:408.831278713 ~q_std:94.914246538
+
+let test_golden_bimodal =
+  golden "bimodal" bimodal_dists ~period:441.952380952 ~z_hi:748.272177052
+    ~q_hi:644.247648671 ~q_mean:413.655997211 ~q_std:99.232720696
+
+let test_golden_heavy_tail =
+  golden "heavy tail" heavy_tail_dists ~period:477.380952381
+    ~z_hi:917.217985978 ~q_hi:823.858554478 ~q_mean:446.301980481
+    ~q_std:144.943650654
+
+(* Heavier tails must widen the served interval: uniform < bimodal < heavy
+   at the same confidence, for both methods. *)
+let test_tail_ordering () =
+  let width dists method_ =
+    Margin.width (Admission.margin_for (scenario (Some dists)) (spec method_) "A")
+  in
+  List.iter
+    (fun m ->
+      let u = width uniform_dists m
+      and b = width bimodal_dists m
+      and h = width heavy_tail_dists m in
+      Alcotest.(check bool) "uniform < bimodal" true (u < b);
+      Alcotest.(check bool) "bimodal < heavy" true (b < h))
+    [ Margin.Z_score; Margin.Quantile ]
+
+(* --- the replay coverage oracle ----------------------------------------- *)
+
+let test_margin_coverage () =
+  let a =
+    Analysis.app (Fixtures.graph_a ()) ~mapping:[| 0; 1; 0 |]
+      ~distributions:uniform_dists
+  in
+  let b = Analysis.app (Fixtures.graph_b ()) ~mapping:[| 1; 0; 1 |] in
+  let spec = spec Margin.Quantile in
+  let cov, violations =
+    Check.Oracle.margin_coverage ~procs:2 ~spec ~app:"A" [ a; b ]
+  in
+  (match violations with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "coverage violation: %s: %s" v.Check.Oracle.property
+        v.Check.Oracle.detail);
+  Alcotest.(check int) "200 replays" 200 cov.Check.Oracle.replays;
+  (* The acceptance bound: observed coverage within two percentage points
+     of the requested confidence (the oracle itself enforces the same). *)
+  Alcotest.(check bool) "within 2pp of requested confidence" true
+    (cov.Check.Oracle.observed_coverage +. 0.02
+    >= spec.Admission.confidence)
+
+(* --- residual-life draws behind the quantile margin --------------------- *)
+
+let grid_mean f n =
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. f ((float_of_int i +. 0.5) /. float_of_int n)
+  done;
+  !acc /. float_of_int n
+
+let test_residual_sample_moments () =
+  (* The stationary residual draw must average to the analytic mean
+     residual life (the inspection-paradox mu the margins are built on). *)
+  let mean_residual d =
+    grid_mean
+      (fun u1 -> grid_mean (fun u2 -> Dist.residual_sample d ~u1 ~u2) 64)
+      64
+  in
+  let close name d =
+    let expected = Dist.residual d in
+    check_float ~eps:(0.02 *. expected) name expected (mean_residual d)
+  in
+  close "constant" (Dist.Constant 10.);
+  close "uniform" (Dist.Uniform { lo = 4.; hi = 8. });
+  close "bimodal" (Dist.Discrete [ (2., 1.); (10., 3.) ]);
+  (* Exponential: memoryless, so the residual is again Exp(mean); the
+     midpoint grid under-weights the unbounded tail, hence the wider eps. *)
+  let d = Dist.Exponential { mean = 5. } in
+  check_float ~eps:0.3 "exponential" (Dist.residual d) (mean_residual d);
+  Alcotest.(check bool) "deterministic in (u1, u2)" true
+    (Dist.residual_sample d ~u1:0.3 ~u2:0.7
+    = Dist.residual_sample d ~u1:0.3 ~u2:0.7);
+  match Dist.residual_sample d ~u1:1. ~u2:0. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "u1 = 1 accepted"
+
+let suite =
+  [
+    Alcotest.test_case "z pins" `Quick test_z_pins;
+    Alcotest.test_case "method names" `Quick test_method_names;
+    Alcotest.test_case "quantile helper" `Quick test_quantile_helper;
+    Alcotest.test_case "of_bounds" `Quick test_of_bounds;
+    Alcotest.test_case "of_samples" `Quick test_of_samples;
+    Alcotest.test_case "validate rejects" `Quick test_validate_rejects;
+    Alcotest.test_case "golden: uniform" `Quick test_golden_uniform;
+    Alcotest.test_case "golden: bimodal" `Quick test_golden_bimodal;
+    Alcotest.test_case "golden: heavy tail" `Quick test_golden_heavy_tail;
+    Alcotest.test_case "tail ordering" `Quick test_tail_ordering;
+    Alcotest.test_case "replay coverage" `Slow test_margin_coverage;
+    Alcotest.test_case "residual-life draws" `Quick
+      test_residual_sample_moments;
+  ]

@@ -82,7 +82,7 @@ let test_metrics () =
     Serve.Metrics.record m ~cmd:"estimate" ~latency_s:1e-3
   done;
   Serve.Metrics.record m ~cmd:"ping" ~latency_s:11e-3;
-  Serve.Metrics.record_admission_verdict m (Protocol.Admitted { throughput = 1. });
+  Serve.Metrics.record_admission_verdict m (Protocol.Admitted { throughput = 1.; margin = None });
   Serve.Metrics.record_admission_verdict m
     (Protocol.Rejected_victim { victim = "A"; estimated = 0.; required = 1. });
   Serve.Metrics.incr_released m;
@@ -120,7 +120,23 @@ let test_protocol_roundtrip () =
           estimator = Contention.Analysis.Exact;
         };
       Protocol.Admit
-        { session = "s"; digest = "abc"; app = "A"; min_throughput = 0.25 };
+        {
+          session = "s";
+          digest = "abc";
+          app = "A";
+          min_throughput = 0.25;
+          confidence = None;
+          margin_method = None;
+        };
+      Protocol.Admit
+        {
+          session = "s";
+          digest = "abc";
+          app = "A";
+          min_throughput = 0.25;
+          confidence = Some 0.95;
+          margin_method = Some Contention.Margin.Quantile;
+        };
       Protocol.Release { session = "s"; app = "A" };
       Protocol.Stats;
       Protocol.Metrics;
@@ -141,7 +157,7 @@ let test_protocol_roundtrip () =
     requests;
   let verdicts =
     [
-      Protocol.Admitted { throughput = 0.1 };
+      Protocol.Admitted { throughput = 0.1; margin = None };
       Protocol.Rejected_candidate { estimated = 0.1; required = 0.2 };
       Protocol.Rejected_victim { victim = "B"; estimated = 0.1; required = 0.2 };
     ]
@@ -337,7 +353,7 @@ let client_scenario ~port ~session ~estimator w () =
         match
           Serve.Client.admit c ~session ~digest ~app:"A" ~min_throughput:0. ()
         with
-        | Ok (Protocol.Admitted { throughput }) -> throughput
+        | Ok (Protocol.Admitted { throughput; _ }) -> throughput
         | Ok _ -> Alcotest.fail "A rejected from an empty session"
         | Error e -> Alcotest.failf "admit A: %s" e
       in
